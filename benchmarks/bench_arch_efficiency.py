@@ -1,0 +1,62 @@
+"""E21: architectural efficiency -- Pennycook's second normalization.
+
+Pennycook et al. recommend reporting P under both application
+efficiency (what the paper's Fig. 3 uses) and architectural efficiency
+(achieved fraction of hardware peak).  This bench emits the
+architectural view of the same study: achieved memory bandwidth over
+peak, per port and platform.
+"""
+
+import pytest
+
+from repro.frameworks.registry import ALL_PORTS
+from repro.gpu.platforms import ALL_DEVICES
+from repro.portability import architectural_efficiency, architectural_p
+from repro.system.sizing import dims_from_gb
+
+
+def test_architectural_view(benchmark, write_result):
+    dims = dims_from_gb(10.0)
+
+    def _table():
+        effs = {}
+        ps = {}
+        for port in ALL_PORTS:
+            row = {}
+            for device in ALL_DEVICES:
+                if port.supports(device):
+                    row[device.name] = architectural_efficiency(
+                        port, device, dims, size_gb=10.0
+                    )
+                else:
+                    row[device.name] = None
+            effs[port.key] = row
+            ps[port.key] = architectural_p(port, tuple(ALL_DEVICES),
+                                           dims, size_gb=10.0)
+        return effs, ps
+
+    effs, ps = benchmark.pedantic(_table, rounds=1, iterations=1)
+
+    names = [d.name for d in ALL_DEVICES]
+    lines = ["Architectural efficiency (achieved/peak bandwidth), 10 GB",
+             "port        " + "".join(f"{n:>9}" for n in names)
+             + f"{'P_arch':>9}"]
+    for port, row in effs.items():
+        cells = "".join(
+            f"{row[n]:>9.3f}" if row[n] is not None else f"{'-':>9}"
+            for n in names
+        )
+        lines.append(f"{port:<12}{cells}{ps[port]:>9.3f}")
+    write_result("arch_efficiency", "\n".join(lines))
+
+    # Scatter/atomic-heavy kernels run far from peak everywhere --
+    # the memory-bound story of SSVI.
+    for port, row in effs.items():
+        for name, e in row.items():
+            if e is not None:
+                assert e < 0.5, (port, name)
+    # The architectural ranking agrees with the application one:
+    # CUDA/HIP lead on NVIDIA, the CAS ports collapse on MI250X.
+    assert effs["HIP"]["MI250X"] > 5 * effs["OMP+LLVM"]["MI250X"]
+    assert ps["CUDA"] == 0.0  # still zero: platform support is part of P
+    assert ps["HIP"] > ps["PSTL+V"]

@@ -1,0 +1,70 @@
+"""E15: RMW vs CAS-loop atomics on MI250X.
+
+SSV-B: "some compilers could not generate code that uses atomic
+read-modify-write (RMW).  They probably generate code in which atomic
+operations are performed with a compare-and-swap (CAS) loop.  In our
+case, this degrades performance.  Specifying the flag
+-munsafe-fp-atomics ... generates assembly code with atomic RMW
+instructions."  This bench quantifies the cliff per device and per
+aprod2 kernel.
+"""
+
+import pytest
+
+from repro.gpu.atomics import AtomicMode, atomic_time
+from repro.gpu.platforms import ALL_DEVICES, H100, MI250X
+from repro.system.sizing import dims_from_gb
+from repro.gpu.workload import build_iteration_workload
+
+
+def test_cas_vs_rmw_per_kernel(benchmark, write_result):
+    dims = dims_from_gb(10.0)
+    workload = build_iteration_workload(dims)
+    atomic_kernels = [w for w in workload.aprod2 if w.atomic_updates]
+
+    def _table():
+        rows = {}
+        for device in ALL_DEVICES:
+            for w in atomic_kernels:
+                rmw = atomic_time(device, w.atomic_updates,
+                                  w.atomic_targets, AtomicMode.RMW)
+                cas = atomic_time(device, w.atomic_updates,
+                                  w.atomic_targets, AtomicMode.CAS_LOOP)
+                rows[(device.name, w.name)] = (rmw, cas, cas / rmw)
+        return rows
+
+    rows = benchmark(_table)
+    lines = ["Atomics ablation: RMW vs CAS-loop time per aprod2 kernel",
+             f"{'device':<10}{'kernel':<14}{'RMW[s]':>10}{'CAS[s]':>10}"
+             f"{'ratio':>8}"]
+    for (device, kernel), (rmw, cas, ratio) in rows.items():
+        lines.append(f"{device:<10}{kernel:<14}{rmw:>10.4f}{cas:>10.4f}"
+                     f"{ratio:>8.1f}")
+    write_result("atomics_ablation", "\n".join(lines))
+
+    # The MI250X CAS cliff dwarfs the NVIDIA one.
+    mi_ratio = rows[("MI250X", "aprod2_att")][2]
+    h_ratio = rows[("H100", "aprod2_att")][2]
+    assert mi_ratio > 3 * h_ratio
+    assert mi_ratio > 10
+
+
+def test_cas_cliff_drives_port_gap_on_mi250x(benchmark, study,
+                                             write_result):
+    """End to end: the CAS ports' MI250X times vs the RMW ports'."""
+
+    def _gap():
+        times = study.times(10.0)
+        cas = min(times["SYCL+DPCPP"]["MI250X"],
+                  times["OMP+LLVM"]["MI250X"])
+        rmw = max(times["HIP"]["MI250X"], times["OMP+V"]["MI250X"],
+                  times["SYCL+ACPP"]["MI250X"])
+        return cas / rmw
+
+    gap = benchmark(_gap)
+    write_result(
+        "atomics_port_gap_mi250x",
+        f"Slowest RMW port vs fastest CAS port on MI250X (10 GB): "
+        f"{gap:.1f}x",
+    )
+    assert gap > 5.0

@@ -1,0 +1,47 @@
+"""E18: the distributed decomposition study.
+
+The production solver is MPI+GPU (SSIV); Malenza et al. studied its
+weak scalability up to 256 Leonardo nodes.  Here the simulated-rank
+runner measures (for real, on the host) how the per-iteration
+max-over-ranks time and the solution behave as ranks are added on a
+fixed problem, and checks the invariant that matters: the distributed
+solution equals the serial one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import lsqr_solve
+from repro.dist import distributed_lsqr_solve
+from repro.system import SystemDims, make_system
+
+
+@pytest.fixture(scope="module")
+def dist_system():
+    dims = SystemDims(n_stars=400, n_obs=12_000, n_deg_freedom_att=32,
+                      n_instr_params=80, n_glob_params=1)
+    return make_system(dims, seed=6, noise_sigma=1e-10)
+
+
+@pytest.fixture(scope="module")
+def serial_solution(dist_system):
+    return lsqr_solve(dist_system, atol=1e-10, btol=1e-10)
+
+
+@pytest.mark.parametrize("n_ranks", [1, 2, 4, 8])
+def test_distributed_solve(benchmark, dist_system, serial_solution,
+                           n_ranks, write_result):
+    result = benchmark.pedantic(
+        distributed_lsqr_solve, args=(dist_system, n_ranks),
+        kwargs={"atol": 1e-10}, rounds=1, iterations=1,
+    )
+    rel = (np.linalg.norm(result.x - serial_solution.x)
+           / np.linalg.norm(serial_solution.x))
+    write_result(
+        f"distributed_{n_ranks}ranks",
+        f"ranks={n_ranks} itn={result.itn} "
+        f"mean max-over-ranks iteration={result.mean_iteration_time*1e3:.3f} ms "
+        f"rel-vs-serial={rel:.2e}",
+    )
+    assert rel < 1e-9
+    assert result.itn == pytest.approx(serial_solution.itn, abs=3)

@@ -1,0 +1,46 @@
+"""E24: code divergence and the P3 navigation chart.
+
+Pairs each port's P with the maintenance cost of achieving it -- the
+mean Jaccard distance between its per-vendor source/toolchain variants
+(the p3-analysis "code divergence").  The chart's ideal corner is high
+P at low divergence; the paper's conclusion that HIP is "the most
+portable solution" lands exactly there.
+"""
+
+import pytest
+
+from repro.frameworks.registry import ALL_PORTS
+from repro.gpu.platforms import ALL_DEVICES
+from repro.portability import navigation_chart
+from repro.portability.study import run_study
+
+
+def test_navigation_chart(benchmark, write_result):
+    def _chart():
+        study = run_study(sizes=(10.0,), jitter=0.0, repetitions=1)
+        return navigation_chart(tuple(ALL_PORTS), tuple(ALL_DEVICES),
+                                study.p_scores(10.0))
+
+    chart = benchmark.pedantic(_chart, rounds=1, iterations=1)
+    by_key = {pt.port_key: pt for pt in chart}
+
+    lines = ["P3 navigation chart (10 GB): P vs code divergence",
+             f"{'port':<12}{'P':>8}{'divergence':>12}{'verdict':>22}"]
+    for pt in sorted(chart, key=lambda p: (-p.p, p.divergence)):
+        verdict = ("portable & single-source" if pt.unicorn else
+                   "single-platform" if pt.divergence == 0 and pt.p == 0
+                   else "")
+        lines.append(f"{pt.port_key:<12}{pt.p:>8.3f}"
+                     f"{pt.divergence:>12.3f}{verdict:>24}")
+    write_result("divergence_navigation_chart", "\n".join(lines))
+
+    # The paper's conclusion, in chart form: HIP occupies the ideal
+    # corner (highest P among the lowest-divergence cross-vendor
+    # ports); CUDA has zero divergence but zero P; the vendor-compiler
+    # mixtures (OMP+V, PSTL+V) pay extra divergence.
+    assert by_key["HIP"].unicorn
+    cross_vendor = [pt for pt in chart if pt.port_key != "CUDA"]
+    assert min(cross_vendor, key=lambda p: p.divergence).port_key == "HIP"
+    assert by_key["CUDA"].p == 0.0 and by_key["CUDA"].divergence == 0.0
+    assert by_key["OMP+V"].divergence > by_key["HIP"].divergence
+    assert by_key["PSTL+V"].divergence > by_key["PSTL+ACPP"].divergence

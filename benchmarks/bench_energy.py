@@ -1,0 +1,47 @@
+"""E23: energy outlook (extension; the green-computing companion theme
+of the AVU-GSR line of work, ref. [46])."""
+
+import pytest
+
+from repro.frameworks import port_by_key
+from repro.gpu import BOARD_TDP_W, energy_efficiency_table
+from repro.gpu.platforms import ALL_DEVICES
+from repro.system.sizing import dims_from_gb
+
+
+def test_energy_per_iteration_table(benchmark, write_result):
+    dims = dims_from_gb(10.0)
+
+    def _tables():
+        return {
+            key: energy_efficiency_table(port_by_key(key),
+                                         tuple(ALL_DEVICES), dims,
+                                         size_gb=10.0)
+            for key in ("CUDA", "HIP", "PSTL+V")
+        }
+
+    tables = benchmark(_tables)
+    lines = ["Energy per LSQR iteration (TDP-bound model), 10 GB problem",
+             f"{'port':<10}{'device':<10}{'TDP[W]':>8}{'t[s]':>9}"
+             f"{'J/iter':>9}{'iter/kJ':>9}"]
+    for key, table in tables.items():
+        for name, e in table.items():
+            lines.append(
+                f"{key:<10}{name:<10}{e.board_power_w:>8.0f}"
+                f"{e.iteration_time_s:>9.4f}"
+                f"{e.joules_per_iteration:>9.1f}"
+                f"{e.iterations_per_kilojoule:>9.2f}"
+            )
+    write_result("energy_outlook", "\n".join(lines))
+
+    hip = tables["HIP"]
+    # The memory/atomic-bound solver cannot exploit big-board FLOPs:
+    # the 70 W T4 delivers the most iterations per joule even while
+    # being the slowest board.
+    per_kj = {k: v.iterations_per_kilojoule for k, v in hip.items()}
+    assert per_kj["T4"] == max(per_kj.values())
+    # H100 is the fastest *and* more efficient than A100 per joule.
+    assert hip["H100"].iteration_time_s < hip["A100"].iteration_time_s
+    assert per_kj["H100"] > per_kj["A100"]
+    # Sanity: the TDP table covers every platform of the study.
+    assert set(BOARD_TDP_W) == {d.name for d in ALL_DEVICES}

@@ -1,0 +1,68 @@
+"""E19: the C++26 executors projection (SSV-B / SSVI future work).
+
+The paper expects STL executors to let PSTL set kernel geometry and
+"reduce the observed performance gap among the platforms".  The
+hypothetical PSTL+EXEC port (PSTL+V with tuned geometry) quantifies
+that projection against the measured PSTL ports.
+"""
+
+import pytest
+
+from repro.frameworks import PSTL_EXECUTORS
+from repro.frameworks.registry import ALL_PORTS
+from repro.portability.study import run_study
+
+
+def test_executors_projection(benchmark, write_result):
+    study = benchmark.pedantic(
+        run_study,
+        kwargs={"ports": tuple(ALL_PORTS) + (PSTL_EXECUTORS,),
+                "jitter": 0.0, "repetitions": 1},
+        rounds=1, iterations=1,
+    )
+    lines = ["C++26 executors projection: P with and without geometry "
+             "control",
+             f"{'size':>6}{'PSTL+V':>9}{'PSTL+ACPP':>11}{'PSTL+EXEC':>11}"
+             f"{'HIP':>7}"]
+    for size in (10.0, 30.0, 60.0):
+        p = study.p_scores(size)
+        lines.append(f"{size:>5.0f}G{p['PSTL+V']:>9.3f}"
+                     f"{p['PSTL+ACPP']:>11.3f}{p['PSTL+EXEC']:>11.3f}"
+                     f"{p['HIP']:>7.3f}")
+    avg = {k: study.average_p(k)
+           for k in ("PSTL+V", "PSTL+ACPP", "PSTL+EXEC", "HIP")}
+    lines.append("  avg" + f"{avg['PSTL+V']:>9.3f}"
+                 f"{avg['PSTL+ACPP']:>11.3f}{avg['PSTL+EXEC']:>11.3f}"
+                 f"{avg['HIP']:>7.3f}")
+    write_result("executors_outlook", "\n".join(lines))
+
+    # Executors lift PSTL's portability substantially on every size,
+    # closing most -- but not all -- of the gap to HIP.
+    gap_before = avg["HIP"] - avg["PSTL+V"]
+    gap_after = avg["HIP"] - avg["PSTL+EXEC"]
+    assert gap_after < 0.55 * gap_before
+    assert avg["PSTL+EXEC"] == pytest.approx(0.80, abs=0.08)
+    assert avg["PSTL+EXEC"] < avg["HIP"]
+
+
+def test_executors_fix_the_weak_platforms(benchmark, write_result):
+    study = benchmark.pedantic(
+        run_study,
+        kwargs={"ports": tuple(ALL_PORTS) + (PSTL_EXECUTORS,),
+                "sizes": (10.0,), "jitter": 0.0, "repetitions": 1},
+        rounds=1, iterations=1,
+    )
+    eff = study.efficiencies(10.0)
+    lines = ["Per-platform efficiency, PSTL+V vs PSTL+EXEC (10 GB)",
+             f"{'platform':<10}{'PSTL+V':>9}{'PSTL+EXEC':>11}"]
+    for platform in study.platforms(10.0):
+        lines.append(f"{platform:<10}{eff['PSTL+V'][platform]:>9.3f}"
+                     f"{eff['PSTL+EXEC'][platform]:>11.3f}")
+    write_result("executors_per_platform", "\n".join(lines))
+    # The lift concentrates exactly where the paper located the gap:
+    # the geometry-sensitive T4/V100 (and the 64-wide MI250X).
+    for platform in ("T4", "V100", "MI250X"):
+        assert (eff["PSTL+EXEC"][platform]
+                > eff["PSTL+V"][platform] + 0.15), platform
+    # On H100 (optimum already 256) the change is small.
+    assert abs(eff["PSTL+EXEC"]["H100"] - eff["PSTL+V"]["H100"]) < 0.1

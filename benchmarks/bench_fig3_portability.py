@@ -1,0 +1,92 @@
+"""E5-E7 + E14: Fig. 3 -- efficiency cascades and P per problem size.
+
+Regenerates, for 10/30/60 GB, the per-port efficiency cascade (left
+panels) and the P bar values (right panels), and checks the headline
+averages of the abstract: HIP 0.94, SYCL+ACPP 0.93, CUDA|NVIDIA 0.97,
+PSTL+V 0.62.
+"""
+
+import pytest
+
+from repro.gpu.device import Vendor
+from repro.portability import run_study
+from repro.portability.cascade import efficiency_cascade
+from repro.portability.report import format_cascade, format_p_table
+
+#: Paper Fig. 3 P values quoted in the text, per size.
+PAPER_P = {
+    10.0: {"HIP": 0.98, "SYCL+ACPP": 0.92, "OMP+LLVM": 0.25, "CUDA": 0.0},
+    30.0: {"SYCL+ACPP": 0.93, "HIP": 0.88, "CUDA": 0.0},
+    60.0: {"CUDA": 0.0},
+}
+
+
+def _fig3(study, size):
+    platforms = study.platforms(size)
+    eff = study.efficiencies(size)
+    cascades = [efficiency_cascade(port, eff[port], platforms)
+                for port in study.port_keys]
+    p = study.p_scores(size)
+    text = (
+        f"Fig. 3 ({size:g} GB problem) -- platforms: "
+        f"{', '.join(platforms)}\n"
+        + format_cascade(cascades)
+        + "\n\n"
+        + format_p_table(p, title="P per port (paper values in text)",
+                         paper_values=PAPER_P[size])
+    )
+    return text, p
+
+
+@pytest.mark.parametrize("size", [10.0, 30.0, 60.0])
+def test_fig3_cascade_and_p(benchmark, study, write_result, size):
+    text, p = benchmark.pedantic(_fig3, args=(study, size),
+                                 rounds=2, iterations=1)
+    write_result(f"fig3_{int(size)}gb", text)
+    for port, expected in PAPER_P[size].items():
+        tol = 0.10 if expected else 1e-12
+        assert p[port] == pytest.approx(expected, abs=tol), (size, port)
+
+
+def test_headline_averages(benchmark, study, write_result):
+    """E14: the abstract's average P values."""
+
+    def _averages():
+        return {
+            "HIP": study.average_p("HIP"),
+            "SYCL+ACPP": study.average_p("SYCL+ACPP"),
+            "CUDA|NVIDIA": study.average_p("CUDA", vendor=Vendor.NVIDIA),
+            "PSTL+V": study.average_p("PSTL+V"),
+            "PSTL+ACPP": study.average_p("PSTL+ACPP"),
+            "OMP+V": study.average_p("OMP+V"),
+            "OMP+LLVM": study.average_p("OMP+LLVM"),
+            "SYCL+DPCPP": study.average_p("SYCL+DPCPP"),
+        }
+
+    avg = benchmark.pedantic(_averages, rounds=2, iterations=1)
+    paper = {"HIP": 0.94, "SYCL+ACPP": 0.93, "CUDA|NVIDIA": 0.97,
+             "PSTL+V": 0.62}
+    lines = ["Average P across problem sizes (paper vs measured):",
+             f"{'port':<14}{'paper':>8}{'measured':>10}"]
+    for port, value in avg.items():
+        ref = paper.get(port)
+        lines.append(
+            f"{port:<14}{'' if ref is None else f'{ref:>8.2f}'}"
+            f"{value:>10.3f}"
+        )
+    write_result("fig3_headline_averages", "\n".join(lines))
+    assert avg["HIP"] == pytest.approx(0.94, abs=0.04)
+    assert avg["SYCL+ACPP"] == pytest.approx(0.93, abs=0.04)
+    assert avg["CUDA|NVIDIA"] == pytest.approx(0.97, abs=0.03)
+    assert avg["PSTL+V"] == pytest.approx(0.62, abs=0.10)
+    # Ranking: HIP most portable, SYCL+ACPP second.
+    full_set = {k: v for k, v in avg.items() if k != "CUDA|NVIDIA"}
+    ranked = sorted(full_set, key=full_set.get, reverse=True)
+    assert ranked[:2] == ["HIP", "SYCL+ACPP"]
+
+
+def test_study_runtime(benchmark):
+    """Benchmark the full study matrix itself (3 sizes x 8 ports x 5
+    platforms x 3 repetitions through the execution model)."""
+    result = benchmark(run_study, seed=1)
+    assert result.p_scores(10.0)["HIP"] > 0.9

@@ -1,0 +1,38 @@
+"""E8: Fig. 4 -- average iteration time per architecture and port."""
+
+import pytest
+
+from repro.portability.report import format_time_table
+
+
+@pytest.mark.parametrize("size", [10.0, 30.0, 60.0])
+def test_fig4_iteration_times(benchmark, study, write_result, size):
+    def _render():
+        platforms = study.platforms(size)
+        times = study.times(size)
+        return platforms, times, format_time_table(
+            times, platforms,
+            title=f"Fig. 4 ({size:g} GB): mean LSQR iteration time [s]",
+        )
+
+    platforms, times, text = benchmark.pedantic(_render, rounds=2,
+                                                iterations=1)
+    write_result(f"fig4_{int(size)}gb_iteration_time", text)
+
+    # Shape assertions from SSV-B: newer platforms deliver lower times
+    # for every port that runs on them ...
+    order = [p for p in ("T4", "V100", "A100", "H100") if p in platforms]
+    for port, row in times.items():
+        series = [row[p] for p in order if row.get(p) is not None]
+        assert series == sorted(series, reverse=True), port
+    # ... and the per-platform winners are CUDA/HIP on NVIDIA, OMP+V on
+    # MI250X.
+    for platform in platforms:
+        best = min(
+            (t, port) for port, r in times.items()
+            if (t := r.get(platform)) is not None
+        )[1]
+        if platform == "MI250X":
+            assert best == "OMP+V"
+        else:
+            assert best in ("CUDA", "HIP"), (platform, best)

@@ -1,0 +1,60 @@
+"""E10 + E16: Fig. 6 -- correctness validation against production.
+
+The paper validates on two real datasets (42 GB and 306 GB, under
+NDA); here two synthetic datasets with the same *shape* (production
+ratios, no global section) at scaled-down row counts play their role.
+Every port must agree with the production reference within 1 sigma and
+within the 10 micro-arcsecond threshold; the one-to-one slopes of the
+Fig. 6 scatters must be 1.
+"""
+
+import pytest
+
+from repro.system import SystemDims, make_system
+from repro.validation import run_validation
+
+#: Scaled stand-ins for the two validation datasets.
+DATASETS = {
+    "42GB-shaped": SystemDims(n_stars=50, n_obs=1500,
+                              n_deg_freedom_att=12, n_instr_params=30,
+                              n_glob_params=0),
+    "306GB-shaped": SystemDims(n_stars=120, n_obs=4800,
+                               n_deg_freedom_att=20, n_instr_params=48,
+                               n_glob_params=0),
+}
+
+
+@pytest.mark.parametrize("label", list(DATASETS))
+def test_fig6_validation(benchmark, write_result, label):
+    dims = DATASETS[label]
+    system = make_system(dims, seed=42, noise_sigma=1e-9)
+
+    report = benchmark.pedantic(
+        run_validation, args=(system,),
+        kwargs={"dataset_label": label},
+        rounds=1, iterations=1,
+    )
+    write_result(f"fig6_validation_{label.split('-')[0]}",
+                 report.summary())
+
+    # The Fig. 6 scatter panels themselves, as terminal plots.
+    from repro.frameworks import port_by_key
+    from repro.gpu.platforms import H100
+    from repro.validation import fig6_scatter, render_fig6, solve_as_port
+
+    candidate = solve_as_port(system, port_by_key("HIP"), H100)
+    scatter = fig6_scatter(report.reference, candidate, dims)
+    write_result(f"fig6_scatter_{label.split('-')[0]}",
+                 render_fig6(scatter))
+    assert scatter.solution_correlation == pytest.approx(1.0, abs=1e-9)
+
+    assert report.all_passed, report.summary()
+    for comp in report.comparisons:
+        for section in comp.sections.values():
+            # Fig. 6: points on the one-to-one line, within 1 sigma,
+            # and standard-error differences below 10 uas.
+            assert section.one_to_one_slope == pytest.approx(1.0,
+                                                             abs=1e-4)
+            assert section.frac_within_1sigma >= 0.99
+            assert abs(section.se_mean_diff_uas) < 10.0
+            assert section.se_std_diff_uas < 10.0

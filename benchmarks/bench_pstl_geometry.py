@@ -1,0 +1,91 @@
+"""E13: the PSTL fixed-geometry study.
+
+SSV-B: the profiler shows PSTL launching 256 threads/block on every
+architecture; that is efficient on H100/A100 (optimum 256) and poor on
+T4/V100 (optimum 32).  This bench sweeps the block size through the
+execution model per device and reports where 256 sits relative to the
+optimum -- the gap the C++26 executors proposal is expected to close.
+"""
+
+import pytest
+
+from repro.gpu.atomics import AtomicMode
+from repro.gpu.kernel import geometry_efficiency, grid_for
+from repro.gpu.platforms import ALL_DEVICES
+from repro.gpu.timing import kernel_time
+from repro.gpu.workload import build_iteration_workload
+from repro.system.sizing import dims_from_gb
+
+BLOCK_SIZES = (32, 64, 128, 256, 512)
+
+
+def _iteration_time(device, dims, tpb):
+    workload = build_iteration_workload(dims)
+    total = 0.0
+    for w in workload.all_kernels:
+        mode = AtomicMode.RMW if w.atomic_updates else AtomicMode.NONE
+        total += kernel_time(device, w, grid_for(dims.n_obs, tpb),
+                             atomic_mode=mode).total
+    return total
+
+
+def test_pstl_block_size_sweep(benchmark, write_result):
+    dims = dims_from_gb(10.0)
+
+    def _sweep():
+        return {
+            device.name: {tpb: _iteration_time(device, dims, tpb)
+                          for tpb in BLOCK_SIZES}
+            for device in ALL_DEVICES
+        }
+
+    sweep = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    lines = ["PSTL geometry study: iteration time [s] per block size",
+             "device      " + "".join(f"{tpb:>10}" for tpb in BLOCK_SIZES)
+             + "   best   eff@256"]
+    for name, row in sweep.items():
+        best_tpb = min(row, key=row.get)
+        eff256 = row[best_tpb] / row[256]
+        lines.append(
+            f"{name:<12}"
+            + "".join(f"{row[tpb]:>10.4f}" for tpb in BLOCK_SIZES)
+            + f"{best_tpb:>7}{eff256:>9.2f}"
+        )
+    write_result("pstl_geometry_sweep", "\n".join(lines))
+
+    # Paper facts: optimum 32 on T4/V100; 256 already optimal on
+    # A100/H100; MI250X prefers one 64-wide wavefront.
+    assert min(sweep["T4"], key=sweep["T4"].get) == 32
+    assert min(sweep["V100"], key=sweep["V100"].get) == 32
+    assert min(sweep["A100"], key=sweep["A100"].get) == 256
+    assert min(sweep["H100"], key=sweep["H100"].get) == 256
+    assert min(sweep["MI250X"], key=sweep["MI250X"].get) == 64
+    # The 256-vs-optimum penalty on T4 is the 30-45% PSTL gap.
+    penalty = sweep["T4"][256] / sweep["T4"][32]
+    assert 1.3 < penalty < 1.9
+
+
+def test_geometry_efficiency_curves(benchmark, write_result):
+    """The raw efficiency curve behind the sweep, per device."""
+
+    def _curves():
+        return {
+            device.name: {
+                tpb: geometry_efficiency(device, grid_for(10**7, tpb))
+                for tpb in BLOCK_SIZES
+            }
+            for device in ALL_DEVICES
+        }
+
+    curves = benchmark(_curves)
+    lines = ["Geometry efficiency vs block size",
+             "device      " + "".join(f"{t:>8}" for t in BLOCK_SIZES)]
+    for name, row in curves.items():
+        lines.append(f"{name:<12}"
+                     + "".join(f"{row[t]:>8.3f}" for t in BLOCK_SIZES))
+    write_result("geometry_efficiency_curves", "\n".join(lines))
+    # H100 is flatter than T4 at the 256-vs-32 comparison.
+    t4_drop = curves["T4"][32] / curves["T4"][256]
+    h100_drop = curves["H100"][256] / curves["H100"][32]
+    assert t4_drop > h100_drop >= 1.0

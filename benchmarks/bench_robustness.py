@@ -1,0 +1,65 @@
+"""E25/E26: robustness of the study's conclusions.
+
+E25 -- calibration sensitivity: perturb every device parameter the GPU
+model rests on and check the paper's qualitative claims survive.
+E26 -- what-if platforms: add un-tuned next-generation boards and
+recompute P (the "new supercomputer arrives" scenario of SSI).
+"""
+
+import pytest
+
+from repro.frameworks.sensitivity import (
+    PERTURBED_FIELDS,
+    sensitivity_sweep,
+    whatif_study,
+)
+
+
+def test_calibration_sensitivity(benchmark, write_result):
+    outcomes = benchmark.pedantic(
+        sensitivity_sweep,
+        kwargs={"factors": (0.8, 1.25), "fields": PERTURBED_FIELDS},
+        rounds=1, iterations=1,
+    )
+    lines = ["Calibration sensitivity: P under +-20-25% device-parameter "
+             "perturbations",
+             f"{'parameter':<24}{'factor':>8}{'HIP':>7}{'SYCL+A':>8}"
+             f"{'PSTL+V':>8}{'holds':>7}"]
+    for o in outcomes:
+        p = o.p_scores
+        lines.append(
+            f"{o.field:<24}{o.factor:>8.2f}{p['HIP']:>7.3f}"
+            f"{p['SYCL+ACPP']:>8.3f}{p['PSTL+V']:>8.3f}"
+            f"{'yes' if o.conclusions_hold else 'NO':>7}"
+        )
+    write_result("calibration_sensitivity", "\n".join(lines))
+    held = sum(o.conclusions_hold for o in outcomes)
+    # The qualitative conclusions must survive every single-parameter
+    # systematic perturbation.
+    assert held == len(outcomes), f"only {held}/{len(outcomes)} held"
+
+
+def test_whatif_nextgen_platforms(benchmark, write_result):
+    study = benchmark.pedantic(whatif_study, rounds=1, iterations=1)
+    p = study.p_scores(10.0)
+    eff = study.efficiencies(10.0)
+    lines = ["What-if: P over the paper's five platforms plus two "
+             "un-tuned next-gen boards",
+             f"{'port':<12}{'P(7 plats)':>11}{'eff NextGen-NV':>16}"
+             f"{'eff NextGen-AMD':>17}"]
+    for port in sorted(p, key=p.get, reverse=True):
+        env = eff[port].get("NextGen-NV")
+        ena = eff[port].get("NextGen-AMD")
+        lines.append(
+            f"{port:<12}{p[port]:>11.3f}"
+            f"{env if env is None else round(env, 3)!s:>16}"
+            f"{ena if ena is None else round(ena, 3)!s:>17}"
+        )
+    write_result("whatif_nextgen", "\n".join(lines))
+
+    ranked = sorted(p, key=p.get, reverse=True)
+    assert ranked[:2] == ["HIP", "SYCL+ACPP"]
+    assert p["HIP"] > 0.9
+    # CUDA's zero persists; it also cannot touch the new AMD board.
+    assert p["CUDA"] == 0.0
+    assert eff["CUDA"]["NextGen-AMD"] is None

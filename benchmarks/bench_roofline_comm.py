@@ -1,0 +1,57 @@
+"""E28/E29: roofline placement and communication profile.
+
+E28 -- the quantitative version of §VI's "highly memory-bound"
+characterization: every aprod kernel's arithmetic intensity against
+each device's ridge point.
+E29 -- the distributed solver's communication profile (measured on the
+simulated ranks): collective counts and bytes per solve.
+"""
+
+import pytest
+
+from repro.dist import profile_distributed_solve
+from repro.gpu.platforms import ALL_DEVICES
+from repro.gpu.roofline import roofline_report
+from repro.system import SystemDims, make_system
+from repro.system.sizing import dims_from_gb
+
+
+def test_roofline_all_platforms(benchmark, write_result):
+    dims = dims_from_gb(10.0)
+
+    def _reports():
+        return [roofline_report(d, dims) for d in ALL_DEVICES]
+
+    reports = benchmark(_reports)
+    write_result("roofline",
+                 "\n\n".join(r.summary() for r in reports))
+    for r in reports:
+        assert r.all_memory_bound, r.device
+    # Even the weakest-FP64 board (T4) never leaves the memory side.
+    t4 = next(r for r in reports if r.device == "T4")
+    assert max(p.arithmetic_intensity for p in t4.points) < (
+        t4.points[0].ridge_point
+    )
+
+
+def test_communication_profile(benchmark, write_result):
+    dims = SystemDims(n_stars=200, n_obs=6000, n_deg_freedom_att=24,
+                      n_instr_params=48, n_glob_params=1)
+    system = make_system(dims, seed=8, noise_sigma=1e-10)
+
+    report = benchmark.pedantic(
+        profile_distributed_solve, args=(system, 4),
+        kwargs={"atol": 1e-10}, rounds=1, iterations=1,
+    )
+    write_result(
+        "comm_profile",
+        f"Distributed solve, 4 ranks, {report.itn} iterations\n"
+        + report.profile.summary()
+        + f"\nallreduce rounds per iteration: "
+        f"{report.allreduce_calls_per_iteration:.1f}\n"
+        f"dense-reduction share of traffic: "
+        f"{report.dense_fraction:.1%}",
+    )
+    assert report.allreduce_calls_per_iteration == pytest.approx(3.0,
+                                                                 abs=0.1)
+    assert report.dense_fraction > 0.95

@@ -1,0 +1,57 @@
+"""E11: the 2.0x speed-up of the optimized CUDA port over production.
+
+SSV-B: "we did a preliminary comparison of our optimized CUDA version
+against the production version of the code, obtaining a speed-up of
+2.0x on Leonardo on a 42 GB problem" (Leonardo nodes carry A100s).
+"""
+
+import pytest
+
+from repro.frameworks import model_iteration, port_by_key
+from repro.gpu.platforms import A100
+from repro.system.sizing import dims_from_gb
+
+
+def test_optimized_vs_production_speedup(benchmark, write_result):
+    dims = dims_from_gb(10.0)  # 42 GB does not fit the 40 GB A100 alone;
+    # the paper ran it multi-GPU -- the speed-up is size-insensitive in
+    # the model, so measure it at a size one A100 holds.
+    cuda = port_by_key("CUDA")
+
+    def _speedup():
+        opt = model_iteration(cuda, A100, dims, size_gb=10.0).total
+        prod = model_iteration(cuda, A100, dims, size_gb=10.0,
+                               variant="production").total
+        return opt, prod, prod / opt
+
+    opt, prod, speedup = benchmark(_speedup)
+    write_result(
+        "speedup_production",
+        "Optimized vs production CUDA on A100 (paper: 2.0x on Leonardo)\n"
+        f"production iteration: {prod:.4f} s\n"
+        f"optimized iteration:  {opt:.4f} s\n"
+        f"speed-up:             {speedup:.2f}x",
+    )
+    assert speedup == pytest.approx(2.0, abs=0.35)
+
+
+def test_speedup_holds_across_sizes(benchmark, write_result):
+    cuda = port_by_key("CUDA")
+
+    def _ratios():
+        out = {}
+        for gb in (1.0, 10.0, 30.0):
+            dims = dims_from_gb(gb)
+            opt = model_iteration(cuda, A100, dims, size_gb=gb).total
+            prod = model_iteration(cuda, A100, dims, size_gb=gb,
+                                   variant="production").total
+            out[gb] = prod / opt
+        return out
+
+    ratios = benchmark(_ratios)
+    write_result(
+        "speedup_production_sizes",
+        "\n".join(f"{gb:>5.0f} GB: {r:.2f}x" for gb, r in ratios.items()),
+    )
+    for r in ratios.values():
+        assert 1.5 < r < 2.6

@@ -1,0 +1,65 @@
+"""E1-E4: regenerate Tables I-IV (software stacks, flags, clusters)."""
+
+from repro.frameworks.registry import (
+    CLUSTER_GPU_TABLE,
+    COMPILE_FLAGS_AMD,
+    COMPILE_FLAGS_NVIDIA,
+    SOFTWARE_VERSIONS_NVIDIA,
+)
+
+
+def _render_table1() -> str:
+    lines = ["Table I: Software Versions on NVIDIA architectures",
+             f"{'component':<14}{'T4 & V100':<12}{'A100':<12}{'H100':<12}"]
+    for name, (a, b, c) in SOFTWARE_VERSIONS_NVIDIA.items():
+        lines.append(f"{name:<14}{a:<12}{b:<12}{c:<12}")
+    return "\n".join(lines)
+
+
+def _render_flags(title: str, table: dict) -> str:
+    lines = [title]
+    for (framework, compiler), flags in table.items():
+        lines.append(f"{framework:<8}{compiler:<24}{flags}")
+    return "\n".join(lines)
+
+
+def _render_table4() -> str:
+    lines = ["Table IV: Cluster name to GPU model reference table",
+             f"{'cluster':<14}{'GPU vendor & model'}"]
+    for cluster, gpu in CLUSTER_GPU_TABLE.items():
+        lines.append(f"{cluster:<14}{gpu}")
+    return "\n".join(lines)
+
+
+def test_table1_software_versions(benchmark, write_result):
+    text = benchmark(_render_table1)
+    write_result("table1_software_versions", text)
+    assert "AdaptiveCpp" in text and "24.06" in text
+
+
+def test_table2_nvidia_flags(benchmark, write_result):
+    text = benchmark(
+        _render_flags,
+        "Table II: Compilation Flags on NVIDIA architecture",
+        COMPILE_FLAGS_NVIDIA,
+    )
+    write_result("table2_flags_nvidia", text)
+    assert "-stdpar=gpu" in text
+    assert "nvptx64-nvidia-cuda" in text
+
+
+def test_table3_amd_flags(benchmark, write_result):
+    text = benchmark(
+        _render_flags,
+        "Table III: Compilation Flags on AMD architecture",
+        COMPILE_FLAGS_AMD,
+    )
+    write_result("table3_flags_amd", text)
+    assert text.count("-munsafe-fp-atomics") == 5
+    assert "gfx90a" in text
+
+
+def test_table4_cluster_gpu_map(benchmark, write_result):
+    text = benchmark(_render_table4)
+    write_result("table4_cluster_gpu", text)
+    assert "Setonix" in text and "AMD MI250X" in text

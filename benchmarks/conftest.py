@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures
+(see the per-experiment index in ``DESIGN.md``) and writes the
+reproduced rows to ``results/`` so they can be diffed against the
+published values (``EXPERIMENTS.md``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.portability import run_study
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def study():
+    """The full SSV-B study matrix, computed once per session."""
+    return run_study(seed=0)
+
+
+@pytest.fixture(scope="session")
+def write_result(results_dir):
+    """Writer: ``write_result(name, text)`` -> results/<name>.txt."""
+
+    def _write(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _write

@@ -1,0 +1,48 @@
+"""The MPI-style distributed solve (SSIV) on simulated ranks.
+
+Partitions the observations into star-aligned row blocks, runs the
+SPMD LSQR over the simulated communicator, and reports the paper's
+measurement protocol: per-iteration time maximized over ranks.
+
+Run:  python examples/distributed_solver.py
+"""
+
+import numpy as np
+
+from repro.core import lsqr_solve
+from repro.dist import distributed_lsqr_solve, partition_by_rows
+from repro.system import SystemDims, make_system
+
+
+def main() -> None:
+    dims = SystemDims(n_stars=300, n_obs=9_000, n_deg_freedom_att=24,
+                      n_instr_params=60, n_glob_params=1)
+    system = make_system(dims, seed=7, noise_sigma=1e-10)
+    print(dims.describe())
+
+    serial = lsqr_solve(system, atol=1e-10, btol=1e-10)
+    print(f"\nserial: {serial.itn} iterations, "
+          f"{serial.mean_iteration_time*1e3:.2f} ms/iter")
+
+    print("\nrank blocks for 4 ranks (star-aligned, constraints ride "
+          "on the last rank):")
+    for block in partition_by_rows(system, 4):
+        print(f"  rank {block.rank}: rows "
+              f"[{block.row_start:>5}, {block.row_stop:>5})  "
+              f"({block.n_rows} rows"
+              f"{', +constraints' if block.owns_constraints else ''})")
+
+    print("\ndistributed solves (max-over-ranks timing, SSV-B protocol):")
+    for n_ranks in (1, 2, 4, 8):
+        result = distributed_lsqr_solve(system, n_ranks, atol=1e-10)
+        rel = (np.linalg.norm(result.x - serial.x)
+               / np.linalg.norm(serial.x))
+        print(f"  ranks={n_ranks}: itn={result.itn}, "
+              f"max-iter-time={result.mean_iteration_time*1e3:7.2f} ms, "
+              f"|x - x_serial|/|x| = {rel:.2e}")
+    print("\nAll rank counts converge to the serial solution: the "
+          "decomposition only changes floating-point summation order.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""The Fig. 1 feedback loop: cycles, weights, warm starts, catalogs.
+
+Runs three pipeline cycles on data with injected gross outliers: the
+first cycle solves naively, computes robust weights, and each later
+cycle re-solves the re-weighted system warm-started from the previous
+solution.  The ingested per-star catalog of each cycle shows the
+outlier damage shrinking.
+
+Run:  python examples/multi_cycle_pipeline.py
+"""
+
+import numpy as np
+
+from repro.core import lsqr_solve
+from repro.core.variance import to_microarcsec
+from repro.pipeline import SolverModule, ingest_solution
+from repro.pipeline.statistics import residuals, update_weights
+from repro.system import SystemDims, apply_weights, make_system
+
+
+def main() -> None:
+    dims = SystemDims(n_stars=50, n_obs=2000, n_deg_freedom_att=12,
+                      n_instr_params=24, n_glob_params=1)
+    system = make_system(dims, seed=21, noise_sigma=1e-9,
+                         outlier_fraction=0.05, outlier_sigma=2e-6)
+    x_true = system.meta["x_true"]
+    n_out = len(system.meta["outlier_rows"])
+    print(f"{dims.describe()}")
+    print(f"injected {n_out} gross outliers "
+          f"({n_out / dims.n_obs:.0%} of observations)\n")
+
+    solver = SolverModule(atol=1e-10, btol=1e-10)
+    current = system
+    x0 = None
+    for cycle in range(3):
+        out = solver.solve(current, x0=x0)
+        x0 = out.result.x
+        err = np.linalg.norm(x0 - x_true) / np.linalg.norm(x_true)
+        w = update_weights(residuals(system, x0))
+        rejected = float(np.mean(w == 0))
+        catalog = ingest_solution(system, out, weights=w)
+        med_err = float(np.median(to_microarcsec(catalog.errors)))
+        print(f"cycle {cycle}: {out.result.itn:4d} iterations, "
+              f"|x-truth|/|truth| = {err:.3e}, "
+              f"rejected {rejected:.1%} of observations, "
+              f"median catalog error {med_err:.3f} uas, "
+              f"good stars {int(catalog.good().sum())}/{dims.n_stars}")
+        current = apply_weights(system, w)
+
+    # How much did the robust loop recover vs the naive solve?
+    naive = lsqr_solve(system, atol=1e-10, btol=1e-10)
+    err_naive = np.linalg.norm(naive.x - x_true)
+    err_final = np.linalg.norm(x0 - x_true)
+    print(f"\nnaive error vs robust-loop error: "
+          f"{err_naive:.3e} -> {err_final:.3e} "
+          f"({err_naive / err_final:.1f}x better)")
+    hit = system.meta["outlier_rows"]
+    w_final = update_weights(residuals(system, x0))
+    print(f"mean final weight on the injected outliers: "
+          f"{np.mean(w_final[hit]):.3f} (clean rows: "
+          f"{np.mean(np.delete(w_final, hit)):.3f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""One full AVU-GSR pipeline cycle (Fig. 1 of the paper).
+
+Preprocess (synthetic scan catalog) -> system generation from the scan
+geometry -> preconditioned LSQR solve -> de-rotation against the
+AGIS-like reference -> residual statistics -> robust weight update.
+
+Run:  python examples/pipeline_cycle.py
+"""
+
+import numpy as np
+
+from repro.core.variance import to_microarcsec
+from repro.pipeline import AvuGsrPipeline, SolverModule
+
+
+def main() -> None:
+    pipeline = AvuGsrPipeline(
+        n_stars=60,
+        obs_per_star=40,
+        n_deg_freedom_att=16,
+        n_instr_params=36,
+        noise_sigma=1e-9,
+        seed=11,
+        solver=SolverModule(atol=1e-8, btol=1e-8, checkpoint_every=100),
+    )
+    result = pipeline.run()
+
+    out = result.solver_output
+    print("Solver module:")
+    print(f"  {out.result.istop.name} after {out.result.itn} iterations "
+          f"(cond ~ {out.result.acond:.1e})")
+    for itn, r2 in out.checkpoints[:5]:
+        print(f"  checkpoint itn={itn:>5}  |r| = {r2:.4e}")
+
+    rot = result.rotation
+    print("\nDe-rotation against the AGIS-like reference:")
+    print(f"  fitted orientation eps = {rot.epsilon} rad")
+    print(f"  fitted spin omega      = {rot.omega} rad/yr")
+    print(f"  positional rms: {to_microarcsec(rot.rms_before):.3f} -> "
+          f"{to_microarcsec(rot.rms_after):.3f} uas")
+
+    stats = result.stats
+    print("\nResidual statistics:")
+    print(f"  rms = {stats.rms:.3e}, reduced chi2 = "
+          f"{stats.reduced_chi2:.3f}, outliers = "
+          f"{stats.outlier_fraction:.2%}")
+    print("  binned residual rms over the mission timeline:")
+    for epoch, rms in zip(stats.binned_epochs, stats.binned_rms):
+        bar = "#" * int(50 * rms / max(stats.binned_rms.max(), 1e-300))
+        print(f"    t={epoch:+5.2f} yr  {rms:.3e}  {bar}")
+
+    print(f"\nWeight update for the next cycle: mean weight "
+          f"{np.mean(result.weights):.3f}, "
+          f"{np.mean(result.weights == 0):.2%} observations rejected")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""The full SSV-B performance-portability study (Figs. 3, 4, 5).
+
+Runs the 8-port x 5-platform x 3-size measurement matrix through the
+GPU execution model, prints the paper's figures as tables, and compares
+the headline P values against the published ones.
+
+Run:  python examples/portability_study.py
+"""
+
+from repro.gpu.device import Vendor
+from repro.portability import run_study
+from repro.portability.cascade import efficiency_cascade
+from repro.portability.report import (
+    format_cascade,
+    format_efficiency_table,
+    format_p_table,
+    format_time_table,
+)
+
+PAPER_AVG = {"HIP": 0.94, "SYCL+ACPP": 0.93, "PSTL+V": 0.62}
+
+
+def main() -> None:
+    study = run_study(seed=0)
+
+    for size in study.sizes:
+        platforms = study.platforms(size)
+        print("=" * 72)
+        print(f"problem size {size:g} GB -- platforms with enough "
+              f"memory: {', '.join(platforms)}")
+        print("=" * 72)
+        print(format_time_table(
+            study.times(size), platforms,
+            title="\nFig. 4: mean LSQR iteration time [s]"))
+        print(format_efficiency_table(
+            study.efficiencies(size), platforms,
+            title="\nFig. 5: application efficiency"))
+        eff = study.efficiencies(size)
+        cascades = [efficiency_cascade(p, eff[p], platforms)
+                    for p in study.port_keys]
+        print("\nFig. 3 cascade (efficiencies sorted, P at the end):")
+        print(format_cascade(cascades))
+        print(format_p_table(study.p_scores(size), title="\nP per port"))
+        print()
+
+    print("=" * 72)
+    print("Headline averages across sizes (paper -> measured)")
+    print("=" * 72)
+    for port, paper in PAPER_AVG.items():
+        measured = study.average_p(port)
+        print(f"  {port:<12} {paper:.2f} -> {measured:.3f}")
+    cuda_nv = study.average_p("CUDA", vendor=Vendor.NVIDIA)
+    print(f"  {'CUDA|NVIDIA':<12} 0.97 -> {cuda_nv:.3f}")
+    print(f"  {'CUDA (all)':<12} 0.00 -> "
+          f"{study.average_p('CUDA'):.3f}  (P = 0 by definition: "
+          "no AMD support)")
+
+
+if __name__ == "__main__":
+    main()

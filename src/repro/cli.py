@@ -1,0 +1,325 @@
+"""Command-line interface: ``repro-gaia``.
+
+Subcommands mirror the artifact's workflows:
+
+- ``generate`` -- write a synthetic dataset of a given size;
+- ``solve``    -- run the preconditioned LSQR on a dataset (or a
+  freshly generated one) and print the solve report;
+- ``study``    -- run the §V-B portability study on the modeled GPU
+  substrate and print the Fig. 3/4/5 tables;
+- ``validate`` -- run the §V-C correctness validation;
+- ``tune``     -- sweep kernel geometry for one port on one platform;
+- ``tables``   -- print Tables I-IV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.system import dims_from_gb, make_system, save_system
+
+    dims = dims_from_gb(args.size_gb)
+    print(dims.describe())
+    system = make_system(dims, seed=args.seed, noise_sigma=args.noise)
+    path = save_system(system, args.output)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.core import lsqr_solve, standard_errors
+    from repro.core.variance import to_microarcsec
+    from repro.system import load_system, make_system, dims_from_gb
+
+    if args.dataset:
+        system = load_system(args.dataset)
+    else:
+        system = make_system(dims_from_gb(args.size_gb), seed=args.seed,
+                             noise_sigma=args.noise)
+    res = lsqr_solve(system, atol=args.atol, btol=args.atol,
+                     iter_lim=args.iterations)
+    print(f"istop={res.istop.name} itn={res.itn} "
+          f"r2norm={res.r2norm:.3e} acond={res.acond:.3e}")
+    print(f"mean iteration time: {res.mean_iteration_time * 1e3:.3f} ms")
+    se = standard_errors(res)
+    astro = system.dims.section_slices()["astrometric"]
+    print(f"median astrometric standard error: "
+          f"{np.median(to_microarcsec(se[astro])):.4f} uas")
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from repro.gpu.device import Vendor
+    from repro.portability import run_study, write_csv, write_json
+    from repro.portability.report import (
+        format_efficiency_table,
+        format_p_table,
+        format_time_table,
+    )
+
+    study = run_study(sizes=tuple(args.sizes), seed=args.seed)
+    if args.csv:
+        print(f"wrote {write_csv(study, args.csv)}")
+    if args.json:
+        print(f"wrote {write_json(study, args.json)}")
+    for size in study.sizes:
+        plats = study.platforms(size)
+        print(f"\n===== problem size {size:g} GB "
+              f"(platforms: {', '.join(plats)}) =====")
+        print(format_time_table(study.times(size), plats,
+                                title="Fig. 4: mean iteration time [s]"))
+        print()
+        print(format_efficiency_table(
+            study.efficiencies(size), plats,
+            title="Fig. 5: application efficiency"))
+        print()
+        print(format_p_table(study.p_scores(size),
+                             title="Fig. 3: performance portability P"))
+    print("\nAverage P across sizes:")
+    for port in study.port_keys:
+        avg = study.average_p(port)
+        print(f"  {port:<12} {avg:.3f}")
+    print("NVIDIA-only average P (CUDA): "
+          f"{study.average_p('CUDA', vendor=Vendor.NVIDIA):.3f}")
+    print()
+    print(study.summary())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.system import SystemDims, make_system
+    from repro.validation import run_validation
+
+    dims = SystemDims(
+        n_stars=args.stars,
+        n_obs=args.stars * args.obs_per_star,
+        n_deg_freedom_att=max(8, args.stars // 2),
+        n_instr_params=max(12, args.stars),
+        n_glob_params=0,  # production validation runs have no global part
+    )
+    system = make_system(dims, seed=args.seed, noise_sigma=1e-9)
+    report = run_validation(system, dataset_label=f"{args.stars} stars")
+    print(report.summary())
+    return 0 if report.all_passed else 1
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.frameworks import port_by_key, tune_port
+    from repro.gpu.platforms import device_by_name
+    from repro.system.sizing import dims_from_gb
+
+    result = tune_port(port_by_key(args.port),
+                       device_by_name(args.device),
+                       dims_from_gb(args.size_gb))
+    print(f"{result.port_key} on {result.device_name}: "
+          f"best geometry = {result.best_block_size} threads/block, "
+          f"atomic grid cap = {result.best_atomic_cap} x SMs")
+    print(f"default {result.default_time:.4f} s -> tuned "
+          f"{result.best_time:.4f} s ({result.gain:.1%} reduction)")
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.frameworks import port_by_key, strong_scaling, weak_scaling
+    from repro.gpu.platforms import device_by_name
+
+    port = port_by_key(args.port)
+    device = device_by_name(args.device)
+    if args.mode == "weak":
+        curve = weak_scaling(port, device, per_gpu_gb=args.per_gpu_gb)
+    else:
+        curve = strong_scaling(port, device, total_gb=args.total_gb,
+                               gpu_counts=(1, 2, 4, 8, 16))
+    eff = curve.efficiency()
+    print(f"{args.mode} scaling of {port.key} on {device.name}:")
+    print(f"{'GPUs':>6}{'compute[s]':>12}{'comm[s]':>10}"
+          f"{'iter[s]':>10}{'efficiency':>12}")
+    for p in curve.points:
+        print(f"{p.n_gpus:>6}{p.compute_time:>12.4f}{p.comm_time:>10.5f}"
+              f"{p.iteration_time:>10.4f}{eff[p.n_gpus]:>12.3f}")
+    return 0
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    from repro.frameworks import port_by_key
+    from repro.gpu import energy_efficiency_table
+    from repro.gpu.platforms import ALL_DEVICES
+    from repro.system.sizing import dims_from_gb
+
+    table = energy_efficiency_table(
+        port_by_key(args.port), tuple(ALL_DEVICES),
+        dims_from_gb(args.size_gb), size_gb=args.size_gb,
+    )
+    print(f"Energy per iteration, {args.port}, {args.size_gb:g} GB "
+          "(TDP-bound model):")
+    for name, e in table.items():
+        print(f"  {name:<8} {e.board_power_w:4.0f} W  "
+              f"{e.iteration_time_s:8.4f} s  "
+              f"{e.joules_per_iteration:8.1f} J/iter  "
+              f"{e.iterations_per_kilojoule:6.2f} iter/kJ")
+    return 0
+
+
+def _cmd_divergence(args: argparse.Namespace) -> int:
+    from repro.frameworks.registry import ALL_PORTS
+    from repro.gpu.platforms import ALL_DEVICES
+    from repro.portability import navigation_chart, run_study
+
+    study = run_study(sizes=(args.size_gb,), seed=args.seed)
+    chart = navigation_chart(tuple(ALL_PORTS), tuple(ALL_DEVICES),
+                             study.p_scores(args.size_gb))
+    print("P3 navigation chart: P vs code divergence")
+    for pt in sorted(chart, key=lambda p: (-p.p, p.divergence)):
+        marker = "  <- portable & single-source" if pt.unicorn else ""
+        print(f"  {pt.port_key:<12} P={pt.p:5.3f}  "
+              f"divergence={pt.divergence:5.3f}{marker}")
+    return 0
+
+
+def _cmd_storage(args: argparse.Namespace) -> int:
+    from repro.system import mission_dims, storage_comparison
+    from repro.system.sizing import dims_from_gb
+
+    dims = mission_dims() if args.mission else dims_from_gb(args.size_gb)
+    print(storage_comparison(dims).summary())
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.solver_sim import solvergaia_sim
+
+    result = solvergaia_sim(
+        args.size_gb, args.framework, args.device,
+        seed=args.seed, n_iterations=args.iterations,
+    )
+    print(result.report())
+    return 0 if result.supported else 1
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.frameworks.registry import (
+        CLUSTER_GPU_TABLE,
+        COMPILE_FLAGS_AMD,
+        COMPILE_FLAGS_NVIDIA,
+        SOFTWARE_VERSIONS_NVIDIA,
+    )
+
+    print("Table I: software versions on NVIDIA architectures")
+    print(f"  {'component':<14}{'T4 & V100':<12}{'A100':<12}{'H100':<12}")
+    for name, versions in SOFTWARE_VERSIONS_NVIDIA.items():
+        print(f"  {name:<14}{versions[0]:<12}{versions[1]:<12}"
+              f"{versions[2]:<12}")
+    print("\nTable II: compilation flags on NVIDIA architectures")
+    for (fw, cc), flags in COMPILE_FLAGS_NVIDIA.items():
+        print(f"  {fw:<8}{cc:<10}{flags}")
+    print("\nTable III: compilation flags on AMD architecture")
+    for (fw, cc), flags in COMPILE_FLAGS_AMD.items():
+        print(f"  {fw:<8}{cc:<22}{flags}")
+    print("\nTable IV: cluster name to GPU model")
+    for cluster, gpu in CLUSTER_GPU_TABLE.items():
+        print(f"  {cluster:<14}{gpu}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-gaia`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-gaia",
+        description="Gaia AVU-GSR performance-portability reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="write a synthetic dataset")
+    g.add_argument("--size-gb", type=float, default=0.01)
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--noise", type=float, default=1e-9)
+    g.add_argument("--output", default="gaia_system.npz")
+    g.set_defaults(fn=_cmd_generate)
+
+    s = sub.add_parser("solve", help="run the preconditioned LSQR")
+    s.add_argument("--dataset", default=None)
+    s.add_argument("--size-gb", type=float, default=0.005)
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--noise", type=float, default=1e-9)
+    s.add_argument("--atol", type=float, default=1e-10)
+    s.add_argument("--iterations", type=int, default=None)
+    s.set_defaults(fn=_cmd_solve)
+
+    st = sub.add_parser("study", help="run the SS V-B portability study")
+    st.add_argument("--sizes", type=float, nargs="+",
+                    default=[10.0, 30.0, 60.0])
+    st.add_argument("--seed", type=int, default=0)
+    st.add_argument("--csv", default=None,
+                    help="also write the flat measurement table here")
+    st.add_argument("--json", default=None,
+                    help="also write the full result document here")
+    st.set_defaults(fn=_cmd_study)
+
+    sc = sub.add_parser("scaling",
+                        help="model multi-GPU weak/strong scaling")
+    sc.add_argument("--mode", choices=("weak", "strong"), default="weak")
+    sc.add_argument("--port", default="CUDA")
+    sc.add_argument("--device", default="A100")
+    sc.add_argument("--per-gpu-gb", type=float, default=10.0)
+    sc.add_argument("--total-gb", type=float, default=60.0)
+    sc.set_defaults(fn=_cmd_scaling)
+
+    v = sub.add_parser("validate", help="run the SS V-C validation")
+    v.add_argument("--stars", type=int, default=60)
+    v.add_argument("--obs-per-star", type=int, default=30)
+    v.add_argument("--seed", type=int, default=0)
+    v.set_defaults(fn=_cmd_validate)
+
+    t = sub.add_parser("tune", help="sweep kernel geometry for one port")
+    t.add_argument("--port", default="CUDA")
+    t.add_argument("--device", default="T4")
+    t.add_argument("--size-gb", type=float, default=10.0)
+    t.set_defaults(fn=_cmd_tune)
+
+    tb = sub.add_parser("tables", help="print Tables I-IV")
+    tb.set_defaults(fn=_cmd_tables)
+
+    en = sub.add_parser("energy", help="energy-per-iteration outlook")
+    en.add_argument("--port", default="HIP")
+    en.add_argument("--size-gb", type=float, default=10.0)
+    en.set_defaults(fn=_cmd_energy)
+
+    dv = sub.add_parser("divergence",
+                        help="P vs code-divergence navigation chart")
+    dv.add_argument("--size-gb", type=float, default=10.0)
+    dv.add_argument("--seed", type=int, default=0)
+    dv.set_defaults(fn=_cmd_divergence)
+
+    so = sub.add_parser("storage", help="storage-scheme comparison")
+    so.add_argument("--size-gb", type=float, default=10.0)
+    so.add_argument("--mission", action="store_true",
+                    help="use the real mission scale of SSIII-B")
+    so.set_defaults(fn=_cmd_storage)
+
+    sim = sub.add_parser(
+        "simulate",
+        help="the artifact's solvergaiaSim run for one framework/device",
+    )
+    sim.add_argument("--framework", default="HIP")
+    sim.add_argument("--device", default="H100")
+    sim.add_argument("--size-gb", type=float, default=10.0)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--iterations", type=int, default=100)
+    sim.set_defaults(fn=_cmd_simulate)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

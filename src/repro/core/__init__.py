@@ -1,0 +1,53 @@
+"""The AVU-GSR solver core: customized preconditioned LSQR.
+
+This is the paper's primary computational object (§III-B/§IV): an
+iterative LSQR solve whose cost is dominated by the two sparse
+matrix-vector products ``aprod1`` (``b += A x``) and ``aprod2``
+(``x += A^T b``), each implemented as four per-submatrix kernels.
+
+- :mod:`repro.core.kernels` -- gather/scatter kernels per submatrix,
+  each with several execution strategies (the Python analogue of the
+  paper's per-framework kernel implementations);
+- :mod:`repro.core.aprod` -- the ``aprod{1,2}`` dispatch layer and the
+  :class:`~repro.core.aprod.AprodOperator`;
+- :mod:`repro.core.precond` -- the column-scaling (Jacobi)
+  preconditioner of the customized LSQR;
+- :mod:`repro.core.lsqr` -- the Paige & Saunders iteration with
+  damping, stopping rules, timing hooks and variance accumulation;
+- :mod:`repro.core.variance` -- standard errors of the solution;
+- :mod:`repro.core.baseline` -- a textbook LSQR and a SciPy
+  cross-check used as comparators.
+"""
+
+from repro.core.aprod import AprodOperator, aprod1, aprod2
+from repro.core.lsqr import LSQRResult, StopReason, lsqr_solve
+from repro.core.precond import ColumnScaling
+from repro.core.baseline import scipy_reference, textbook_lsqr
+from repro.core.variance import standard_errors
+from repro.core.cgls import CGLSResult, cgls_solve
+from repro.core.convergence import (
+    ConvergenceHistory,
+    lsqr_solve_reorthogonalized,
+    orthogonality_drift,
+)
+from repro.core.checkpoint import LSQRState, ResumableLSQR
+
+__all__ = [
+    "AprodOperator",
+    "aprod1",
+    "aprod2",
+    "LSQRResult",
+    "StopReason",
+    "lsqr_solve",
+    "ColumnScaling",
+    "scipy_reference",
+    "textbook_lsqr",
+    "standard_errors",
+    "CGLSResult",
+    "cgls_solve",
+    "ConvergenceHistory",
+    "lsqr_solve_reorthogonalized",
+    "orthogonality_drift",
+    "LSQRState",
+    "ResumableLSQR",
+]

@@ -1,0 +1,207 @@
+"""The ``aprod1`` / ``aprod2`` dispatch layer.
+
+§III-B: the two most intensive computations of one LSQR iteration are
+
+- ``aprod1``:  ``b_hat = A @ x``          (Eq. 3)
+- ``aprod2``:  ``x_hat += A.T @ b_hat``   (Eq. 4)
+
+each executed as four per-submatrix kernels.  :class:`AprodOperator`
+binds a :class:`~repro.system.GaiaSystem` to a choice of kernel
+strategies, caches the reconstructed column indices, handles the
+constraint rows appended below the observation block, and optionally
+reports per-kernel work to a profiler hook (the Python analogue of
+running under ``nsys``/``rocprof``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.kernels import astro as k_astro
+from repro.core.kernels import att as k_att
+from repro.core.kernels import glob as k_glob
+from repro.core.kernels import instr as k_instr
+from repro.system.sparse import GaiaSystem
+
+#: Kernel names in submission order (aprod1 then aprod2, §IV streams).
+KERNEL_NAMES = (
+    "aprod1_astro", "aprod1_att", "aprod1_instr", "aprod1_glob",
+    "aprod2_astro", "aprod2_att", "aprod2_instr", "aprod2_glob",
+)
+
+#: Hook signature: (kernel_name, rows, nnz) -> None.
+KernelHook = Callable[[str, int, int], None]
+
+
+class AprodOperator:
+    """``A`` / ``A^T`` products for one system, with pluggable kernels.
+
+    Parameters
+    ----------
+    system:
+        The bound system.
+    gather_strategy:
+        Strategy for all ``aprod1`` kernels (see
+        :data:`~repro.core.kernels.GATHER_STRATEGIES`).
+    scatter_strategy:
+        Strategy for the colliding ``aprod2`` kernels (attitude and
+        instrumental; see
+        :data:`~repro.core.kernels.SCATTER_STRATEGIES`).
+    astro_scatter_strategy:
+        Strategy for the astrometric ``aprod2`` kernel; defaults to the
+        collision-free ``bincount`` reduction and accepts the
+        ``sorted`` fast path on star-sorted systems.
+    kernel_hook:
+        Optional callable invoked after each kernel with
+        ``(name, rows, nnz)``.
+    """
+
+    def __init__(
+        self,
+        system: GaiaSystem,
+        *,
+        gather_strategy: str = "vectorized",
+        scatter_strategy: str = "bincount",
+        astro_scatter_strategy: str = "bincount",
+        kernel_hook: KernelHook | None = None,
+    ) -> None:
+        self.system = system
+        self.gather_strategy = gather_strategy
+        self.scatter_strategy = scatter_strategy
+        self.astro_scatter_strategy = astro_scatter_strategy
+        self.kernel_hook = kernel_hook
+
+        d = system.dims
+        # Column caches: rebuilt once, reused every iteration (the GPU
+        # ports keep the index arrays device-resident for the same
+        # reason).
+        self._astro_cols = k_astro.columns(system.matrix_index_astro)
+        self._att_cols = k_att.columns(
+            system.matrix_index_att, d.att_stride, d.att_offset
+        )
+        self._instr_cols = k_instr.columns(system.instr_col, d.instr_offset)
+        self._glob_col = d.glob_offset if d.n_glob_params else -1
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(rows including constraints, unknowns)."""
+        return (self.system.n_rows, self.system.dims.n_params)
+
+    def _emit(self, name: str, rows: int, nnz: int) -> None:
+        if self.kernel_hook is not None:
+            self.kernel_hook(name, rows, nnz)
+
+    # ------------------------------------------------------------------
+    def aprod1(self, x: np.ndarray, out: np.ndarray | None = None
+               ) -> np.ndarray:
+        """``out += A @ x`` over observation and constraint rows.
+
+        Returns the (n_rows,) accumulator; allocates it when ``out`` is
+        None.
+        """
+        sysm = self.system
+        d = sysm.dims
+        if x.shape != (d.n_params,):
+            raise ValueError(
+                f"x has shape {x.shape}, expected ({d.n_params},)"
+            )
+        if out is None:
+            out = np.zeros(sysm.n_rows)
+        elif out.shape != (sysm.n_rows,):
+            raise ValueError(
+                f"out has shape {out.shape}, expected ({sysm.n_rows},)"
+            )
+        obs = out[: d.n_obs]
+        k_astro.aprod1_astro(sysm.astro_values, self._astro_cols, x, obs,
+                             strategy=self.gather_strategy)
+        self._emit("aprod1_astro", d.n_obs, d.n_obs * 5)
+        k_att.aprod1_att(sysm.att_values, self._att_cols, x, obs,
+                         strategy=self.gather_strategy)
+        self._emit("aprod1_att", d.n_obs, d.n_obs * 12)
+        k_instr.aprod1_instr(sysm.instr_values, self._instr_cols, x, obs,
+                             strategy=self.gather_strategy)
+        self._emit("aprod1_instr", d.n_obs, d.n_obs * 6)
+        if d.n_glob_params:
+            k_glob.aprod1_glob(sysm.glob_values, self._glob_col, x, obs)
+            self._emit("aprod1_glob", d.n_obs, d.n_obs)
+        if sysm.constraints is not None and len(sysm.constraints):
+            out[d.n_obs:] += sysm.constraints.apply_forward(x)
+        return out
+
+    def aprod2(self, y: np.ndarray, out: np.ndarray | None = None
+               ) -> np.ndarray:
+        """``out += A.T @ y`` over observation and constraint rows.
+
+        Returns the (n_params,) accumulator; allocates it when ``out``
+        is None.
+        """
+        sysm = self.system
+        d = sysm.dims
+        if y.shape != (sysm.n_rows,):
+            raise ValueError(
+                f"y has shape {y.shape}, expected ({sysm.n_rows},)"
+            )
+        if out is None:
+            out = np.zeros(d.n_params)
+        elif out.shape != (d.n_params,):
+            raise ValueError(
+                f"out has shape {out.shape}, expected ({d.n_params},)"
+            )
+        obs_y = y[: d.n_obs]
+        k_astro.aprod2_astro(sysm.astro_values, self._astro_cols, obs_y, out,
+                             strategy=self.astro_scatter_strategy)
+        self._emit("aprod2_astro", d.n_obs, d.n_obs * 5)
+        k_att.aprod2_att(sysm.att_values, self._att_cols, obs_y, out,
+                         strategy=self.scatter_strategy)
+        self._emit("aprod2_att", d.n_obs, d.n_obs * 12)
+        k_instr.aprod2_instr(sysm.instr_values, self._instr_cols, obs_y, out,
+                             strategy=self.scatter_strategy)
+        self._emit("aprod2_instr", d.n_obs, d.n_obs * 6)
+        if d.n_glob_params:
+            k_glob.aprod2_glob(sysm.glob_values, self._glob_col, obs_y, out)
+            self._emit("aprod2_glob", d.n_obs, d.n_obs)
+        if sysm.constraints is not None and len(sysm.constraints):
+            sysm.constraints.apply_transpose(y[d.n_obs:], out)
+        return out
+
+    # ------------------------------------------------------------------
+    def column_sq_norms(self) -> np.ndarray:
+        """Squared column norms of ``A`` (observations + constraints)."""
+        from repro.core.kernels.gather_scatter import column_sq_norms
+
+        sysm = self.system
+        d = sysm.dims
+        out = np.zeros(d.n_params)
+        column_sq_norms(sysm.astro_values, self._astro_cols, out)
+        column_sq_norms(sysm.att_values, self._att_cols, out)
+        column_sq_norms(sysm.instr_values, self._instr_cols, out)
+        if d.n_glob_params:
+            out[self._glob_col] += float(np.sum(sysm.glob_values[:, 0] ** 2))
+        if sysm.constraints is not None:
+            for r in sysm.constraints:
+                out[r.cols] += r.vals**2
+        return out
+
+    def as_linear_operator(self):
+        """SciPy ``LinearOperator`` view (for cross-checks)."""
+        from scipy.sparse.linalg import LinearOperator
+
+        return LinearOperator(
+            shape=self.shape,
+            matvec=lambda x: self.aprod1(np.asarray(x, dtype=np.float64)),
+            rmatvec=lambda y: self.aprod2(np.asarray(y, dtype=np.float64)),
+            dtype=np.float64,
+        )
+
+
+def aprod1(system: GaiaSystem, x: np.ndarray) -> np.ndarray:
+    """One-shot ``A @ x`` (builds a transient operator)."""
+    return AprodOperator(system).aprod1(x)
+
+
+def aprod2(system: GaiaSystem, y: np.ndarray) -> np.ndarray:
+    """One-shot ``A.T @ y`` (builds a transient operator)."""
+    return AprodOperator(system).aprod2(y)

@@ -1,0 +1,76 @@
+"""Astrometric submatrix kernels (``aprod{1,2}_Kernel_astro``).
+
+The astrometric block is block-diagonal: the five coefficients of each
+row land in the five columns of the observed star, and rows of
+distinct stars never collide.  ``aprod2`` can therefore avoid atomics
+entirely -- the paper singles this out in §IV ("with the exception of
+the astrometric parameters due to their block diagonal structure").
+The ``sorted`` strategy below is that fast path: with rows sorted by
+star (the production layout) a segment reduction replaces the scatter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernels.gather_scatter import gather_dot, scatter_add
+from repro.system.structure import ASTRO_PARAMS_PER_STAR
+
+#: aprod2 strategies accepted by :func:`aprod2_astro`.
+ASTRO_SCATTER_STRATEGIES = ("atomic", "bincount", "sorted", "loop")
+
+
+def columns(matrix_index_astro: np.ndarray) -> np.ndarray:
+    """Global columns of the five astrometric coefficients, ``(m, 5)``."""
+    return matrix_index_astro[:, None] + np.arange(ASTRO_PARAMS_PER_STAR)
+
+
+def aprod1_astro(
+    values: np.ndarray,
+    cols: np.ndarray,
+    x: np.ndarray,
+    out: np.ndarray,
+    *,
+    strategy: str = "vectorized",
+) -> None:
+    """``out[i] += A_astro[i, :] @ x`` (row-parallel gather-dot)."""
+    gather_dot(values, cols, x, out, strategy=strategy)
+
+
+def aprod2_astro(
+    values: np.ndarray,
+    cols: np.ndarray,
+    y: np.ndarray,
+    out: np.ndarray,
+    *,
+    strategy: str = "bincount",
+) -> None:
+    """``out += A_astro.T @ y`` exploiting the block-diagonal structure.
+
+    ``strategy="sorted"`` requires ``cols`` (equivalently the star ids)
+    to be non-decreasing; it then reduces each star's contiguous row
+    segment with ``np.add.reduceat`` and writes each star's five
+    parameters exactly once -- the collision-free production fast path.
+    """
+    if strategy == "sorted":
+        start_cols = cols[:, 0]
+        if start_cols.size == 0:
+            return
+        if np.any(np.diff(start_cols) < 0):
+            raise ValueError(
+                "strategy 'sorted' requires star-sorted rows; "
+                "use 'bincount' or 'atomic' for shuffled layouts"
+            )
+        boundaries = np.concatenate(
+            [[0], np.flatnonzero(np.diff(start_cols)) + 1]
+        )
+        contrib = values * y[:, None]  # (m, 5)
+        sums = np.add.reduceat(contrib, boundaries, axis=0)  # (n_seg, 5)
+        seg_cols = start_cols[boundaries]  # first column of each segment
+        target = seg_cols[:, None] + np.arange(ASTRO_PARAMS_PER_STAR)
+        # Distinct stars -> distinct targets: plain fancy-index add is
+        # safe only if each star appears in one segment, which the sort
+        # guarantees.
+        out[target.ravel()] += sums.ravel()
+    else:
+        scatter_add(values, cols, y, out, strategy=strategy)

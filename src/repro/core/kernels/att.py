@@ -1,0 +1,55 @@
+"""Attitude submatrix kernels (``aprod{1,2}_Kernel_att``).
+
+Each row carries 12 coefficients in three blocks of four, one block
+per attitude axis, separated by the ``att_stride`` of the system
+(§III-B).  Only the first coefficient's section-local column is
+stored (``matrixIndexAtt``); the kernel reconstructs the remaining
+eleven columns from the stride pattern.  ``aprod2`` updates collide
+whenever two observations share spline support, so the scatter
+strategies matter here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernels.gather_scatter import gather_dot, scatter_add
+from repro.system.structure import ATT_AXES, ATT_BLOCK_SIZE, ATT_PARAMS_PER_ROW
+
+
+def columns(
+    matrix_index_att: np.ndarray, att_stride: int, att_offset: int
+) -> np.ndarray:
+    """Global columns of the 12 attitude coefficients, ``(m, 12)``.
+
+    Axis ``a`` block ``j`` lands at section-local column
+    ``matrix_index_att + a * att_stride + j``.
+    """
+    axis_off = (np.arange(ATT_AXES) * att_stride)[:, None]
+    block_off = np.arange(ATT_BLOCK_SIZE)[None, :]
+    pattern = (axis_off + block_off).reshape(1, ATT_PARAMS_PER_ROW)
+    return matrix_index_att[:, None] + pattern + att_offset
+
+
+def aprod1_att(
+    values: np.ndarray,
+    cols: np.ndarray,
+    x: np.ndarray,
+    out: np.ndarray,
+    *,
+    strategy: str = "vectorized",
+) -> None:
+    """``out[i] += A_att[i, :] @ x`` (row-parallel gather-dot)."""
+    gather_dot(values, cols, x, out, strategy=strategy)
+
+
+def aprod2_att(
+    values: np.ndarray,
+    cols: np.ndarray,
+    y: np.ndarray,
+    out: np.ndarray,
+    *,
+    strategy: str = "bincount",
+) -> None:
+    """``out += A_att.T @ y`` (colliding scatter-add)."""
+    scatter_add(values, cols, y, out, strategy=strategy)

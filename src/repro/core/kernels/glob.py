@@ -1,0 +1,54 @@
+"""Global submatrix kernels (``aprod{1,2}_Kernel_glob``).
+
+At most one non-zero per row, always in the single global (PPN-gamma)
+column.  ``aprod2`` degenerates to one dot product: every row collides
+on the same column, which is also why a naive atomic implementation of
+this kernel has the worst contention of the four -- the ``reduce``
+strategy is the tree-reduction the tuned GPU ports use instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: aprod2 strategies accepted by :func:`aprod2_glob`.
+GLOB_SCATTER_STRATEGIES = ("reduce", "atomic", "loop")
+
+
+def aprod1_glob(
+    values: np.ndarray,
+    glob_col: int,
+    x: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    """``out[i] += values[i, 0] * x[glob_col]`` (broadcast multiply)."""
+    if values.shape[1] == 0:
+        return
+    out += values[:, 0] * x[glob_col]
+
+
+def aprod2_glob(
+    values: np.ndarray,
+    glob_col: int,
+    y: np.ndarray,
+    out: np.ndarray,
+    *,
+    strategy: str = "reduce",
+) -> None:
+    """``out[glob_col] += values[:, 0] @ y`` (full-column reduction)."""
+    if values.shape[1] == 0:
+        return
+    if strategy == "reduce":
+        out[glob_col] += float(np.dot(values[:, 0], y))
+    elif strategy == "atomic":
+        np.add.at(out, np.full(values.shape[0], glob_col), values[:, 0] * y)
+    elif strategy == "loop":
+        acc = 0.0
+        for i in range(values.shape[0]):
+            acc += values[i, 0] * y[i]
+        out[glob_col] += acc
+    else:
+        raise ValueError(
+            f"unknown glob scatter strategy {strategy!r}; "
+            f"expected one of {GLOB_SCATTER_STRATEGIES}"
+        )

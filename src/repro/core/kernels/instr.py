@@ -1,0 +1,43 @@
+"""Instrumental submatrix kernels (``aprod{1,2}_Kernel_instr``).
+
+The instrumental pattern is irregular (§III-B): the six section-local
+columns of every row are stored explicitly in ``instrCol``.  This is
+the submatrix with the least predictable collision pattern in
+``aprod2`` and the reason the production code shrinks the grid in the
+atomic regions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernels.gather_scatter import gather_dot, scatter_add
+
+
+def columns(instr_col: np.ndarray, instr_offset: int) -> np.ndarray:
+    """Global columns of the six instrumental coefficients, ``(m, 6)``."""
+    return instr_col.astype(np.int64) + instr_offset
+
+
+def aprod1_instr(
+    values: np.ndarray,
+    cols: np.ndarray,
+    x: np.ndarray,
+    out: np.ndarray,
+    *,
+    strategy: str = "vectorized",
+) -> None:
+    """``out[i] += A_instr[i, :] @ x`` (row-parallel gather-dot)."""
+    gather_dot(values, cols, x, out, strategy=strategy)
+
+
+def aprod2_instr(
+    values: np.ndarray,
+    cols: np.ndarray,
+    y: np.ndarray,
+    out: np.ndarray,
+    *,
+    strategy: str = "bincount",
+) -> None:
+    """``out += A_instr.T @ y`` (colliding scatter-add)."""
+    scatter_add(values, cols, y, out, strategy=strategy)

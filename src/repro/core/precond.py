@@ -1,0 +1,97 @@
+"""Column-scaling (Jacobi) preconditioner of the customized LSQR.
+
+The AVU-GSR solver runs a *preconditioned* LSQR (§III-B): the columns
+of ``A`` are normalized to unit 2-norm, i.e. the solver iterates on
+``A D`` with ``D = diag(1 / ||a_j||)`` and maps the result back with
+``x = D z``.  This equilibration is what makes the astrometric,
+attitude, instrumental and global sections -- whose natural scales
+differ by orders of magnitude -- converge together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.aprod import AprodOperator
+
+
+@dataclass(frozen=True)
+class ColumnScaling:
+    """Diagonal right-preconditioner ``D`` with entries ``1/||a_j||``.
+
+    Attributes
+    ----------
+    scale:
+        ``(n_params,)`` diagonal of ``D``.  Columns whose norm is zero
+        (possible only in degenerate synthetic systems) get scale 1 so
+        they stay untouched.
+    """
+
+    scale: np.ndarray
+
+    @classmethod
+    def from_operator(cls, op: AprodOperator) -> "ColumnScaling":
+        """Build from the squared column norms of the bound system."""
+        sq = op.column_sq_norms()
+        if np.any(sq < 0) or not np.all(np.isfinite(sq)):
+            raise ValueError("column norms must be finite and non-negative")
+        norms = np.sqrt(sq)
+        scale = np.where(norms > 0, 1.0 / np.where(norms > 0, norms, 1.0),
+                         1.0)
+        return cls(scale=scale)
+
+    @classmethod
+    def identity(cls, n_params: int) -> "ColumnScaling":
+        """No-op preconditioner (used by the unpreconditioned baseline)."""
+        return cls(scale=np.ones(n_params))
+
+    def to_preconditioned(self, x: np.ndarray) -> np.ndarray:
+        """Map unknowns ``x`` to preconditioned unknowns ``z = D^-1 x``."""
+        return x / self.scale
+
+    def to_physical(self, z: np.ndarray) -> np.ndarray:
+        """Map preconditioned unknowns ``z`` back to ``x = D z``."""
+        return z * self.scale
+
+    def scale_variance(self, var_z: np.ndarray) -> np.ndarray:
+        """Map variance estimates of ``z`` to variances of ``x = D z``."""
+        return var_z * self.scale**2
+
+
+class PreconditionedAprod:
+    """``(A D)`` products built from an :class:`AprodOperator` and ``D``.
+
+    The wrapped products are what the LSQR bidiagonalization sees;
+    callers convert the converged ``z`` back with
+    :meth:`ColumnScaling.to_physical`.
+    """
+
+    def __init__(self, op: AprodOperator, scaling: ColumnScaling) -> None:
+        if scaling.scale.shape != (op.shape[1],):
+            raise ValueError(
+                f"scaling has {scaling.scale.shape[0]} entries, "
+                f"operator has {op.shape[1]} columns"
+            )
+        self.op = op
+        self.scaling = scaling
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.op.shape
+
+    def aprod1(self, z: np.ndarray, out: np.ndarray | None = None
+               ) -> np.ndarray:
+        """``out += (A D) z``."""
+        return self.op.aprod1(z * self.scaling.scale, out=out)
+
+    def aprod2(self, y: np.ndarray, out: np.ndarray | None = None
+               ) -> np.ndarray:
+        """``out += (A D).T y``."""
+        tmp = self.op.aprod2(y)
+        tmp *= self.scaling.scale
+        if out is None:
+            return tmp
+        out += tmp
+        return out

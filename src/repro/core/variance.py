@@ -1,0 +1,49 @@
+"""Standard errors of the LSQR solution.
+
+The Gaia requirement is parameter accuracies of 10-100 micro-arcseconds
+(§III-A); the validation of §V-C compares both the solution *and its
+standard error* against the production code.  LSQR's ``var`` output
+estimates ``diag((A^T A)^-1)`` (Paige & Saunders 1982b); scaled by the
+residual variance it yields the familiar least-squares standard
+errors:
+
+``se_j = sqrt( var_j * ||r||^2 / (m - n) )``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.lsqr import LSQRResult
+
+#: One micro-arcsecond in radians, the unit of the Gaia accuracy goal.
+MICROARCSEC_RAD = np.pi / 180.0 / 3600.0 / 1e6
+
+
+def residual_variance(result: LSQRResult) -> float:
+    """Unbiased residual variance ``||r||^2 / (m - n)`` of a solve."""
+    dof = result.m - result.n
+    if dof <= 0:
+        raise ValueError(
+            f"system is not overdetermined: m={result.m}, n={result.n}"
+        )
+    return result.r2norm**2 / dof
+
+
+def standard_errors(result: LSQRResult) -> np.ndarray:
+    """Standard errors of every unknown, ``(n_params,)``.
+
+    Requires the solve to have been run with ``calc_var=True``.
+    """
+    if result.var is None:
+        raise ValueError(
+            "standard errors need the var estimate; rerun lsqr_solve "
+            "with calc_var=True"
+        )
+    s2 = residual_variance(result)
+    return np.sqrt(np.maximum(result.var, 0.0) * s2)
+
+
+def to_microarcsec(values_rad: np.ndarray) -> np.ndarray:
+    """Convert radians to micro-arcseconds."""
+    return np.asarray(values_rad) / MICROARCSEC_RAD

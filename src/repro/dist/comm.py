@@ -1,0 +1,189 @@
+"""In-process SPMD communicator with mpi4py calling conventions.
+
+:class:`CollectiveBus` launches one Python thread per rank and gives
+each a :class:`SimComm`.  Collectives synchronize on barriers and
+combine contributions **in rank order**, so every run is
+deterministic; point-to-point messages go through per-edge queues.
+This is the closest offline equivalent of the production solver's MPI
+layer: the same call sites, the same reduction semantics, no network.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+#: Supported reduction operators.
+REDUCE_OPS = ("sum", "max", "min")
+
+
+def _combine(values: Sequence[Any], op: str) -> Any:
+    if op not in REDUCE_OPS:
+        raise ValueError(f"unknown op {op!r}; expected one of {REDUCE_OPS}")
+    if isinstance(values[0], np.ndarray):
+        stack = np.stack(values)
+        if op == "sum":
+            # Rank-ordered pairwise-free summation: deterministic.
+            out = stack[0].copy()
+            for v in stack[1:]:
+                out += v
+            return out
+        return stack.max(axis=0) if op == "max" else stack.min(axis=0)
+    if op == "sum":
+        total = values[0]
+        for v in values[1:]:
+            total = total + v
+        return total
+    return max(values) if op == "max" else min(values)
+
+
+def _privatize(obj: Any) -> Any:
+    """Copy mutable array payloads so each rank owns its result."""
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, list):
+        return [_privatize(v) for v in obj]
+    if isinstance(obj, tuple):
+        return tuple(_privatize(v) for v in obj)
+    return obj
+
+
+class CollectiveBus:
+    """Shared synchronization state for one SPMD execution."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self.size = size
+        self._barrier = threading.Barrier(size)
+        self._slots: list[Any] = [None] * size
+        self._result: Any = None
+        self._mailboxes: dict[tuple[int, int, int], queue.Queue] = {}
+        self._mail_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def exchange(self, rank: int, value: Any,
+                 combine: Callable[[list[Any]], Any]) -> Any:
+        """Deposit ``value``, synchronize, return ``combine(all values)``.
+
+        Each rank receives a *private copy* of array results: the
+        combined object must never be shared between rank threads, or
+        one rank's in-place update (``v *= -beta`` in the solver) would
+        corrupt every other rank's replica -- the in-process equivalent
+        of writing into an MPI receive buffer you do not own.
+        """
+        self._slots[rank] = value
+        if self._barrier.wait() == 0:
+            self._result = combine(list(self._slots))
+        self._barrier.wait()
+        result = _privatize(self._result)
+        self._barrier.wait()  # everyone read before slots are reused
+        return result
+
+    def mailbox(self, src: int, dst: int, tag: int) -> queue.Queue:
+        """The (src, dst, tag) point-to-point channel."""
+        key = (src, dst, tag)
+        with self._mail_lock:
+            if key not in self._mailboxes:
+                self._mailboxes[key] = queue.Queue()
+            return self._mailboxes[key]
+
+    # ------------------------------------------------------------------
+    def run(self, fn: Callable[..., Any], *args: Any) -> list[Any]:
+        """Execute ``fn(comm, *args)`` on every rank; return results.
+
+        The first exception raised by any rank is re-raised after all
+        threads finish (aborting the barrier so nobody deadlocks).
+        """
+        results: list[Any] = [None] * self.size
+        errors: list[BaseException] = []
+
+        def body(rank: int) -> None:
+            try:
+                results[rank] = fn(SimComm(self, rank), *args)
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+                self._barrier.abort()
+
+        threads = [
+            threading.Thread(target=body, args=(rank,), name=f"rank{rank}")
+            for rank in range(self.size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+        return results
+
+
+class SimComm:
+    """One rank's view of the bus (the mpi4py-like handle)."""
+
+    def __init__(self, bus: CollectiveBus, rank: int) -> None:
+        if not 0 <= rank < bus.size:
+            raise ValueError(f"rank {rank} out of range [0, {bus.size})")
+        self.bus = bus
+        self.rank = rank
+        self.size = bus.size
+
+    # -- mpi4py-style accessors ----------------------------------------
+    def Get_rank(self) -> int:
+        """This rank's index."""
+        return self.rank
+
+    def Get_size(self) -> int:
+        """Number of ranks."""
+        return self.size
+
+    # -- collectives ----------------------------------------------------
+    def barrier(self) -> None:
+        """Synchronize all ranks."""
+        self.bus.exchange(self.rank, None, lambda _: None)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root`` to every rank."""
+        return self.bus.exchange(self.rank, obj, lambda vals: vals[root])
+
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        """Reduce ``value`` across ranks with ``op``; result everywhere.
+
+        Array contributions are combined in rank order, making the
+        result deterministic run to run.
+        """
+        return self.bus.exchange(self.rank, value,
+                                 lambda vals: _combine(vals, op))
+
+    def allgather(self, value: Any) -> list[Any]:
+        """Gather every rank's ``value`` to every rank (rank order)."""
+        return self.bus.exchange(self.rank, value, list)
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        """Gather to ``root``; other ranks receive None."""
+        gathered = self.allgather(value)
+        return gathered if self.rank == root else None
+
+    def scatter(self, values: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter one entry per rank from ``root``."""
+        def pick(slots: list[Any]) -> list[Any]:
+            payload = slots[root]
+            if payload is None or len(payload) != self.size:
+                raise ValueError(
+                    "scatter needs one value per rank at the root"
+                )
+            return list(payload)
+
+        return self.bus.exchange(self.rank, values, pick)[self.rank]
+
+    # -- point-to-point ---------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send ``obj`` to ``dest`` (buffered, non-blocking semantics)."""
+        self.bus.mailbox(self.rank, dest, tag).put(obj)
+
+    def recv(self, source: int, tag: int = 0, timeout: float = 30.0) -> Any:
+        """Receive from ``source`` (blocking, with a deadlock guard)."""
+        return self.bus.mailbox(source, self.rank, tag).get(timeout=timeout)

@@ -1,0 +1,150 @@
+"""Port model: what a framework+compiler combination can do.
+
+A :class:`Port` encodes, per vendor, the properties §IV/§V identify as
+performance-deciding:
+
+- whether the toolchain targets the vendor at all (CUDA cannot target
+  AMD, which is why its all-platform P is 0 by definition);
+- the kernel-geometry policy: hand-tuned per device (CUDA/HIP/SYCL),
+  left to the compiler default (OpenMP on NVIDIA), or pinned to the
+  256 threads/block the profiler reports for PSTL;
+- FP64 atomic codegen: native read-modify-write when the toolchain
+  honours ``-munsafe-fp-atomics`` (or targets NVIDIA), otherwise a
+  compare-and-swap loop;
+- a multiplicative runtime-abstraction overhead;
+- whether the port overlaps the aprod2 kernels on streams;
+- sensitivity to near-capacity device-memory pressure;
+- a sparse table of calibrated residual factors reproducing
+  platform-and-size-specific observations of §V-B that the structural
+  terms above do not generate on their own (each entry is annotated in
+  :mod:`repro.frameworks.registry`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.gpu.atomics import AtomicMode
+from repro.gpu.device import DeviceSpec, Vendor
+from repro.gpu.kernel import (
+    LaunchConfig,
+    default_geometry,
+    grid_for,
+    tuned_geometry,
+)
+
+
+class UnsupportedPlatform(RuntimeError):
+    """The port's toolchain cannot target this device's vendor."""
+
+
+class GeometryPolicy(enum.Enum):
+    """How a port chooses kernel launch geometry on a vendor."""
+
+    TUNED = "tuned"              # hand-tuned per device (§IV)
+    COMPILER_DEFAULT = "default"  # whatever the toolchain picks
+    FIXED_256 = "fixed-256"       # PSTL: no geometry control (§V-B)
+
+
+@dataclass(frozen=True)
+class VendorSupport:
+    """One port's behaviour on one vendor's devices."""
+
+    compiler: str
+    geometry: GeometryPolicy
+    rmw_atomics: bool
+    overhead: float
+    unsafe_fp_atomics_flag: bool = False
+
+    def __post_init__(self) -> None:
+        if self.overhead < 1.0:
+            raise ValueError(f"overhead must be >= 1, got {self.overhead}")
+
+
+@dataclass(frozen=True)
+class Port:
+    """A framework+compiler combination of the study."""
+
+    key: str
+    framework: str
+    support: dict[Vendor, VendorSupport]
+    uses_streams: bool = True
+    pressure_sensitivity: float = 0.5
+    residuals: dict[tuple[str, int | None], float] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if not self.support:
+            raise ValueError(f"port {self.key!r} supports no vendor")
+        if self.pressure_sensitivity < 0:
+            raise ValueError("pressure_sensitivity must be >= 0")
+        for factor in self.residuals.values():
+            if factor <= 0:
+                raise ValueError("residual factors must be positive")
+
+    # ------------------------------------------------------------------
+    def supports(self, device: DeviceSpec) -> bool:
+        """True when the port's toolchain targets ``device``."""
+        return device.vendor in self.support
+
+    def vendor_support(self, device: DeviceSpec) -> VendorSupport:
+        """The port's behaviour record on ``device``; raise if absent."""
+        try:
+            return self.support[device.vendor]
+        except KeyError:
+            raise UnsupportedPlatform(
+                f"{self.key} cannot target {device.name} "
+                f"({device.vendor.value})"
+            ) from None
+
+    def compiler(self, device: DeviceSpec) -> str:
+        """Toolchain used on ``device``."""
+        return self.vendor_support(device).compiler
+
+    def atomic_mode(self, device: DeviceSpec) -> AtomicMode:
+        """FP64 atomic codegen on ``device``."""
+        return (
+            AtomicMode.RMW
+            if self.vendor_support(device).rmw_atomics
+            else AtomicMode.CAS_LOOP
+        )
+
+    def overhead(self, device: DeviceSpec) -> float:
+        """Runtime abstraction cost (multiplicative, >= 1)."""
+        return self.vendor_support(device).overhead
+
+    def geometry(
+        self,
+        device: DeviceSpec,
+        n_work: int,
+        *,
+        atomic_region: bool = False,
+        tuned: bool = True,
+    ) -> LaunchConfig:
+        """Launch geometry the port uses on ``device``.
+
+        ``tuned=False`` forces the compiler-default geometry even for
+        tunable ports (the ablation of §V-B's "up to 40%" claim).
+        """
+        policy = self.vendor_support(device).geometry
+        if policy is GeometryPolicy.FIXED_256:
+            return grid_for(n_work, 256)
+        if policy is GeometryPolicy.COMPILER_DEFAULT or not tuned:
+            return default_geometry(device, n_work)
+        return tuned_geometry(device, n_work, atomic_region=atomic_region)
+
+    def residual(self, device: DeviceSpec, size_gb: float | None) -> float:
+        """Calibrated residual factor for (device, problem size).
+
+        Size-specific entries are keyed by the integer GB label; a
+        ``None``-sized entry applies at every size.  Factors multiply.
+        """
+        factor = self.residuals.get((device.name, None), 1.0)
+        if size_gb is not None:
+            factor *= self.residuals.get((device.name, int(size_gb)), 1.0)
+        return factor
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.key

@@ -1,0 +1,38 @@
+"""The CUDA port (§IV-a) -- the production language and NVIDIA baseline.
+
+Host variables are pinned (``cudaHostMalloc``), device data lives in
+``cudaMalloc`` allocations copied once before the iteration loop with
+``cudaMemcpyAsync``, the aprod2 kernels overlap on CUDA streams, and
+the kernel geometry is hand-tuned per device.  CUDA cannot target AMD
+GPUs, so its all-platform P is 0 by definition (§V-B); on the NVIDIA
+subset it is the efficiency yardstick every other port is measured
+against.
+
+Two variants exist in the paper: the *optimized* port (this one) and
+the *production* code it descends from; §V-B reports a 2.0x speed-up
+of the former over the latter on Leonardo.  The production variant is
+modeled by :func:`repro.frameworks.executor.model_iteration` with
+``variant="production"`` (compiler-default geometry, no stream
+overlap, no atomic-region grid capping).
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.base import GeometryPolicy, Port, VendorSupport
+from repro.gpu.device import Vendor
+
+CUDA = Port(
+    key="CUDA",
+    framework="CUDA",
+    support={
+        Vendor.NVIDIA: VendorSupport(
+            compiler="nvcc",
+            geometry=GeometryPolicy.TUNED,
+            rmw_atomics=True,
+            overhead=1.0,
+        ),
+    },
+    uses_streams=True,
+    pressure_sensitivity=0.5,
+    residuals={},
+)

@@ -1,0 +1,46 @@
+"""The C++26 executors outlook (§V-B / §VI future work).
+
+The paper closes with: "The C++26 proposal aims to include executors
+in the STL.  This feature will potentially allow to set explicit
+kernel parameters and, hence, reduce the observed performance gap
+among the platforms" for the tuning-oblivious PSTL ports.
+
+:data:`PSTL_EXECUTORS` is that hypothetical port: identical to
+``PSTL+V`` in every respect (compilers, overheads, atomics) *except*
+that the executor interface grants per-device kernel geometry -- the
+single capability whose absence the paper blames for PSTL's 0.62.
+Comparing its projected P against the measured PSTL ports quantifies
+how much of the gap executors could close (experiment E19).
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.base import GeometryPolicy, Port, VendorSupport
+from repro.frameworks.pstl import PSTL_VENDOR
+from repro.gpu.device import Vendor
+
+PSTL_EXECUTORS = Port(
+    key="PSTL+EXEC",
+    framework="PSTL",
+    support={
+        Vendor.NVIDIA: VendorSupport(
+            compiler="nvc++ (C++26 executors, projected)",
+            geometry=GeometryPolicy.TUNED,
+            rmw_atomics=True,
+            overhead=PSTL_VENDOR.support[Vendor.NVIDIA].overhead,
+        ),
+        Vendor.AMD: VendorSupport(
+            compiler="clang++ --hipstdpar (C++26 executors, projected)",
+            geometry=GeometryPolicy.TUNED,
+            rmw_atomics=True,
+            overhead=PSTL_VENDOR.support[Vendor.AMD].overhead,
+            unsafe_fp_atomics_flag=True,
+        ),
+    },
+    uses_streams=False,
+    pressure_sensitivity=PSTL_VENDOR.pressure_sensitivity,
+    # The geometry-independent residuals (runtime maturity on MI250X,
+    # large-problem USM behaviour on H100) stay; only the fixed-256
+    # geometry is lifted.
+    residuals=dict(PSTL_VENDOR.residuals),
+)

@@ -1,0 +1,99 @@
+"""Compile-command construction (the artifact's Makefiles).
+
+The artifact ships per-architecture SLURM compile scripts whose only
+per-platform deltas are the compiler, the flag row of Tables II/III
+and the GPU architecture token (``sm_XX`` / ``ccXX`` / ``gfx90a``).
+:func:`compile_command` reproduces those command lines, substituting
+the right architecture for each device -- the reference for anyone
+rebuilding the original C++ artifact.
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.base import Port
+from repro.frameworks.registry import (
+    COMPILE_FLAGS_AMD,
+    COMPILE_FLAGS_NVIDIA,
+    cpp_standard,
+)
+from repro.gpu.device import DeviceSpec, Vendor
+
+#: Compute-capability token per NVIDIA device.
+SM_ARCH: dict[str, str] = {
+    "T4": "75",
+    "V100": "70",
+    "A100": "80",
+    "H100": "90",
+}
+
+#: Source file per framework (the artifact's src/ layout).
+SOURCE_FILES: dict[str, str] = {
+    "CUDA": "lsqr_cuda.cu",
+    "HIP": "lsqr_hip.cpp",
+    "SYCL": "lsqr_sycl.cpp",
+    "OpenMP": "lsqr_openmp_gpu.cpp",
+    "PSTL": "lsqr_stdpar.cpp",
+}
+
+#: Driver translation unit shared by every build.
+DRIVER_SOURCE = "solvergaiaSim.cpp"
+
+
+def gpu_arch_token(device: DeviceSpec) -> str:
+    """The architecture token of ``device`` (``sm_90``, ``gfx90a``...)."""
+    if device.vendor is Vendor.AMD:
+        return "gfx90a"
+    try:
+        return f"sm_{SM_ARCH[device.name]}"
+    except KeyError:
+        raise KeyError(
+            f"no compute capability on record for {device.name!r}"
+        ) from None
+
+
+def resolve_flags(port: Port, device: DeviceSpec) -> str:
+    """The Table II/III flag row with the architecture substituted."""
+    support = port.vendor_support(device)
+    table = (COMPILE_FLAGS_NVIDIA if device.vendor is Vendor.NVIDIA
+             else COMPILE_FLAGS_AMD)
+    flags = table.get((port.framework, support.compiler))
+    if flags is None:
+        raise KeyError(
+            f"no flag row for ({port.framework}, {support.compiler}) "
+            f"on {device.vendor.value}"
+        )
+    if device.vendor is Vendor.NVIDIA:
+        sm = SM_ARCH[device.name]
+        flags = flags.replace("sm_XX", f"sm_{sm}")
+        flags = flags.replace("compute_XX", f"compute_{sm}")
+        flags = flags.replace("ccXX", f"cc{sm}")
+    return flags
+
+
+def compile_command(port: Port, device: DeviceSpec,
+                    *, output: str = "solvergaiaSim") -> str:
+    """The full artifact-style compile command line."""
+    support = port.vendor_support(device)
+    tokens = support.compiler.split()
+    compiler, extras = tokens[0], tokens[1:]
+    std = cpp_standard(port.key, device.name)
+    flags = resolve_flags(port, device)
+    parts = [compiler]
+    # Compiler-identity flags already present in the Table row (e.g.
+    # --hipstdpar) are not repeated.
+    parts += [t for t in extras if t not in flags]
+    parts += [f"-std={std}", "-O3", flags,
+              SOURCE_FILES[port.framework], DRIVER_SOURCE,
+              "-o", output]
+    return " ".join(parts)
+
+
+def all_compile_commands(ports, devices) -> dict[tuple[str, str], str]:
+    """Every buildable (port, device) command, keyed by their names."""
+    out = {}
+    for port in ports:
+        for device in devices:
+            if not port.supports(device):
+                continue
+            out[(port.key, device.name)] = compile_command(port, device)
+    return out

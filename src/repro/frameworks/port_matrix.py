@@ -1,0 +1,66 @@
+"""The §IV port-capability matrix, rendered.
+
+One table summarizing what each framework+compiler combination can do
+-- the comparison narrative of §IV as data, consumable by the
+consolidated report.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.frameworks.base import GeometryPolicy, Port
+from repro.frameworks.registry import ALL_PORTS
+from repro.gpu.device import Vendor
+
+_GEOMETRY_LABEL = {
+    GeometryPolicy.TUNED: "hand-tuned",
+    GeometryPolicy.COMPILER_DEFAULT: "compiler default",
+    GeometryPolicy.FIXED_256: "fixed 256",
+}
+
+
+def port_row(port: Port) -> dict[str, str]:
+    """One port's capability summary as a flat record."""
+    nv = port.support.get(Vendor.NVIDIA)
+    amd = port.support.get(Vendor.AMD)
+
+    def fmt(support) -> str:
+        if support is None:
+            return "—"
+        atomics = "RMW" if support.rmw_atomics else "CAS loop"
+        return (f"{support.compiler}, "
+                f"{_GEOMETRY_LABEL[support.geometry]}, {atomics}")
+
+    return {
+        "port": port.key,
+        "framework": port.framework,
+        "nvidia": fmt(nv),
+        "amd": fmt(amd),
+        "streams": "yes" if port.uses_streams else "no",
+        "style": _programming_style(port.framework),
+    }
+
+
+def _programming_style(framework: str) -> str:
+    """The §IV taxonomy: language-specific / directive / library."""
+    if framework in ("CUDA", "HIP", "SYCL"):
+        return "language-specific"
+    if framework == "OpenMP":
+        return "directive-based"
+    return "abstraction library"
+
+
+def capability_matrix(ports: Sequence[Port] = ALL_PORTS) -> str:
+    """The full matrix as a Markdown table."""
+    rows = [port_row(p) for p in ports]
+    header = ["port", "style", "NVIDIA toolchain", "AMD toolchain",
+              "streams"]
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    for r in rows:
+        lines.append(
+            f"| {r['port']} | {r['style']} | {r['nvidia']} | "
+            f"{r['amd']} | {r['streams']} |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Robustness of the study's conclusions.
+
+Two analyses the calibrated model makes cheap:
+
+- **parameter sensitivity** -- perturb the device parameters the
+  calibration rests on (bandwidth, atomic throughput, CAS factor,
+  geometry sensitivity) and check whether the paper's *qualitative*
+  conclusions survive: HIP the most portable, SYCL+ACPP close behind,
+  the CAS cliff on MI250X, PSTL's geometry gap;
+- **what-if platforms** -- add hypothetical next-generation boards and
+  recompute P, probing the paper's core motivation: portable codes
+  should survive hardware churn without re-porting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.frameworks.registry import ALL_PORTS
+from repro.gpu.device import DeviceSpec, Vendor
+from repro.gpu.platforms import ALL_DEVICES
+from repro.portability.study import StudyResult, run_study
+
+#: Device parameters the sensitivity sweep perturbs.
+PERTURBED_FIELDS = (
+    "mem_bandwidth_gbs",
+    "atomic_gups",
+    "cas_loop_factor",
+    "geometry_sensitivity",
+)
+
+
+@dataclass(frozen=True)
+class SensitivityOutcome:
+    """Result of one perturbed re-run of the 10 GB study."""
+
+    field: str
+    factor: float
+    p_scores: dict[str, float]
+
+    def ranking(self) -> list[str]:
+        """Ports ordered by descending P."""
+        return sorted(self.p_scores, key=self.p_scores.get, reverse=True)
+
+    @property
+    def conclusions_hold(self) -> bool:
+        """The paper's qualitative claims under this perturbation."""
+        p = self.p_scores
+        top_two = set(self.ranking()[:2])
+        return (
+            top_two == {"HIP", "SYCL+ACPP"}
+            and p["CUDA"] == 0.0
+            and p["OMP+LLVM"] < 0.5
+            and p["SYCL+DPCPP"] < 0.5
+            and p["PSTL+V"] < p["SYCL+ACPP"]
+        )
+
+
+def _perturb(device: DeviceSpec, fld: str, factor: float) -> DeviceSpec:
+    value = getattr(device, fld) * factor
+    if fld == "cas_loop_factor":
+        value = max(value, 1.0)
+    return dataclasses.replace(device, **{fld: value})
+
+
+def sensitivity_sweep(
+    *,
+    factors: Sequence[float] = (0.8, 1.25),
+    fields: Sequence[str] = PERTURBED_FIELDS,
+    size_gb: float = 10.0,
+) -> list[SensitivityOutcome]:
+    """Re-run the study with each device parameter scaled up and down.
+
+    Every perturbation applies to *all* devices at once (a systematic
+    modeling error, the worst case for the calibration).
+    """
+    outcomes = []
+    for fld in fields:
+        if fld not in PERTURBED_FIELDS:
+            raise ValueError(
+                f"unknown field {fld!r}; expected one of "
+                f"{PERTURBED_FIELDS}"
+            )
+        for factor in factors:
+            devices = tuple(_perturb(d, fld, factor) for d in ALL_DEVICES)
+            study = run_study(sizes=(size_gb,), devices=devices,
+                              jitter=0.0, repetitions=1)
+            outcomes.append(SensitivityOutcome(
+                field=fld, factor=factor,
+                p_scores=study.p_scores(size_gb),
+            ))
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# What-if platforms
+# ----------------------------------------------------------------------
+#: Hypothetical next-generation boards (public roadmap ballpark).
+NEXTGEN_NVIDIA = DeviceSpec(
+    name="NextGen-NV",
+    vendor=Vendor.NVIDIA,
+    memory_gb=192.0,
+    mem_bandwidth_gbs=8000.0,
+    fp64_tflops=45.0,
+    sm_count=160,
+    warp_size=32,
+    stream_efficiency=0.88,
+    random_transaction_bytes=32,
+    launch_overhead_us=2.5,
+    atomic_gups=24.0,
+    cas_loop_factor=3.0,
+    optimal_threads_per_block=256,
+    geometry_sensitivity=0.06,
+    h2d_bandwidth_gbs=128.0,
+)
+
+NEXTGEN_AMD = DeviceSpec(
+    name="NextGen-AMD",
+    vendor=Vendor.AMD,
+    memory_gb=192.0,
+    mem_bandwidth_gbs=5300.0,
+    fp64_tflops=61.0,
+    sm_count=228,
+    warp_size=64,
+    stream_efficiency=0.82,
+    random_transaction_bytes=64,  # narrower than CDNA2's 128
+    launch_overhead_us=5.0,
+    atomic_gups=10.0,
+    cas_loop_factor=8.0,
+    optimal_threads_per_block=128,
+    geometry_sensitivity=0.12,
+    h2d_bandwidth_gbs=64.0,
+)
+
+
+def whatif_study(
+    *,
+    extra_devices: Sequence[DeviceSpec] = (NEXTGEN_NVIDIA, NEXTGEN_AMD),
+    size_gb: float = 10.0,
+) -> StudyResult:
+    """The 10 GB study over the paper's platforms plus new boards.
+
+    No port is re-tuned or re-calibrated for the new devices: this is
+    exactly the "new supercomputer arrives" scenario the portable
+    ports exist for.
+    """
+    devices = tuple(ALL_DEVICES) + tuple(extra_devices)
+    return run_study(sizes=(size_gb,), devices=devices,
+                     ports=ALL_PORTS, jitter=0.0, repetitions=1)

@@ -1,0 +1,72 @@
+"""The SYCL ports (§IV-c): AdaptiveCpp and DPC++.
+
+The SYCL implementation uses in-order queues, Unified Shared Memory
+(``malloc_device``), ``parallel_for`` with ``nd_range`` for hand-tuned
+kernel geometry.  Two compilers are evaluated:
+
+- **SYCL+ACPP** (AdaptiveCpp 24.06): "the best SYCL performance";
+  honours ``-munsafe-fp-atomics`` on MI250X, achieves similar
+  application efficiencies across all tested hardware and the
+  second-best average P (0.93) -- the portability sweet spot without
+  ever being the fastest port on any single platform.
+- **SYCL+DPCPP** (DPC++/clang 19): "offers lower performance...
+  possibly due to incorrect compilation or suboptimal parameter
+  tuning.  We kept the same tuning configurations adopted for
+  AdaptiveCpp."  On MI250X it cannot emit native FP64 RMW atomics
+  (no ``-munsafe-fp-atomics``), falling back to a CAS loop -- the
+  §V-B performance cliff.  Residual ``(T4, None)`` < 1 encodes
+  "Surprisingly, T4 is the best platform for SYCL+DPCPP" (Fig. 3a):
+  the sm_75 code path suffers least from the mistuned configuration.
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.base import GeometryPolicy, Port, VendorSupport
+from repro.gpu.device import Vendor
+
+SYCL_ACPP = Port(
+    key="SYCL+ACPP",
+    framework="SYCL",
+    support={
+        Vendor.NVIDIA: VendorSupport(
+            compiler="acpp",
+            geometry=GeometryPolicy.TUNED,
+            rmw_atomics=True,
+            overhead=1.07,
+        ),
+        Vendor.AMD: VendorSupport(
+            compiler="acpp",
+            geometry=GeometryPolicy.TUNED,
+            rmw_atomics=True,
+            overhead=1.04,
+            unsafe_fp_atomics_flag=True,
+        ),
+    },
+    uses_streams=True,
+    pressure_sensitivity=0.5,
+    residuals={},
+)
+
+SYCL_DPCPP = Port(
+    key="SYCL+DPCPP",
+    framework="SYCL",
+    support={
+        Vendor.NVIDIA: VendorSupport(
+            compiler="dpc++",
+            geometry=GeometryPolicy.TUNED,
+            rmw_atomics=True,
+            overhead=1.28,
+        ),
+        Vendor.AMD: VendorSupport(
+            compiler="dpc++",
+            geometry=GeometryPolicy.TUNED,
+            rmw_atomics=False,  # CAS loop: no -munsafe-fp-atomics
+            overhead=1.12,
+        ),
+    },
+    uses_streams=True,
+    pressure_sensitivity=1.0,
+    residuals={
+        ("T4", None): 0.86,
+    },
+)

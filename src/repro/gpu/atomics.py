@@ -1,0 +1,87 @@
+"""FP64 atomic-update cost model.
+
+The ``aprod2`` kernels scatter into shared columns and need atomic
+updates (§IV).  Two codegen outcomes exist in the paper (§V-B):
+
+- native **read-modify-write** (RMW) atomics -- what CUDA/HIP emit,
+  and what the AMD toolchains emit under ``-munsafe-fp-atomics``;
+- a **compare-and-swap loop** -- what SYCL+DPC++ and base clang++
+  OpenMP fall back to on MI250X; under contention every retry repeats
+  the full round trip, which "in our case degrades performance".
+
+The model prices a scatter of ``n_updates`` over ``n_targets`` distinct
+columns.  Collision pressure is bounded by how many updates are
+actually in flight -- which is why the production code *shrinks the
+grid* in atomic regions (§IV): fewer resident threads, fewer
+simultaneous collisions.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+from repro.gpu.device import DeviceSpec
+
+#: Resident threads per SM assumed by the in-flight estimate.
+RESIDENT_THREADS_PER_SM = 2048
+
+
+class AtomicMode(enum.Enum):
+    """How the toolchain implements FP64 atomic adds on a device."""
+
+    RMW = "rmw"        # native atomic fetch-add
+    CAS_LOOP = "cas"   # compare-and-swap retry loop
+    NONE = "none"      # collision-free kernel (no atomics needed)
+
+
+def collision_pressure(
+    device: DeviceSpec,
+    n_updates: int,
+    n_targets: int,
+    inflight_threads: int | None = None,
+) -> float:
+    """Expected simultaneous collision multiplicity per hot column.
+
+    Bounded above by the per-target update multiplicity and by the
+    number of updates actually resident on the device at once.
+    """
+    if n_updates < 0 or n_targets < 0:
+        raise ValueError("counts must be non-negative")
+    if n_updates == 0:
+        return 0.0
+    if n_targets == 0:
+        raise ValueError("updates without targets")
+    resident = device.sm_count * RESIDENT_THREADS_PER_SM
+    if inflight_threads is not None:
+        if inflight_threads < 1:
+            raise ValueError(
+                f"inflight_threads must be >= 1, got {inflight_threads}"
+            )
+        resident = min(resident, inflight_threads)
+    concurrent = min(n_updates, resident)
+    return max(1.0, concurrent / n_targets)
+
+
+def atomic_time(
+    device: DeviceSpec,
+    n_updates: int,
+    n_targets: int,
+    mode: AtomicMode,
+    *,
+    inflight_threads: int | None = None,
+) -> float:
+    """Seconds spent on the atomic updates of one kernel launch."""
+    if mode is AtomicMode.NONE or n_updates == 0:
+        return 0.0
+    c = collision_pressure(device, n_updates, n_targets, inflight_threads)
+    # Same-address atomics are combined in queues near memory; a c-way
+    # conflict costs roughly log-depth combining rounds.
+    conflict_penalty = 1.0 + math.log2(1.0 + c) / 4.0
+    per_update = 1.0 / (device.atomic_gups * 1e9)
+    t = n_updates * per_update * conflict_penalty
+    if mode is AtomicMode.CAS_LOOP:
+        # Every conflicting retry repeats the full read-compare-swap
+        # round trip; retries scale with the conflict multiplicity.
+        t *= device.cas_loop_factor * (1.0 + math.sqrt(c) / 8.0)
+    return t

@@ -1,0 +1,118 @@
+"""Device specifications for the GPU execution model.
+
+A :class:`DeviceSpec` carries the handful of architectural quantities
+the AVU-GSR kernels are sensitive to.  Values for the five paper
+platforms live in :mod:`repro.gpu.platforms`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Vendor(enum.Enum):
+    """GPU vendor; decides which toolchains can target the device."""
+
+    NVIDIA = "NVIDIA"
+    AMD = "AMD"
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural model of one GPU.
+
+    Attributes
+    ----------
+    name:
+        Marketing name used throughout the paper's figures.
+    vendor:
+        :class:`Vendor` of the board.
+    memory_gb:
+        Device RAM in GiB (decides which problem sizes fit, §V-B).
+    mem_bandwidth_gbs:
+        Peak memory bandwidth in GB/s.
+    fp64_tflops:
+        Peak double-precision throughput in TFLOP/s.
+    sm_count:
+        Streaming multiprocessors / compute units.
+    warp_size:
+        Warp (NVIDIA) or wavefront (AMD) width.
+    stream_efficiency:
+        Fraction of peak bandwidth achieved by unit-stride streaming
+        (the coefficient arrays are read in order).
+    random_transaction_bytes:
+        Memory transaction granularity charged for each isolated
+        8-byte gather/scatter access.  Larger values model the
+        non-coalesced-access penalty the paper observes on MI250X.
+    launch_overhead_us:
+        Host-side cost of one kernel launch, microseconds.
+    atomic_gups:
+        Sustained FP64 atomic-RMW throughput in giga-updates/s under
+        low contention.
+    cas_loop_factor:
+        Cost multiplier when the compiler emits a compare-and-swap
+        loop instead of a native RMW atomic (§V-B).
+    optimal_threads_per_block:
+        Empirically best block size for the aprod kernels on this
+        device (32 on T4/V100, 256 on A100/H100 per the paper's
+        tuning discussion; 64 on MI250X, one wavefront).
+    geometry_sensitivity:
+        How steeply efficiency decays per octave of block-size
+        mismatch (dimensionless; higher = more sensitive).
+    h2d_bandwidth_gbs:
+        Host-to-device copy bandwidth (PCIe / NVLink-C2C), GB/s.
+    """
+
+    name: str
+    vendor: Vendor
+    memory_gb: float
+    mem_bandwidth_gbs: float
+    fp64_tflops: float
+    sm_count: int
+    warp_size: int
+    stream_efficiency: float
+    random_transaction_bytes: int
+    launch_overhead_us: float
+    atomic_gups: float
+    cas_loop_factor: float
+    optimal_threads_per_block: int
+    geometry_sensitivity: float
+    h2d_bandwidth_gbs: float
+
+    def __post_init__(self) -> None:
+        positive = (
+            "memory_gb", "mem_bandwidth_gbs", "fp64_tflops", "sm_count",
+            "warp_size", "stream_efficiency", "random_transaction_bytes",
+            "launch_overhead_us", "atomic_gups", "cas_loop_factor",
+            "optimal_threads_per_block", "geometry_sensitivity",
+            "h2d_bandwidth_gbs",
+        )
+        for attr in positive:
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{attr} must be positive")
+        if not 0 < self.stream_efficiency <= 1:
+            raise ValueError("stream_efficiency must be in (0, 1]")
+        if self.cas_loop_factor < 1:
+            raise ValueError("cas_loop_factor must be >= 1")
+
+    @property
+    def memory_bytes(self) -> int:
+        """Device RAM in bytes."""
+        return int(self.memory_gb * 2**30)
+
+    @property
+    def peak_bandwidth_bytes(self) -> float:
+        """Peak bandwidth in bytes/s."""
+        return self.mem_bandwidth_gbs * 1e9
+
+    @property
+    def random_amplification(self) -> float:
+        """Bytes charged per isolated 8-byte random access, over 8."""
+        return self.random_transaction_bytes / 8.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name} ({self.vendor.value}, {self.memory_gb:g} GB, "
+            f"{self.mem_bandwidth_gbs:g} GB/s)"
+        )

@@ -1,0 +1,98 @@
+"""Energy model (extension; the green-computing companion theme).
+
+The AVU-GSR line of work explicitly tracks "new green computing
+milestones" (Cesare et al., INAF Tech. Rep. 164 -- ref. [46] of the
+paper).  This module prices the modeled runs in joules using the
+boards' TDP: for iteration-long memory/atomic-bound kernels the board
+runs at its power limit, so ``energy = TDP x time`` is the standard
+first-order bound.  It adds the energy dimension to the portability
+study: the fastest platform is not automatically the most efficient
+one per joule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.gpu.device import DeviceSpec
+from repro.system.structure import SystemDims
+
+if TYPE_CHECKING:  # pragma: no cover - break the gpu<->frameworks cycle
+    from repro.frameworks.base import Port
+
+#: Board power (TDP) in watts, from the vendor datasheets of the
+#: boards in §V-A.
+BOARD_TDP_W: dict[str, float] = {
+    "T4": 70.0,
+    "V100": 250.0,
+    "A100": 400.0,
+    "H100": 700.0,
+    "MI250X": 560.0,
+}
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy figures for one (port, device, problem) combination."""
+
+    port_key: str
+    device_name: str
+    iteration_time_s: float
+    board_power_w: float
+
+    @property
+    def joules_per_iteration(self) -> float:
+        """TDP-bound energy per LSQR iteration."""
+        return self.iteration_time_s * self.board_power_w
+
+    @property
+    def iterations_per_kilojoule(self) -> float:
+        """The throughput-per-energy figure of merit."""
+        return 1000.0 / self.joules_per_iteration
+
+
+def board_power(device: DeviceSpec) -> float:
+    """TDP of ``device``; raise for unknown boards."""
+    try:
+        return BOARD_TDP_W[device.name]
+    except KeyError:
+        raise KeyError(
+            f"no TDP on record for {device.name!r}; known boards: "
+            f"{sorted(BOARD_TDP_W)}"
+        ) from None
+
+
+def energy_per_iteration(
+    port: "Port",
+    device: DeviceSpec,
+    dims: SystemDims,
+    *,
+    size_gb: float | None = None,
+) -> EnergyEstimate:
+    """Energy of one modeled LSQR iteration of ``port`` on ``device``."""
+    from repro.frameworks.executor import model_iteration
+
+    t = model_iteration(port, device, dims, size_gb=size_gb).total
+    return EnergyEstimate(
+        port_key=port.key,
+        device_name=device.name,
+        iteration_time_s=t,
+        board_power_w=board_power(device),
+    )
+
+
+def energy_efficiency_table(
+    port: "Port",
+    devices: tuple[DeviceSpec, ...],
+    dims: SystemDims,
+    *,
+    size_gb: float | None = None,
+) -> dict[str, EnergyEstimate]:
+    """Energy estimates of one port across its supported devices."""
+    return {
+        device.name: energy_per_iteration(port, device, dims,
+                                          size_gb=size_gb)
+        for device in devices
+        if port.supports(device)
+    }

@@ -1,0 +1,110 @@
+"""Kernel launch geometry and its efficiency model.
+
+§V-B of the paper: hand-tuning the numbers of blocks and threads of
+the CUDA/HIP/SYCL kernels buys up to 40% iteration time, the
+profiler shows PSTL fixed at 256 threads/block on every architecture,
+and the block-size optimum is 32 on T4/V100 versus 256 on A100/H100.
+This module models that dependence: an efficiency in (0, 1] as a
+function of the launch geometry, peaking at the device's optimum and
+decaying per octave of mismatch, plus a utilization term for grids too
+small to fill the device.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gpu.device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """One kernel launch geometry."""
+
+    threads_per_block: int
+    blocks: int
+
+    def __post_init__(self) -> None:
+        if self.threads_per_block < 1:
+            raise ValueError(
+                f"threads_per_block must be >= 1, "
+                f"got {self.threads_per_block}"
+            )
+        if self.threads_per_block > 1024:
+            raise ValueError(
+                f"threads_per_block must be <= 1024, "
+                f"got {self.threads_per_block}"
+            )
+        if self.blocks < 1:
+            raise ValueError(f"blocks must be >= 1, got {self.blocks}")
+
+    @property
+    def total_threads(self) -> int:
+        """Threads across the whole grid."""
+        return self.threads_per_block * self.blocks
+
+
+def grid_for(
+    n_work: int,
+    threads_per_block: int,
+    *,
+    max_blocks: int | None = None,
+) -> LaunchConfig:
+    """One-thread-per-row grid covering ``n_work`` items.
+
+    ``max_blocks`` caps the grid, the device-side loop then strides --
+    the paper's trick of *reducing* blocks in the atomic regions to
+    lower collision pressure (§IV).
+    """
+    if n_work < 1:
+        raise ValueError(f"n_work must be >= 1, got {n_work}")
+    blocks = max(1, math.ceil(n_work / threads_per_block))
+    if max_blocks is not None:
+        blocks = min(blocks, max_blocks)
+    return LaunchConfig(threads_per_block=threads_per_block, blocks=blocks)
+
+
+def geometry_efficiency(device: DeviceSpec, config: LaunchConfig) -> float:
+    """Throughput fraction achieved by ``config`` on ``device``.
+
+    Two effects multiply:
+
+    - *block-size mismatch*: efficiency decays with
+      ``1 / (1 + s * |log2(tpb / optimal)|)`` where ``s`` is the
+      device's :attr:`~repro.gpu.device.DeviceSpec.geometry_sensitivity`
+      (T4/V100 are steep, H100 is flat -- §V-B);
+    - *utilization*: grids smaller than ~2 blocks per SM cannot hide
+      latency.
+    """
+    octaves = abs(
+        math.log2(config.threads_per_block / device.optimal_threads_per_block)
+    )
+    mismatch = 1.0 / (1.0 + device.geometry_sensitivity * octaves)
+    target_blocks = 2 * device.sm_count
+    utilization = min(1.0, config.blocks / target_blocks)
+    # Sub-warp blocks additionally waste lanes.
+    lane_waste = min(1.0, config.threads_per_block / device.warp_size)
+    return mismatch * utilization * lane_waste
+
+
+def default_geometry(device: DeviceSpec, n_work: int) -> LaunchConfig:
+    """Compiler-default geometry: 256 threads/block, full grid.
+
+    This is what the profiler reports for the tuning-oblivious
+    frameworks on every architecture (§V-B).
+    """
+    return grid_for(n_work, 256)
+
+
+def tuned_geometry(device: DeviceSpec, n_work: int,
+                   *, atomic_region: bool = False) -> LaunchConfig:
+    """Per-device tuned geometry as in the paper's CUDA/HIP/SYCL ports.
+
+    Uses the device's block-size optimum; in atomic regions the grid
+    is capped (fewer blocks and threads) to cut collision probability,
+    "even if the GPU occupancy is not maximally exploited" (§IV).
+    """
+    tpb = device.optimal_threads_per_block
+    max_blocks = 4 * device.sm_count if atomic_region else None
+    return grid_for(n_work, tpb, max_blocks=max_blocks)

@@ -1,0 +1,106 @@
+"""Device memory allocator and transfer model.
+
+Models the memory behaviour that matters to the study:
+
+- **capacity** -- the T4 cannot hold the 30 GB problem and only H100
+  and MI250X hold 60 GB (§V-B); allocation beyond capacity raises
+  :class:`DeviceOutOfMemory`, which the study harness converts into
+  platform exclusion exactly like the paper's test matrix;
+- **one-shot upload** -- the coefficient matrices are copied to the
+  device once before the iteration loop and stay resident (§IV-a);
+  :meth:`DeviceMemory.transfer_time` prices that copy;
+- **coherence mode** -- HIP and PSTL allocations force coarse-grain
+  coherence via ``hipMemAdvise`` for the atomics' sake (§IV-b);
+  fine-grain coherence costs extra on the atomic path (consumed by
+  the timing model).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.gpu.device import DeviceSpec
+
+
+class DeviceOutOfMemory(RuntimeError):
+    """Requested allocation exceeds the device capacity."""
+
+
+class CoherenceMode(enum.Enum):
+    """Host-device coherence granularity of an allocation."""
+
+    COARSE_GRAIN = "coarse"  # hipMemAdvise coarse grain; fast atomics
+    FINE_GRAIN = "fine"      # system-scope coherence; slow atomics
+
+
+@dataclass
+class Allocation:
+    """One live device allocation."""
+
+    name: str
+    nbytes: int
+    coherence: CoherenceMode = CoherenceMode.COARSE_GRAIN
+
+
+@dataclass
+class DeviceMemory:
+    """Tracks allocations against one device's capacity."""
+
+    spec: DeviceSpec
+    allocations: dict[str, Allocation] = field(default_factory=dict)
+
+    @property
+    def used_bytes(self) -> int:
+        """Sum of live allocations."""
+        return sum(a.nbytes for a in self.allocations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        """Remaining capacity."""
+        return self.spec.memory_bytes - self.used_bytes
+
+    def alloc(
+        self,
+        name: str,
+        nbytes: int,
+        *,
+        coherence: CoherenceMode = CoherenceMode.COARSE_GRAIN,
+    ) -> Allocation:
+        """Reserve ``nbytes`` under ``name``; raise on OOM or reuse."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        if name in self.allocations:
+            raise ValueError(f"allocation {name!r} already exists")
+        if nbytes > self.free_bytes:
+            raise DeviceOutOfMemory(
+                f"{self.spec.name}: cannot allocate {nbytes / 2**30:.2f} GiB "
+                f"({self.free_bytes / 2**30:.2f} GiB free of "
+                f"{self.spec.memory_gb:g} GiB)"
+            )
+        a = Allocation(name=name, nbytes=nbytes, coherence=coherence)
+        self.allocations[name] = a
+        return a
+
+    def free(self, name: str) -> None:
+        """Release the allocation ``name``."""
+        try:
+            del self.allocations[name]
+        except KeyError:
+            raise KeyError(f"no allocation named {name!r}") from None
+
+    def reset(self) -> None:
+        """Release everything (end of one solve)."""
+        self.allocations.clear()
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Seconds for one host->device copy of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        latency = 20e-6  # one DMA setup
+        return latency + nbytes / (self.spec.h2d_bandwidth_gbs * 1e9)
+
+
+def fits(spec: DeviceSpec, nbytes: int) -> bool:
+    """True when a fresh device can hold ``nbytes``."""
+    return nbytes <= spec.memory_bytes

@@ -1,0 +1,104 @@
+"""Classic occupancy calculation (diagnostic companion to the model).
+
+The execution model folds occupancy into a single geometry-efficiency
+curve; this module is the standard block-granularity occupancy
+calculator (the spreadsheet every CUDA/HIP tuner uses), exposed as an
+independent diagnostic: given a kernel's resource usage and a block
+size, how many warps can actually be resident?
+
+It explains *why* the per-device block-size optima of §V-B differ:
+on small-SM boards narrow blocks schedule more flexibly around the
+atomic stalls, while the big boards keep full occupancy at 256.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.device import DeviceSpec
+
+#: Default per-SM hardware limits (Ampere/Hopper-class; CDNA2 uses the
+#: same orders).
+MAX_THREADS_PER_SM = 2048
+MAX_BLOCKS_PER_SM = 32
+MAX_REGISTERS_PER_SM = 65_536
+MAX_SMEM_PER_SM = 100 * 1024
+
+
+@dataclass(frozen=True)
+class KernelResources:
+    """Per-thread/per-block resource usage of one kernel."""
+
+    registers_per_thread: int = 40   # typical for the aprod kernels
+    smem_per_block: int = 0          # the ports use no scratchpad
+
+    def __post_init__(self) -> None:
+        if self.registers_per_thread < 1:
+            raise ValueError("registers_per_thread must be >= 1")
+        if self.smem_per_block < 0:
+            raise ValueError("smem_per_block must be >= 0")
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Occupancy of one (device, block size, resources) combination."""
+
+    threads_per_block: int
+    blocks_per_sm: int
+    resident_threads: int
+    occupancy: float          # resident / max threads per SM
+    limiter: str              # "threads" | "blocks" | "registers" | "smem"
+
+
+def occupancy(
+    device: DeviceSpec,
+    threads_per_block: int,
+    resources: KernelResources = KernelResources(),
+) -> OccupancyResult:
+    """Blocks-per-SM occupancy for ``threads_per_block``."""
+    if not 1 <= threads_per_block <= 1024:
+        raise ValueError(
+            f"threads_per_block must be in [1, 1024], got "
+            f"{threads_per_block}"
+        )
+    # Threads are scheduled in whole warps.
+    warp = device.warp_size
+    threads = ((threads_per_block + warp - 1) // warp) * warp
+
+    by_threads = MAX_THREADS_PER_SM // threads
+    by_blocks = MAX_BLOCKS_PER_SM
+    by_regs = MAX_REGISTERS_PER_SM // (
+        resources.registers_per_thread * threads
+    )
+    by_smem = (MAX_SMEM_PER_SM // resources.smem_per_block
+               if resources.smem_per_block else MAX_BLOCKS_PER_SM)
+    blocks = max(0, min(by_threads, by_blocks, by_regs, by_smem))
+    limits = {"threads": by_threads, "blocks": by_blocks,
+              "registers": by_regs, "smem": by_smem}
+    limiter = min(limits, key=limits.get)
+    resident = blocks * threads
+    return OccupancyResult(
+        threads_per_block=threads_per_block,
+        blocks_per_sm=blocks,
+        resident_threads=resident,
+        occupancy=resident / MAX_THREADS_PER_SM,
+        limiter=limiter,
+    )
+
+
+def occupancy_table(
+    device: DeviceSpec,
+    block_sizes: tuple[int, ...] = (32, 64, 128, 256, 512, 1024),
+    resources: KernelResources = KernelResources(),
+) -> str:
+    """The tuner's spreadsheet, as text."""
+    lines = [f"Occupancy on {device.name} "
+             f"({resources.registers_per_thread} regs/thread)",
+             f"{'tpb':>6}{'blocks/SM':>11}{'resident':>10}"
+             f"{'occupancy':>11}{'limiter':>11}"]
+    for tpb in block_sizes:
+        r = occupancy(device, tpb, resources)
+        lines.append(f"{tpb:>6}{r.blocks_per_sm:>11}"
+                     f"{r.resident_threads:>10}{r.occupancy:>10.0%}"
+                     f"{r.limiter:>12}")
+    return "\n".join(lines)

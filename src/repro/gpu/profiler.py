@@ -1,0 +1,73 @@
+"""Kernel-event profiler for the execution model.
+
+The paper uses ``nsys``/``rocprof`` to (a) verify that the solver's
+time is dominated by the ``aprod1``/``aprod2`` products (§V-A) and
+(b) read off the default 256 threads/block of the PSTL ports (§V-B).
+:class:`Profiler` records the same facts from the modeled runs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.gpu.kernel import LaunchConfig
+from repro.gpu.timing import KernelTiming
+
+
+@dataclass(frozen=True)
+class KernelEvent:
+    """One recorded kernel launch."""
+
+    name: str
+    config: LaunchConfig
+    timing: KernelTiming
+
+    @property
+    def total(self) -> float:
+        """Total modeled seconds of the launch."""
+        return self.timing.total
+
+
+@dataclass
+class Profiler:
+    """Accumulates :class:`KernelEvent` records across launches."""
+
+    events: list[KernelEvent] = field(default_factory=list)
+
+    def record(self, event: KernelEvent) -> None:
+        """Append one event."""
+        self.events.append(event)
+
+    def total_time(self) -> float:
+        """Sum of all recorded kernel times."""
+        return sum(e.total for e in self.events)
+
+    def by_kernel(self) -> dict[str, float]:
+        """Total seconds per kernel name."""
+        out: dict[str, float] = defaultdict(float)
+        for e in self.events:
+            out[e.name] += e.total
+        return dict(out)
+
+    def fraction(self, prefix: str) -> float:
+        """Fraction of total time in kernels whose name starts with ``prefix``."""
+        total = self.total_time()
+        if total == 0:
+            return 0.0
+        part = sum(e.total for e in self.events if e.name.startswith(prefix))
+        return part / total
+
+    def threads_per_block(self) -> set[int]:
+        """Distinct block sizes observed (the nsys check of §V-B)."""
+        return {e.config.threads_per_block for e in self.events}
+
+    def summary(self) -> str:
+        """nsys-like per-kernel table, sorted by total time."""
+        rows = sorted(self.by_kernel().items(), key=lambda kv: -kv[1])
+        total = self.total_time()
+        lines = [f"{'kernel':<16} {'time [s]':>12} {'share':>7}"]
+        for name, t in rows:
+            share = 0.0 if total == 0 else t / total
+            lines.append(f"{name:<16} {t:>12.6f} {share:>6.1%}")
+        return "\n".join(lines)

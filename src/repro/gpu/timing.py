@@ -1,0 +1,124 @@
+"""Roofline kernel-time model.
+
+One kernel's modeled wall-clock combines
+
+- launch overhead,
+- the memory roofline over *streamed* traffic (unit-stride coefficient
+  reads, at ``stream_efficiency`` of peak) and *random* traffic
+  (gathers/scatters, amplified to the device's transaction
+  granularity),
+- the compute roofline (never binding for these kernels -- the paper
+  calls them "well-known, highly memory-bound"),
+- the atomic-update cost,
+
+all divided by the launch-geometry efficiency of
+:func:`repro.gpu.kernel.geometry_efficiency`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.atomics import AtomicMode, atomic_time
+from repro.gpu.device import DeviceSpec
+from repro.gpu.kernel import LaunchConfig, geometry_efficiency
+
+
+@dataclass(frozen=True)
+class KernelWork:
+    """Work of one kernel launch, as counted by the workload builder.
+
+    Attributes
+    ----------
+    name:
+        Kernel identifier (e.g. ``"aprod2_att"``).
+    streamed_bytes:
+        Unit-stride traffic (coefficient values, indices, row outputs).
+    random_accesses:
+        Count of isolated 8-byte gathers/scatters; each is charged one
+        ``random_transaction_bytes`` transaction.
+    flops:
+        Floating-point operations.
+    atomic_updates:
+        Colliding scatter updates (0 for collision-free kernels).
+    atomic_targets:
+        Distinct columns the atomic updates land on.
+    """
+
+    name: str
+    streamed_bytes: float
+    random_accesses: float
+    flops: float
+    atomic_updates: int = 0
+    atomic_targets: int = 0
+
+    def __post_init__(self) -> None:
+        for attr in ("streamed_bytes", "random_accesses", "flops"):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be >= 0")
+        if self.atomic_updates and not self.atomic_targets:
+            raise ValueError("atomic updates need at least one target")
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Modeled time breakdown of one kernel launch (seconds)."""
+
+    name: str
+    launch: float
+    memory: float
+    compute: float
+    atomics: float
+
+    @property
+    def total(self) -> float:
+        """Launch + max(memory, compute) + atomics."""
+        return self.launch + max(self.memory, self.compute) + self.atomics
+
+    @property
+    def achieved_bandwidth_gbs(self) -> float:
+        """Effective achieved bandwidth implied by the memory term."""
+        return 0.0 if self.memory == 0 else float("nan")
+
+
+def kernel_time(
+    device: DeviceSpec,
+    work: KernelWork,
+    config: LaunchConfig,
+    *,
+    atomic_mode: AtomicMode = AtomicMode.NONE,
+    overhead_factor: float = 1.0,
+) -> KernelTiming:
+    """Model one kernel launch.
+
+    ``overhead_factor`` (>= 1) is the port's runtime abstraction cost,
+    applied to the data-movement terms but not to the fixed launch
+    latency.  The launch geometry enters three ways: its efficiency
+    divides the data-movement terms, and its total thread count bounds
+    the in-flight atomic collision pressure (the §IV tuning lever).
+    """
+    if overhead_factor < 1.0:
+        raise ValueError(
+            f"overhead_factor must be >= 1, got {overhead_factor}"
+        )
+    geo = geometry_efficiency(device, config)
+    stream_bw = device.peak_bandwidth_bytes * device.stream_efficiency
+    random_bytes = work.random_accesses * device.random_transaction_bytes
+    t_mem = (work.streamed_bytes / stream_bw
+             + random_bytes / device.peak_bandwidth_bytes)
+    t_mem *= overhead_factor / geo
+    t_cmp = work.flops / (device.fp64_tflops * 1e12) / geo
+    t_atm = atomic_time(
+        device,
+        work.atomic_updates,
+        work.atomic_targets,
+        atomic_mode,
+        inflight_threads=config.total_threads,
+    ) * overhead_factor / geo
+    return KernelTiming(
+        name=work.name,
+        launch=device.launch_overhead_us * 1e-6,
+        memory=t_mem,
+        compute=t_cmp,
+        atomics=t_atm,
+    )

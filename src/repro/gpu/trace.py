@@ -1,0 +1,142 @@
+"""Timeline traces of modeled iterations (the nsys-style view).
+
+Builds an event timeline -- per-kernel start/end on numbered streams --
+for one modeled LSQR iteration, and exports it in the Chrome trace
+format (``chrome://tracing`` / Perfetto), the workflow the paper's
+authors used with ``nsys`` to verify where the iteration time goes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.frameworks.base import Port
+from repro.gpu.atomics import AtomicMode
+from repro.gpu.device import DeviceSpec
+from repro.gpu.stream import StreamSchedule
+from repro.gpu.timing import kernel_time
+from repro.gpu.workload import build_iteration_workload
+from repro.system.structure import SystemDims
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One kernel execution on the timeline (seconds)."""
+
+    name: str
+    stream: int
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        """Event end time."""
+        return self.start + self.duration
+
+
+@dataclass
+class IterationTrace:
+    """Timeline of one modeled LSQR iteration."""
+
+    port_key: str
+    device_name: str
+    events: list[TraceEvent] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> float:
+        """End of the last event."""
+        return max((e.end for e in self.events), default=0.0)
+
+    def to_chrome_trace(self) -> dict:
+        """Chrome trace-event JSON document (microsecond timestamps)."""
+        return {
+            "displayTimeUnit": "ms",
+            "traceEvents": [
+                {
+                    "name": e.name,
+                    "cat": "kernel",
+                    "ph": "X",
+                    "ts": e.start * 1e6,
+                    "dur": e.duration * 1e6,
+                    "pid": 0,
+                    "tid": e.stream,
+                    "args": {"port": self.port_key,
+                             "device": self.device_name},
+                }
+                for e in self.events
+            ],
+        }
+
+    def write_chrome_trace(self, path: str | Path) -> Path:
+        """Write the Chrome trace JSON; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_chrome_trace(), indent=1))
+        return path
+
+
+def trace_iteration(
+    port: Port,
+    device: DeviceSpec,
+    dims: SystemDims,
+    *,
+    tuned: bool = True,
+) -> IterationTrace:
+    """Build the timeline of one modeled iteration.
+
+    aprod1 kernels run back to back on stream 0; aprod2 kernels are
+    placed on streams per the port's stream usage, serialized on the
+    shared memory system exactly as
+    :meth:`repro.gpu.stream.StreamSchedule.makespan` prices them (each
+    kernel's data phase starts when the previous kernel's data phase
+    ends, regardless of stream); the vector-op bundle closes the
+    iteration.
+    """
+    port.vendor_support(device)  # raises UnsupportedPlatform early
+    workload = build_iteration_workload(dims)
+    overhead = port.overhead(device)
+    trace = IterationTrace(port_key=port.key, device_name=device.name)
+
+    clock = 0.0
+    m = dims.n_obs
+    for w in workload.aprod1:
+        cfg = port.geometry(device, m, atomic_region=False, tuned=tuned)
+        t = kernel_time(device, w, cfg, atomic_mode=AtomicMode.NONE,
+                        overhead_factor=overhead)
+        trace.events.append(TraceEvent(name=w.name, stream=0,
+                                       start=clock, duration=t.total))
+        clock += t.total
+
+    # aprod2: streams overlap launches; the data phases serialize.
+    schedule = StreamSchedule()
+    timings = []
+    for i, w in enumerate(workload.aprod2):
+        mode = (port.atomic_mode(device) if w.atomic_updates
+                else AtomicMode.NONE)
+        cfg = port.geometry(device, m,
+                            atomic_region=bool(w.atomic_updates) and tuned,
+                            tuned=tuned)
+        t = kernel_time(device, w, cfg, atomic_mode=mode,
+                        overhead_factor=overhead)
+        stream = i if port.uses_streams else 0
+        schedule.submit(stream, t)
+        timings.append((w.name, stream, t))
+    aprod2_start = clock
+    data_clock = clock
+    for name, stream, t in timings:
+        duration = max(t.memory, t.compute) + t.atomics
+        trace.events.append(
+            TraceEvent(name=name, stream=stream, start=data_clock,
+                       duration=duration)
+        )
+        data_clock += duration
+    clock = max(data_clock, aprod2_start + schedule.makespan())
+
+    cfg = port.geometry(device, m, tuned=tuned)
+    t = kernel_time(device, workload.vector_ops, cfg,
+                    atomic_mode=AtomicMode.NONE,
+                    overhead_factor=overhead)
+    trace.events.append(TraceEvent(name="vector_ops", stream=0,
+                                   start=clock, duration=t.total))
+    return trace

@@ -1,0 +1,119 @@
+"""Per-iteration kernel workloads of the LSQR solver.
+
+Counts the data movement, floating-point work and atomic updates of
+each of the eight ``aprod`` kernels (§IV) plus the BLAS-1 vector
+updates of one LSQR iteration, given only the system dimensions --
+which is what lets the study model paper-scale 10/30/60 GB problems
+without allocating them.
+
+Traffic accounting per observation row (all float64 unless noted):
+
+=================  ==========================================  ========
+kernel             streamed bytes                              random
+=================  ==========================================  ========
+aprod{1,2}_astro   40 values + 8 index + 8 row I/O (+8 y)      1 run
+aprod{1,2}_att     96 values + 8 index + 8 row I/O (+8 y)      3 runs
+aprod{1,2}_instr   48 values + 24 cols (int32) + 8 (+8 y)      6 elems
+aprod{1,2}_glob    8 value + 8 row I/O (+8 y)                  0
+=================  ==========================================  ========
+
+"Random" entries are the gathers into (aprod1) or scatters out of
+(aprod2) the unknown vector: the astrometric and attitude accesses are
+short contiguous runs (one transaction each on current hardware), the
+instrumental ones are isolated elements.  In ``aprod2`` the attitude
+and instrumental scatters collide and are counted as atomic updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.timing import KernelWork
+from repro.system.structure import SystemDims
+
+#: Names of the kernels whose aprod2 scatters need atomics.
+ATOMIC_KERNELS = ("aprod2_att", "aprod2_instr")
+
+
+@dataclass(frozen=True)
+class IterationWorkload:
+    """The kernel work of one LSQR iteration on one system."""
+
+    dims: SystemDims
+    aprod1: tuple[KernelWork, ...]
+    aprod2: tuple[KernelWork, ...]
+    vector_ops: KernelWork
+    vector_launches: int
+
+    @property
+    def all_kernels(self) -> tuple[KernelWork, ...]:
+        """aprod1 kernels, aprod2 kernels, then the vector-op bundle."""
+        return self.aprod1 + self.aprod2 + (self.vector_ops,)
+
+
+def build_iteration_workload(dims: SystemDims) -> IterationWorkload:
+    """Count one iteration's kernel work for ``dims``."""
+    m = dims.n_obs
+
+    def a1(name: str, value_bytes: int, idx_bytes: int, runs: float,
+           flops_per_row: int) -> KernelWork:
+        return KernelWork(
+            name=name,
+            streamed_bytes=m * (value_bytes + idx_bytes + 8),
+            random_accesses=m * runs,
+            flops=m * flops_per_row,
+        )
+
+    aprod1 = [
+        a1("aprod1_astro", 40, 8, 1, 10),
+        a1("aprod1_att", 96, 8, 3, 24),
+        a1("aprod1_instr", 48, 24, 6, 12),
+    ]
+    if dims.n_glob_params:
+        aprod1.append(
+            KernelWork(name="aprod1_glob", streamed_bytes=m * 16,
+                       random_accesses=0, flops=m * 2)
+        )
+
+    def a2(name: str, value_bytes: int, idx_bytes: int, runs: float,
+           flops_per_row: int, updates: int, targets: int) -> KernelWork:
+        return KernelWork(
+            name=name,
+            streamed_bytes=m * (value_bytes + idx_bytes + 8 + 8),
+            random_accesses=m * runs,
+            flops=m * flops_per_row,
+            atomic_updates=updates,
+            atomic_targets=targets,
+        )
+
+    aprod2 = [
+        # Astrometric scatter is collision-free (block diagonal, §IV).
+        a2("aprod2_astro", 40, 8, 1, 10, 0, 0),
+        a2("aprod2_att", 96, 8, 3, 24, m * 12, dims.n_att_params),
+        a2("aprod2_instr", 48, 24, 6, 12, m * 6, dims.n_instr_params),
+    ]
+    if dims.n_glob_params:
+        # The tuned ports reduce the global column with a tree
+        # reduction rather than m atomics on one address.
+        aprod2.append(
+            KernelWork(name="aprod2_glob", streamed_bytes=m * 24,
+                       random_accesses=0, flops=m * 2)
+        )
+
+    n = dims.n_params
+    # LSQR BLAS-1 work per iteration: scale/normalize u (3 passes of
+    # m), scale/normalize v (3 passes of n), x and w updates (4 passes
+    # of n) -- all streaming.
+    vector_ops = KernelWork(
+        name="vector_ops",
+        streamed_bytes=8 * (3 * m + 7 * n),
+        random_accesses=0,
+        flops=2 * (3 * m + 7 * n),
+    )
+    return IterationWorkload(
+        dims=dims,
+        aprod1=tuple(aprod1),
+        aprod2=tuple(aprod2),
+        vector_ops=vector_ops,
+        vector_launches=6,
+    )

@@ -1,0 +1,25 @@
+"""Production-style binary dataset I/O.
+
+The production pipeline ships the coefficient systems to the HPC
+machine as raw binary dumps that the solver reads rank by rank.  This
+subpackage reproduces that path:
+
+- :mod:`repro.io.binary` -- a versioned, checksummed, little-endian
+  binary container for :class:`~repro.system.GaiaSystem`, with
+  memory-mapped reads and per-rank windowed loading (each MPI rank
+  reads only its row block, as in production).
+"""
+
+from repro.io.binary import (
+    BinaryDatasetHeader,
+    read_binary_system,
+    read_rank_block,
+    write_binary_system,
+)
+
+__all__ = [
+    "BinaryDatasetHeader",
+    "write_binary_system",
+    "read_binary_system",
+    "read_rank_block",
+]

@@ -1,0 +1,267 @@
+"""Versioned binary container for AVU-GSR systems.
+
+Layout (all little-endian):
+
+====================  =======================================
+offset                content
+====================  =======================================
+0                     magic ``b"GSRB"``
+4                     uint32 format version
+8                     5 x int64 dims (stars, obs, att dof,
+                      instr, glob)
+48                    uint32 CRC32 of the payload
+52                    uint8 has_constraints flag, 3 pad bytes
+56                    payload: the eight arrays back to back,
+                      row-major, in a fixed order
+end                   optional constraint block
+====================  =======================================
+
+The payload order matches the solver's access pattern so a rank can
+``mmap`` the file and slice its row block out of every array without
+reading the rest -- the production solver's per-rank ingestion.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.system.constraints import ConstraintRow, ConstraintSet
+from repro.system.sparse import GaiaSystem
+from repro.system.structure import SystemDims
+
+MAGIC = b"GSRB"
+FORMAT_VERSION = 1
+_HEADER_STRUCT = struct.Struct("<4sI5qIB3x")
+
+#: (attribute, dtype, columns) in on-disk payload order.
+_PAYLOAD_LAYOUT: tuple[tuple[str, str, int], ...] = (
+    ("astro_values", "<f8", 5),
+    ("matrix_index_astro", "<i8", 1),
+    ("att_values", "<f8", 12),
+    ("matrix_index_att", "<i8", 1),
+    ("instr_values", "<f8", 6),
+    ("instr_col", "<i4", 6),
+    ("glob_values", "<f8", -1),  # n_glob columns
+    ("known_terms", "<f8", 1),
+)
+
+
+@dataclass(frozen=True)
+class BinaryDatasetHeader:
+    """Decoded header of a binary dataset file."""
+
+    version: int
+    dims: SystemDims
+    payload_crc32: int
+    has_constraints: bool
+
+    @property
+    def payload_bytes(self) -> int:
+        """Size of the array payload following the header."""
+        return sum(_field_bytes(self.dims, name, dtype, cols)
+                   for name, dtype, cols in _PAYLOAD_LAYOUT)
+
+
+def _field_cols(dims: SystemDims, cols: int) -> int:
+    return dims.n_glob_params if cols == -1 else cols
+
+
+def _field_bytes(dims: SystemDims, name: str, dtype: str, cols: int
+                 ) -> int:
+    return dims.n_obs * _field_cols(dims, cols) * np.dtype(dtype).itemsize
+
+
+def write_binary_system(system: GaiaSystem, path: str | Path) -> Path:
+    """Write ``system`` as a binary dump; returns the written path."""
+    path = Path(path)
+    d = system.dims
+    chunks: list[bytes] = []
+    for name, dtype, cols in _PAYLOAD_LAYOUT:
+        arr = np.ascontiguousarray(getattr(system, name),
+                                   dtype=np.dtype(dtype))
+        expected = (d.n_obs,) if _field_cols(d, cols) == 1 and \
+            getattr(system, name).ndim == 1 else (
+                d.n_obs, _field_cols(d, cols))
+        if _field_cols(d, cols) == 0:
+            chunks.append(b"")
+            continue
+        if arr.reshape(d.n_obs, -1).shape[1] != _field_cols(d, cols):
+            raise ValueError(f"{name}: unexpected shape {arr.shape}, "
+                             f"expected {expected}")
+        chunks.append(arr.tobytes())
+    payload = b"".join(chunks)
+    crc = zlib.crc32(payload)
+
+    constraint_block = b""
+    has_constraints = system.constraints is not None and bool(
+        len(system.constraints)
+    )
+    if has_constraints:
+        constraint_block = _encode_constraints(system.constraints)
+
+    header = _HEADER_STRUCT.pack(
+        MAGIC, FORMAT_VERSION,
+        d.n_stars, d.n_obs, d.n_deg_freedom_att, d.n_instr_params,
+        d.n_glob_params,
+        crc, 1 if has_constraints else 0,
+    )
+    path.write_bytes(header + payload + constraint_block)
+    return path
+
+
+def read_header(path: str | Path) -> BinaryDatasetHeader:
+    """Decode just the fixed-size header."""
+    with Path(path).open("rb") as fh:
+        raw = fh.read(_HEADER_STRUCT.size)
+    if len(raw) < _HEADER_STRUCT.size:
+        raise ValueError(f"{path}: truncated header")
+    magic, version, stars, obs, dof, instr, glob, crc, has_c = (
+        _HEADER_STRUCT.unpack(raw)
+    )
+    if magic != MAGIC:
+        raise ValueError(f"{path}: not a GSR binary dataset "
+                         f"(magic {magic!r})")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported format version {version} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    dims = SystemDims(n_stars=stars, n_obs=obs, n_deg_freedom_att=dof,
+                      n_instr_params=instr, n_glob_params=glob)
+    return BinaryDatasetHeader(version=version, dims=dims,
+                               payload_crc32=crc,
+                               has_constraints=bool(has_c))
+
+
+def _mmap_payload(path: Path, header: BinaryDatasetHeader) -> np.memmap:
+    return np.memmap(path, dtype=np.uint8, mode="r",
+                     offset=_HEADER_STRUCT.size,
+                     shape=(header.payload_bytes,))
+
+
+def _slice_fields(
+    buf: np.ndarray, dims: SystemDims, row_start: int, row_stop: int
+) -> dict[str, np.ndarray]:
+    """Decode the per-row window [row_start, row_stop) of every array."""
+    out: dict[str, np.ndarray] = {}
+    offset = 0
+    n_rows = row_stop - row_start
+    for name, dtype, cols in _PAYLOAD_LAYOUT:
+        width = _field_cols(dims, cols)
+        itemsize = np.dtype(dtype).itemsize
+        field_bytes = dims.n_obs * width * itemsize
+        if width:
+            lo = offset + row_start * width * itemsize
+            hi = offset + row_stop * width * itemsize
+            arr = np.frombuffer(buf[lo:hi].tobytes(), dtype=dtype)
+            arr = arr.reshape(n_rows, width)
+        else:
+            arr = np.zeros((n_rows, 0))
+        native = {
+            "<f8": np.float64, "<i8": np.int64, "<i4": np.int32,
+        }[dtype]
+        arr = arr.astype(native, copy=False)
+        if name in ("matrix_index_astro", "matrix_index_att",
+                    "known_terms"):
+            arr = arr.reshape(n_rows)
+        out[name] = arr
+        offset += field_bytes
+    return out
+
+
+def read_binary_system(path: str | Path, *, verify: bool = True
+                       ) -> GaiaSystem:
+    """Read a full system back, verifying the payload checksum."""
+    path = Path(path)
+    header = read_header(path)
+    buf = _mmap_payload(path, header)
+    if verify:
+        crc = zlib.crc32(buf.tobytes())
+        if crc != header.payload_crc32:
+            raise ValueError(
+                f"{path}: payload checksum mismatch "
+                f"(stored {header.payload_crc32:#010x}, "
+                f"computed {crc:#010x})"
+            )
+    fields = _slice_fields(buf, header.dims, 0, header.dims.n_obs)
+    constraints = None
+    if header.has_constraints:
+        with path.open("rb") as fh:
+            fh.seek(_HEADER_STRUCT.size + header.payload_bytes)
+            constraints = _decode_constraints(fh.read())
+    return GaiaSystem(
+        dims=header.dims,
+        constraints=constraints,
+        meta={"source": str(path), "format": "gsr-binary"},
+        **fields,
+    )
+
+
+def read_rank_block(
+    path: str | Path, row_start: int, row_stop: int
+) -> GaiaSystem:
+    """Read only the rows [row_start, row_stop) -- per-rank ingestion.
+
+    The returned local system shares the global unknown space (the
+    dims keep the global parameter counts, with ``n_obs`` shrunk to
+    the window), exactly like
+    :func:`repro.dist.decomposition.slice_system`.
+    """
+    from dataclasses import replace
+
+    path = Path(path)
+    header = read_header(path)
+    if not 0 <= row_start < row_stop <= header.dims.n_obs:
+        raise ValueError(
+            f"bad row window [{row_start}, {row_stop}) for "
+            f"{header.dims.n_obs} rows"
+        )
+    buf = _mmap_payload(path, header)
+    fields = _slice_fields(buf, header.dims, row_start, row_stop)
+    local_dims = replace(header.dims, n_obs=row_stop - row_start)
+    return GaiaSystem(
+        dims=local_dims,
+        constraints=None,
+        meta={"source": str(path), "format": "gsr-binary",
+              "rank_window": (row_start, row_stop)},
+        **fields,
+    )
+
+
+# ----------------------------------------------------------------------
+# Constraint block codec
+# ----------------------------------------------------------------------
+def _encode_constraints(cs: ConstraintSet) -> bytes:
+    parts = [struct.pack("<q", len(cs))]
+    for row in cs:
+        label = row.label.encode()
+        parts.append(struct.pack("<qdq", row.cols.size, row.rhs,
+                                 len(label)))
+        parts.append(label)
+        parts.append(row.cols.astype("<i8").tobytes())
+        parts.append(row.vals.astype("<f8").tobytes())
+    return b"".join(parts)
+
+
+def _decode_constraints(blob: bytes) -> ConstraintSet:
+    cs = ConstraintSet()
+    (count,) = struct.unpack_from("<q", blob, 0)
+    offset = 8
+    for _ in range(count):
+        size, rhs, label_len = struct.unpack_from("<qdq", blob, offset)
+        offset += struct.calcsize("<qdq")
+        label = blob[offset:offset + label_len].decode()
+        offset += label_len
+        cols = np.frombuffer(blob, dtype="<i8", count=size,
+                             offset=offset).astype(np.int64)
+        offset += size * 8
+        vals = np.frombuffer(blob, dtype="<f8", count=size,
+                             offset=offset).astype(np.float64)
+        offset += size * 8
+        cs.add(ConstraintRow(cols=cols, vals=vals, rhs=rhs, label=label))
+    return cs

@@ -1,0 +1,55 @@
+"""The AVU-GSR pipeline shell around the solver (Fig. 1).
+
+The paper's Fig. 1 shows the solver as the HPC-offloaded bottleneck of
+a longer pipeline: GSR preprocessing, system generation, the solve,
+solution de-rotation against the AGIS solution, statistical
+time-series analysis of the residuals and weight calculation feeding
+back into the next cycle.  This subpackage implements light but
+functional versions of those stages so the solver runs in its real
+context:
+
+- :mod:`repro.pipeline.preprocess` -- synthetic observation catalog
+  (the GSR Preprocessor stand-in);
+- :mod:`repro.pipeline.system_generation` -- builds the coefficient
+  system from the catalog's scan geometry;
+- :mod:`repro.pipeline.solver_module` -- the Solver box: the
+  preconditioned LSQR with checkpointing;
+- :mod:`repro.pipeline.derotation` -- rigid-rotation fit of the GSR
+  solution onto the reference frame;
+- :mod:`repro.pipeline.statistics` -- residual chi-square, outlier
+  detection, binned time series and the weight update;
+- :mod:`repro.pipeline.pipeline` -- the orchestrator.
+"""
+
+from repro.pipeline.preprocess import ObservationCatalog, make_catalog
+from repro.pipeline.system_generation import system_from_catalog
+from repro.pipeline.solver_module import SolverModule, SolverOutput
+from repro.pipeline.derotation import RotationFit, derotate, fit_rotation
+from repro.pipeline.statistics import ResidualStats, analyze_residuals
+from repro.pipeline.pipeline import AvuGsrPipeline, PipelineResult
+from repro.pipeline.agis import (
+    AgisComparison,
+    agis_like_solution,
+    compare_with_agis,
+)
+from repro.pipeline.ingestion import SolutionCatalog, ingest_solution
+
+__all__ = [
+    "ObservationCatalog",
+    "make_catalog",
+    "system_from_catalog",
+    "SolverModule",
+    "SolverOutput",
+    "RotationFit",
+    "fit_rotation",
+    "derotate",
+    "ResidualStats",
+    "analyze_residuals",
+    "AvuGsrPipeline",
+    "PipelineResult",
+    "AgisComparison",
+    "agis_like_solution",
+    "compare_with_agis",
+    "SolutionCatalog",
+    "ingest_solution",
+]

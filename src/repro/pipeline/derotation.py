@@ -1,0 +1,122 @@
+"""Solution De-rotation stage.
+
+The sphere-reconstruction solution is defined up to a rigid rotation
+(and spin) of the reference frame; the pipeline removes it by fitting
+the rotation that best maps the GSR positional corrections onto the
+AGIS reference solution and subtracting it (the "Solution De-rotation"
+and "De-rotated Solution /AGIS Comparison" boxes of Fig. 1).
+
+For a small rotation vector ``eps = (ex, ey, ez)`` the positional
+corrections of a star at ``(ra, dec)`` change by the standard
+astrometric relations
+
+    d(ra*)  =  ex * cos(ra) sin(dec) + ey * sin(ra) sin(dec)
+               - ez * cos(dec)
+    d(dec)  = -ex * sin(ra)          + ey * cos(ra)
+
+(``ra* = ra cos(dec)``); the same design applied to the proper-motion
+components fits the frame spin ``omega``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RotationFit:
+    """Fitted frame rotation and spin."""
+
+    epsilon: np.ndarray  # (3,) orientation correction, radians
+    omega: np.ndarray    # (3,) spin correction, radians / year
+    rms_before: float
+    rms_after: float
+
+    def __post_init__(self) -> None:
+        if self.epsilon.shape != (3,) or self.omega.shape != (3,):
+            raise ValueError("epsilon and omega must be 3-vectors")
+
+
+def rotation_design(ra: np.ndarray, dec: np.ndarray) -> np.ndarray:
+    """Design matrix of the small-rotation model, ``(2 * n_stars, 3)``.
+
+    Rows alternate (d_ra*, d_dec) per star.
+    """
+    if ra.shape != dec.shape:
+        raise ValueError("ra and dec must match")
+    n = ra.shape[0]
+    design = np.zeros((2 * n, 3))
+    design[0::2, 0] = np.cos(ra) * np.sin(dec)
+    design[0::2, 1] = np.sin(ra) * np.sin(dec)
+    design[0::2, 2] = -np.cos(dec)
+    design[1::2, 0] = -np.sin(ra)
+    design[1::2, 1] = np.cos(ra)
+    return design
+
+
+def apply_rotation(
+    ra: np.ndarray, dec: np.ndarray, eps: np.ndarray
+) -> np.ndarray:
+    """Positional offsets ``(2 * n_stars,)`` produced by rotation ``eps``."""
+    return rotation_design(ra, dec) @ np.asarray(eps, dtype=np.float64)
+
+
+def fit_rotation(
+    ra: np.ndarray,
+    dec: np.ndarray,
+    delta_pos: np.ndarray,
+    delta_pm: np.ndarray | None = None,
+) -> RotationFit:
+    """Fit (and report) the rigid rotation in positional corrections.
+
+    ``delta_pos`` interleaves (d_ra*, d_dec) per star -- the difference
+    between the GSR and AGIS astrometric corrections; ``delta_pm``
+    optionally carries the proper-motion differences for the spin fit.
+    """
+    design = rotation_design(ra, dec)
+    if delta_pos.shape != (design.shape[0],):
+        raise ValueError(
+            f"delta_pos must have shape ({design.shape[0]},), "
+            f"got {delta_pos.shape}"
+        )
+    eps, *_ = np.linalg.lstsq(design, delta_pos, rcond=None)
+    residual = delta_pos - design @ eps
+    if delta_pm is not None:
+        omega, *_ = np.linalg.lstsq(design, delta_pm, rcond=None)
+    else:
+        omega = np.zeros(3)
+    return RotationFit(
+        epsilon=eps,
+        omega=omega,
+        rms_before=float(np.sqrt(np.mean(delta_pos**2))),
+        rms_after=float(np.sqrt(np.mean(residual**2))),
+    )
+
+
+def derotate(
+    ra: np.ndarray,
+    dec: np.ndarray,
+    astro_per_star: np.ndarray,
+    fit: RotationFit,
+) -> np.ndarray:
+    """Remove a fitted rotation from a per-star astrometric table.
+
+    ``astro_per_star`` is the ``(n_stars, 5)`` table of
+    (ra*, dec, parallax, mu_ra*, mu_dec) corrections; returns the
+    de-rotated copy (parallaxes are rotation-invariant).
+    """
+    if astro_per_star.shape != (ra.shape[0], 5):
+        raise ValueError(
+            f"astro_per_star must be ({ra.shape[0]}, 5), "
+            f"got {astro_per_star.shape}"
+        )
+    out = astro_per_star.copy()
+    pos = apply_rotation(ra, dec, fit.epsilon)
+    pm = apply_rotation(ra, dec, fit.omega)
+    out[:, 0] -= pos[0::2]
+    out[:, 1] -= pos[1::2]
+    out[:, 3] -= pm[0::2]
+    out[:, 4] -= pm[1::2]
+    return out

@@ -1,0 +1,145 @@
+"""Solution Ingestion: the catalog product of one pipeline cycle.
+
+Fig. 1's "Solution Ingestion" box packs the solver output back into a
+database product.  Here that product is a :class:`SolutionCatalog`:
+one row per star with the five astrometric corrections, their
+standard errors, and per-star quality diagnostics (observation count,
+mean weight, a quality flag), serializable to ``.npz`` and CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.variance import to_microarcsec
+from repro.pipeline.solver_module import SolverOutput
+from repro.system.solution import ASTRO_PARAM_NAMES, split_solution
+from repro.system.sparse import GaiaSystem
+
+#: Quality flags.
+FLAG_GOOD = 0
+FLAG_FEW_OBS = 1       # fewer observations than parameters per star
+FLAG_DOWNWEIGHTED = 2  # mean robust weight below threshold
+
+
+@dataclass
+class SolutionCatalog:
+    """Per-star astrometric catalog of one cycle.
+
+    All parameter columns are in radians (micro-arcsecond views via
+    :meth:`table_uas`).
+    """
+
+    star_id: np.ndarray       # (n_stars,)
+    params: np.ndarray        # (n_stars, 5)
+    errors: np.ndarray        # (n_stars, 5)
+    n_obs: np.ndarray         # (n_stars,)
+    mean_weight: np.ndarray   # (n_stars,)
+    flags: np.ndarray         # (n_stars,)
+
+    def __post_init__(self) -> None:
+        n = self.star_id.shape[0]
+        if self.params.shape != (n, 5) or self.errors.shape != (n, 5):
+            raise ValueError("params/errors must be (n_stars, 5)")
+        for name in ("n_obs", "mean_weight", "flags"):
+            if getattr(self, name).shape != (n,):
+                raise ValueError(f"{name} must be (n_stars,)")
+
+    @property
+    def n_stars(self) -> int:
+        """Catalog rows."""
+        return self.star_id.shape[0]
+
+    def good(self) -> np.ndarray:
+        """Boolean mask of flag-clean stars."""
+        return self.flags == FLAG_GOOD
+
+    def table_uas(self) -> np.ndarray:
+        """Parameters in micro-arcseconds, ``(n_stars, 5)``."""
+        return to_microarcsec(self.params)
+
+    # ------------------------------------------------------------------
+    def save_npz(self, path: str | Path) -> Path:
+        """Write the catalog as a compressed ``.npz``."""
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_suffix(".npz")
+        np.savez_compressed(
+            path, star_id=self.star_id, params=self.params,
+            errors=self.errors, n_obs=self.n_obs,
+            mean_weight=self.mean_weight, flags=self.flags,
+        )
+        return path
+
+    @classmethod
+    def load_npz(cls, path: str | Path) -> "SolutionCatalog":
+        """Read a catalog written by :meth:`save_npz`."""
+        with np.load(Path(path)) as z:
+            return cls(star_id=z["star_id"], params=z["params"],
+                       errors=z["errors"], n_obs=z["n_obs"],
+                       mean_weight=z["mean_weight"], flags=z["flags"])
+
+    def save_csv(self, path: str | Path) -> Path:
+        """Write the catalog as CSV (one star per row)."""
+        path = Path(path)
+        header = (["star_id"]
+                  + list(ASTRO_PARAM_NAMES)
+                  + [f"{n}_err" for n in ASTRO_PARAM_NAMES]
+                  + ["n_obs", "mean_weight", "flag"])
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(header)
+            for i in range(self.n_stars):
+                writer.writerow(
+                    [int(self.star_id[i])]
+                    + [f"{v:.12e}" for v in self.params[i]]
+                    + [f"{v:.12e}" for v in self.errors[i]]
+                    + [int(self.n_obs[i]),
+                       f"{self.mean_weight[i]:.6f}",
+                       int(self.flags[i])]
+                )
+        return path
+
+
+def ingest_solution(
+    system: GaiaSystem,
+    output: SolverOutput,
+    *,
+    weights: np.ndarray | None = None,
+    min_weight: float = 0.5,
+) -> SolutionCatalog:
+    """Build the catalog product from one solve.
+
+    ``weights`` are the robust observation weights of the cycle (all
+    ones when not re-weighted yet).
+    """
+    d = system.dims
+    if weights is None:
+        weights = np.ones(d.n_obs)
+    if weights.shape != (d.n_obs,):
+        raise ValueError(
+            f"weights has shape {weights.shape}, expected ({d.n_obs},)"
+        )
+    star = system.star_ids
+    n_obs = np.bincount(star, minlength=d.n_stars)
+    weight_sum = np.bincount(star, weights=weights, minlength=d.n_stars)
+    mean_weight = np.divide(weight_sum, np.maximum(n_obs, 1))
+
+    params = split_solution(output.result.x, d).per_star().copy()
+    errors = split_solution(output.se, d).per_star().copy()
+
+    flags = np.full(d.n_stars, FLAG_GOOD, dtype=np.int64)
+    flags[n_obs < 5] |= FLAG_FEW_OBS
+    flags[mean_weight < min_weight] |= FLAG_DOWNWEIGHTED
+    return SolutionCatalog(
+        star_id=np.arange(d.n_stars, dtype=np.int64),
+        params=params,
+        errors=errors,
+        n_obs=n_obs.astype(np.int64),
+        mean_weight=mean_weight,
+        flags=flags,
+    )

@@ -1,0 +1,103 @@
+"""GSR Preprocessor stand-in: synthetic observation catalogs.
+
+Generates the quantities the system-generation stage needs per
+observation: which star was observed, when, and under which scan
+angle -- a simplified Gaia scanning law (uniform-precession great
+circles) that produces the multi-epoch, multi-angle coverage the real
+astrometric solution relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ObservationCatalog:
+    """Per-star coordinates and per-observation scan records.
+
+    Attributes
+    ----------
+    ra, dec:
+        ``(n_stars,)`` star coordinates in radians.
+    star_of_obs:
+        ``(n_obs,)`` observed star per row, non-decreasing.
+    epoch:
+        ``(n_obs,)`` observation time in years from the reference
+        epoch, in ``[-2.5, 2.5]`` (the nominal 5-year mission).
+    scan_angle:
+        ``(n_obs,)`` position angle of the scan direction, radians.
+    parallax_factor:
+        ``(n_obs,)`` along-scan parallax factor in ``[-1, 1]``.
+    """
+
+    ra: np.ndarray
+    dec: np.ndarray
+    star_of_obs: np.ndarray
+    epoch: np.ndarray
+    scan_angle: np.ndarray
+    parallax_factor: np.ndarray
+
+    @property
+    def n_stars(self) -> int:
+        """Number of catalog stars."""
+        return self.ra.shape[0]
+
+    @property
+    def n_obs(self) -> int:
+        """Number of observations."""
+        return self.star_of_obs.shape[0]
+
+    def __post_init__(self) -> None:
+        if self.ra.shape != self.dec.shape:
+            raise ValueError("ra and dec must match")
+        n_obs = self.star_of_obs.shape[0]
+        for name in ("epoch", "scan_angle", "parallax_factor"):
+            if getattr(self, name).shape != (n_obs,):
+                raise ValueError(f"{name} must have shape ({n_obs},)")
+        if np.any(np.diff(self.star_of_obs) < 0):
+            raise ValueError("star_of_obs must be non-decreasing")
+        if self.star_of_obs.max(initial=0) >= self.n_stars:
+            raise ValueError("star_of_obs references unknown stars")
+
+
+def make_catalog(
+    n_stars: int,
+    obs_per_star: int,
+    *,
+    seed: int = 0,
+    mission_years: float = 5.0,
+) -> ObservationCatalog:
+    """Generate a catalog with quasi-uniform sky and scan coverage."""
+    if n_stars < 1 or obs_per_star < 1:
+        raise ValueError("n_stars and obs_per_star must be >= 1")
+    rng = np.random.default_rng(seed)
+    ra = rng.uniform(0.0, 2 * np.pi, n_stars)
+    dec = np.arcsin(rng.uniform(-0.99, 0.99, n_stars))
+
+    star_of_obs = np.repeat(np.arange(n_stars), obs_per_star)
+    n_obs = star_of_obs.size
+    # Transits of one star are spread over the mission with the
+    # precession of the scanning law driving the angle coverage.
+    epoch = np.tile(
+        np.linspace(-mission_years / 2, mission_years / 2, obs_per_star),
+        n_stars,
+    ) + rng.normal(scale=0.02, size=n_obs)
+    scan_angle = (
+        4.223 * epoch  # ~63-day precession period harmonic, simplified
+        + ra[star_of_obs]
+        + rng.normal(scale=0.2, size=n_obs)
+    ) % (2 * np.pi)
+    parallax_factor = np.sin(2 * np.pi * epoch + ra[star_of_obs]) * np.cos(
+        dec[star_of_obs]
+    )
+    return ObservationCatalog(
+        ra=ra,
+        dec=dec,
+        star_of_obs=star_of_obs,
+        epoch=epoch,
+        scan_angle=scan_angle,
+        parallax_factor=parallax_factor,
+    )

@@ -1,0 +1,93 @@
+"""The Solver box of Fig. 1.
+
+Wraps the preconditioned LSQR with the pipeline conveniences the
+production module has: an iteration budget per pipeline cycle,
+periodic checkpoints of the running solution, and the
+iteration-timing record the performance studies consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.lsqr import LSQRResult, lsqr_solve
+from repro.core.variance import standard_errors
+from repro.system.solution import SolutionSections, split_solution
+from repro.system.sparse import GaiaSystem
+
+
+@dataclass
+class SolverOutput:
+    """Solution bundle handed to the downstream pipeline stages."""
+
+    result: LSQRResult
+    sections: SolutionSections
+    se: np.ndarray
+    checkpoints: list[tuple[int, float]] = field(default_factory=list)
+
+    @property
+    def converged(self) -> bool:
+        """True when LSQR stopped on a convergence criterion."""
+        return self.result.converged
+
+
+class SolverModule:
+    """Configurable solver stage."""
+
+    def __init__(
+        self,
+        *,
+        atol: float = 1e-8,
+        btol: float = 1e-8,
+        iter_lim: int | None = None,
+        checkpoint_every: int = 25,
+        damp: float = 0.0,
+    ) -> None:
+        # The sphere-reconstruction system is intrinsically
+        # ill-conditioned (the attitude/astrometric quasi-degeneracy
+        # the constraint equations only partly remove, §III-B), so the
+        # pipeline defaults trade the last digits of convergence for a
+        # bounded iteration count; tighten atol/btol for studies that
+        # need machine-precision solves.
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.atol = atol
+        self.btol = btol
+        self.iter_lim = iter_lim
+        self.checkpoint_every = checkpoint_every
+        self.damp = damp
+
+    def solve(self, system: GaiaSystem,
+              x0: np.ndarray | None = None) -> SolverOutput:
+        """Run the solve, collecting periodic (itn, r2norm) checkpoints.
+
+        ``x0`` warm-starts the iteration (used when chaining pipeline
+        cycles).
+        """
+        checkpoints: list[tuple[int, float]] = []
+
+        def on_iteration(itn: int, _x: np.ndarray, r2norm: float) -> None:
+            if itn % self.checkpoint_every == 0:
+                checkpoints.append((itn, r2norm))
+
+        iter_lim = self.iter_lim
+        if iter_lim is None:
+            iter_lim = 6 * system.dims.n_params
+        result = lsqr_solve(
+            system,
+            atol=self.atol,
+            btol=self.btol,
+            iter_lim=iter_lim,
+            damp=self.damp,
+            calc_var=True,
+            x0=x0,
+            callback=on_iteration,
+        )
+        return SolverOutput(
+            result=result,
+            sections=split_solution(result.x, system.dims),
+            se=standard_errors(result),
+            checkpoints=checkpoints,
+        )

@@ -1,0 +1,106 @@
+"""Statistical analysis of the post-fit residuals.
+
+Implements the "Statistical Time-series Analysis", "Residuals Report"
+and "Weights Calculation" boxes of Fig. 1: chi-square of the post-fit
+residuals, sigma-clipped outlier detection, residuals binned over the
+mission timeline, and the robust weight update that feeds the next
+pipeline cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.aprod import AprodOperator
+from repro.system.sparse import GaiaSystem
+
+
+@dataclass(frozen=True)
+class ResidualStats:
+    """Residual diagnostics of one solved system."""
+
+    n_obs: int
+    rms: float
+    chi2: float
+    reduced_chi2: float
+    outlier_fraction: float
+    binned_epochs: np.ndarray
+    binned_rms: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.binned_epochs.shape != self.binned_rms.shape:
+            raise ValueError("binned arrays must match")
+
+
+def residuals(system: GaiaSystem, x: np.ndarray) -> np.ndarray:
+    """Post-fit residuals ``b - A x`` over the observation rows."""
+    pred = AprodOperator(system).aprod1(x)[: system.dims.n_obs]
+    return system.known_terms - pred
+
+
+def analyze_residuals(
+    system: GaiaSystem,
+    x: np.ndarray,
+    *,
+    noise_sigma: float | None = None,
+    epoch: np.ndarray | None = None,
+    n_bins: int = 10,
+    clip_sigma: float = 5.0,
+) -> ResidualStats:
+    """Compute the residual report for one solution.
+
+    ``noise_sigma`` defaults to the generator's recorded noise level
+    (or the residual RMS when unknown); ``epoch`` enables the binned
+    time-series view.
+    """
+    r = residuals(system, x)
+    m = r.size
+    rms = float(np.sqrt(np.mean(r**2)))
+    if noise_sigma is None:
+        noise_sigma = system.meta.get("noise_sigma") or rms or 1.0
+    if noise_sigma <= 0:
+        noise_sigma = rms or 1.0
+    chi2 = float(np.sum((r / noise_sigma) ** 2))
+    dof = max(m - system.dims.n_params, 1)
+    outliers = np.abs(r) > clip_sigma * max(rms, 1e-300)
+    if epoch is None:
+        epoch = np.linspace(0.0, 1.0, m)
+    if epoch.shape != (m,):
+        raise ValueError(f"epoch must have shape ({m},)")
+    edges = np.linspace(epoch.min(), epoch.max() + 1e-12, n_bins + 1)
+    which = np.clip(np.digitize(epoch, edges) - 1, 0, n_bins - 1)
+    binned_rms = np.zeros(n_bins)
+    for b in range(n_bins):
+        sel = which == b
+        binned_rms[b] = (
+            float(np.sqrt(np.mean(r[sel] ** 2))) if np.any(sel) else 0.0
+        )
+    return ResidualStats(
+        n_obs=m,
+        rms=rms,
+        chi2=chi2,
+        reduced_chi2=chi2 / dof,
+        outlier_fraction=float(np.mean(outliers)),
+        binned_epochs=0.5 * (edges[:-1] + edges[1:]),
+        binned_rms=binned_rms,
+    )
+
+
+def update_weights(
+    r: np.ndarray, *, scale: float | None = None, tukey_c: float = 4.685
+) -> np.ndarray:
+    """Tukey biweight observation weights for the next cycle.
+
+    Returns weights in [0, 1]; residuals beyond ``tukey_c * scale``
+    get weight 0 (the classic robust down-weighting the pipeline's
+    "Weights Calculation" box applies between cycles).
+    """
+    if scale is None:
+        mad = float(np.median(np.abs(r - np.median(r))))
+        scale = 1.4826 * mad if mad > 0 else float(np.std(r)) or 1.0
+    u = r / (tukey_c * scale)
+    w = (1 - u**2) ** 2
+    w[np.abs(u) >= 1] = 0.0
+    return w

@@ -1,0 +1,63 @@
+"""Architectural efficiency (Pennycook's second normalization).
+
+Pennycook et al. define P over either *application* efficiency
+(vs. the best-observed implementation, what the paper's Fig. 3 uses)
+or *architectural* efficiency (achieved fraction of the hardware
+peak).  The AVU-GSR kernels are memory-bound, so the natural
+architectural measure is achieved memory bandwidth over peak:
+
+    e_arch = (bytes moved per iteration) / (t_iter * BW_peak)
+
+This module computes it from the modeled executor and exposes the
+corresponding P, giving the study the second lens Pennycook's paper
+recommends reporting.
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.base import Port
+from repro.frameworks.executor import model_iteration
+from repro.gpu.device import DeviceSpec
+from repro.gpu.workload import build_iteration_workload
+from repro.portability.metrics import harmonic_mean
+from repro.system.structure import SystemDims
+
+
+def iteration_bytes(dims: SystemDims) -> float:
+    """Bytes one LSQR iteration must move at minimum.
+
+    Streamed coefficient/vector traffic plus one 8-byte word per
+    random access (the algorithmic minimum; transaction amplification
+    is the architecture's problem, not the algorithm's).
+    """
+    workload = build_iteration_workload(dims)
+    return float(sum(
+        w.streamed_bytes + 8.0 * w.random_accesses
+        for w in workload.all_kernels
+    ))
+
+
+def architectural_efficiency(
+    port: Port, device: DeviceSpec, dims: SystemDims,
+    *, size_gb: float | None = None,
+) -> float:
+    """Achieved fraction of the device's peak memory bandwidth."""
+    t = model_iteration(port, device, dims, size_gb=size_gb).total
+    achieved = iteration_bytes(dims) / t
+    return min(1.0, achieved / device.peak_bandwidth_bytes)
+
+
+def architectural_p(
+    port: Port,
+    devices: tuple[DeviceSpec, ...],
+    dims: SystemDims,
+    *, size_gb: float | None = None,
+) -> float:
+    """P over architectural efficiencies (0 if any device unsupported)."""
+    effs = []
+    for device in devices:
+        if not port.supports(device):
+            return 0.0
+        effs.append(architectural_efficiency(port, device, dims,
+                                             size_gb=size_gb))
+    return harmonic_mean(effs)

@@ -1,0 +1,84 @@
+"""Efficiency cascades (the p3-analysis-library plot behind Fig. 3).
+
+A cascade sorts one port's per-platform efficiencies in descending
+order and tracks the running harmonic mean: the first point is the
+port's best efficiency ("the maximum efficiency on the
+best-performing hardware for a given framework", §V-B), the last
+running mean is its P over the full set, and the shape in between
+shows how each added platform erodes portability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.portability.metrics import harmonic_mean
+
+
+@dataclass(frozen=True)
+class CascadeData:
+    """One port's efficiency cascade.
+
+    Attributes
+    ----------
+    port:
+        Port key.
+    platforms:
+        Platform names sorted by descending efficiency; platforms the
+        port cannot run on come last.
+    efficiencies:
+        Efficiencies in the same order (None for unsupported).
+    running_p:
+        Harmonic mean of the first k efficiencies, for k = 1..|H|
+        (0 from the first unsupported platform onward).
+    """
+
+    port: str
+    platforms: tuple[str, ...]
+    efficiencies: tuple[float | None, ...]
+    running_p: tuple[float, ...]
+
+    @property
+    def best_platform(self) -> str:
+        """Platform of the port's highest efficiency."""
+        return self.platforms[0]
+
+    @property
+    def p(self) -> float:
+        """P over the full platform set (last running value)."""
+        return self.running_p[-1]
+
+
+def efficiency_cascade(
+    port: str,
+    efficiencies: Mapping[str, float | None],
+    platforms: Sequence[str],
+) -> CascadeData:
+    """Build one port's cascade over ``platforms``."""
+    if not platforms:
+        raise ValueError("cascade over an empty platform set")
+    supported = [
+        (p, efficiencies.get(p))
+        for p in platforms
+        if efficiencies.get(p) is not None
+    ]
+    unsupported = [p for p in platforms if efficiencies.get(p) is None]
+    supported.sort(key=lambda pe: -pe[1])  # type: ignore[operator]
+    ordered = [p for p, _ in supported] + unsupported
+    effs: list[float | None] = [e for _, e in supported]
+    effs += [None] * len(unsupported)
+
+    running: list[float] = []
+    for k in range(1, len(ordered) + 1):
+        prefix = effs[:k]
+        if any(e is None for e in prefix):
+            running.append(0.0)
+        else:
+            running.append(harmonic_mean([e for e in prefix]))  # type: ignore[misc]
+    return CascadeData(
+        port=port,
+        platforms=tuple(ordered),
+        efficiencies=tuple(effs),
+        running_p=tuple(running),
+    )

@@ -1,0 +1,119 @@
+"""Regression comparison between two study runs.
+
+When the execution model, the calibration or a port definition
+changes, the question is always "what moved?".  This module diffs two
+:class:`~repro.portability.study.StudyResult` objects cell by cell and
+reports the P deltas, the time deltas beyond a tolerance, and any
+change in platform support or per-platform winners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.portability.study import StudyResult
+
+
+@dataclass(frozen=True)
+class CellDelta:
+    """One (size, port, platform) measurement change."""
+
+    size_gb: float
+    port: str
+    platform: str
+    before: float | None
+    after: float | None
+
+    @property
+    def rel_change(self) -> float:
+        """Relative time change (inf on support changes)."""
+        if self.before is None or self.after is None:
+            return float("inf")
+        if self.before == 0:
+            return float("inf")
+        return self.after / self.before - 1.0
+
+
+@dataclass
+class StudyDiff:
+    """All differences between two runs."""
+
+    time_deltas: list[CellDelta] = field(default_factory=list)
+    p_deltas: dict[tuple[float, str], tuple[float, float]] = field(
+        default_factory=dict
+    )
+    winner_changes: dict[tuple[float, str], tuple[str, str]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def clean(self) -> bool:
+        """No change beyond tolerance anywhere."""
+        return not (self.time_deltas or self.p_deltas
+                    or self.winner_changes)
+
+    def summary(self) -> str:
+        """Human-readable diff report."""
+        if self.clean:
+            return "studies identical within tolerance"
+        lines = []
+        for d in self.time_deltas:
+            lines.append(
+                f"time  {d.size_gb:g}GB {d.port} on {d.platform}: "
+                f"{d.before} -> {d.after} ({d.rel_change:+.1%})"
+            )
+        for (size, port), (a, b) in self.p_deltas.items():
+            lines.append(f"P     {size:g}GB {port}: {a:.3f} -> {b:.3f}")
+        for (size, platform), (a, b) in self.winner_changes.items():
+            lines.append(f"winner {size:g}GB {platform}: {a} -> {b}")
+        return "\n".join(lines)
+
+
+def diff_studies(
+    before: StudyResult,
+    after: StudyResult,
+    *,
+    time_rtol: float = 0.02,
+    p_atol: float = 0.01,
+) -> StudyDiff:
+    """Diff two runs of the same study grid."""
+    if before.sizes != after.sizes:
+        raise ValueError(
+            f"size grids differ: {before.sizes} vs {after.sizes}"
+        )
+    if set(before.port_keys) != set(after.port_keys):
+        raise ValueError("port sets differ")
+    diff = StudyDiff()
+    for size in before.sizes:
+        t_before = before.times(size)
+        t_after = after.times(size)
+        platforms = sorted(
+            set(before.platforms(size)) | set(after.platforms(size))
+        )
+        for port in before.port_keys:
+            for platform in platforms:
+                a = t_before.get(port, {}).get(platform)
+                b = t_after.get(port, {}).get(platform)
+                if (a is None) != (b is None):
+                    diff.time_deltas.append(CellDelta(
+                        size_gb=size, port=port, platform=platform,
+                        before=a, after=b))
+                elif a is not None and b is not None and a > 0:
+                    if abs(b / a - 1.0) > time_rtol:
+                        diff.time_deltas.append(CellDelta(
+                            size_gb=size, port=port, platform=platform,
+                            before=a, after=b))
+        p_before = before.p_scores(size)
+        p_after = after.p_scores(size)
+        for port in before.port_keys:
+            if abs(p_before[port] - p_after[port]) > p_atol:
+                diff.p_deltas[(size, port)] = (p_before[port],
+                                               p_after[port])
+        for platform in before.platforms(size):
+            if platform not in after.platforms(size):
+                continue
+            wa = before.best_port(size, platform)
+            wb = after.best_port(size, platform)
+            if wa != wb:
+                diff.winner_changes[(size, platform)] = (wa, wb)
+    return diff

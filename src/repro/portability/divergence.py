@@ -1,0 +1,121 @@
+"""Code divergence and the P3 navigation chart.
+
+Pennycook's follow-up work (and the p3-analysis-library the paper uses
+for its plots) pairs P with **code divergence**: the mean pairwise
+distance between the source variants an application needs across
+platforms,
+
+    CD(a, H) = mean over platform pairs {i, j} of
+               1 - |s_i intersect s_j| / |s_i union s_j|
+
+where ``s_i`` is the set of source/toolchain features used on
+platform i (a Jaccard distance).  A perfectly single-source port has
+CD = 0; a port maintaining disjoint per-platform sources approaches 1.
+
+Here each port's per-vendor feature set is built from the registry:
+framework API markers, compiler identity and the compilation flags of
+Tables II/III -- exactly the artifacts a developer must maintain per
+platform.  Combining CD with P yields the navigation chart: the ideal
+corner is high P at low divergence (HIP / SYCL+ACPP), CUDA sits at
+zero divergence but zero P, and the OpenMP/vendor mixtures pay
+divergence for their MI250X performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.frameworks.base import Port
+from repro.frameworks.registry import (
+    COMPILE_FLAGS_AMD,
+    COMPILE_FLAGS_NVIDIA,
+)
+from repro.gpu.device import DeviceSpec, Vendor
+
+#: Framework-level source markers: the API families a port's source
+#: actually contains (memory management, kernel syntax, tuning knobs).
+FRAMEWORK_MARKERS: dict[str, frozenset[str]] = {
+    "CUDA": frozenset({"cudaMalloc", "cudaMemcpyAsync", "cudaStream",
+                       "kernel<<<>>>", "atomicAdd"}),
+    "HIP": frozenset({"hipMalloc", "hipMemcpyAsync", "hipStream",
+                      "hipMemAdvise", "kernel<<<>>>", "atomicAdd"}),
+    "SYCL": frozenset({"queue", "malloc_device", "parallel_for",
+                       "nd_range", "atomic_ref"}),
+    "OpenMP": frozenset({"omp target", "omp enter data",
+                         "omp target update", "teams distribute",
+                         "num_teams", "thread_limit", "omp atomic"}),
+    "PSTL": frozenset({"std::execution::par_unseq", "std::transform",
+                       "std::for_each", "std::transform_reduce"}),
+}
+
+
+def _flag_tokens(flags: str) -> frozenset[str]:
+    return frozenset(tok for tok in flags.split() if tok)
+
+
+def port_source_descriptor(port: Port, vendor: Vendor) -> frozenset[str]:
+    """The source/toolchain feature set of ``port`` on ``vendor``."""
+    support = port.support.get(vendor)
+    if support is None:
+        raise ValueError(f"{port.key} does not target {vendor.value}")
+    table = (COMPILE_FLAGS_NVIDIA if vendor is Vendor.NVIDIA
+             else COMPILE_FLAGS_AMD)
+    flags = table.get((port.framework, support.compiler), "")
+    return (
+        FRAMEWORK_MARKERS[port.framework]
+        | {f"compiler:{support.compiler}"}
+        | _flag_tokens(flags)
+    )
+
+
+def jaccard_distance(a: frozenset[str], b: frozenset[str]) -> float:
+    """1 - |a n b| / |a u b| (0 for two empty sets)."""
+    union = a | b
+    if not union:
+        return 0.0
+    return 1.0 - len(a & b) / len(union)
+
+
+def code_divergence(port: Port, devices: tuple[DeviceSpec, ...]) -> float:
+    """Mean pairwise source distance across the vendors ``port`` needs
+    to cover ``devices`` (0 when one variant covers everything)."""
+    vendors = sorted(
+        {d.vendor for d in devices if port.supports(d)},
+        key=lambda v: v.value,
+    )
+    if len(vendors) < 2:
+        return 0.0
+    descriptors = [port_source_descriptor(port, v) for v in vendors]
+    pairs = list(combinations(descriptors, 2))
+    return sum(jaccard_distance(a, b) for a, b in pairs) / len(pairs)
+
+
+@dataclass(frozen=True)
+class NavigationPoint:
+    """One port's position on the P3 navigation chart."""
+
+    port_key: str
+    p: float
+    divergence: float
+
+    @property
+    def unicorn(self) -> bool:
+        """High portability at low maintenance cost."""
+        return self.p >= 0.9 and self.divergence <= 0.5
+
+
+def navigation_chart(
+    ports: tuple[Port, ...],
+    devices: tuple[DeviceSpec, ...],
+    p_scores: dict[str, float],
+) -> list[NavigationPoint]:
+    """Assemble (P, divergence) points for a set of ports."""
+    return [
+        NavigationPoint(
+            port_key=port.key,
+            p=p_scores[port.key],
+            divergence=code_divergence(port, devices),
+        )
+        for port in ports
+    ]

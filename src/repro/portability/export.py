@@ -1,0 +1,97 @@
+"""Export study results to CSV / JSON.
+
+Downstream plotting (the paper uses the p3-analysis-library on exactly
+this kind of table) wants flat records: one row per
+(size, port, platform) with the time, efficiency and exclusion reason,
+plus a per-(size, port) P table.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.portability.study import StudyResult
+
+#: Column order of the flat measurement table.
+MEASUREMENT_FIELDS = (
+    "size_gb", "port", "platform", "iteration_time_s",
+    "application_efficiency", "excluded_reason",
+)
+
+
+def study_records(study: "StudyResult") -> list[dict]:
+    """Flatten a study into one record per (size, port, platform)."""
+    records: list[dict] = []
+    for size in study.sizes:
+        platforms = study.platforms(size)
+        times = study.times(size)
+        eff = study.efficiencies(size)
+        for port in study.port_keys:
+            for device in study.device_names:
+                run = study.runs[size][port][device]
+                t = times[port].get(device)
+                e = eff[port].get(device) if device in platforms else None
+                records.append({
+                    "size_gb": size,
+                    "port": port,
+                    "platform": device,
+                    "iteration_time_s": t,
+                    "application_efficiency": e,
+                    "excluded_reason": run.excluded_reason,
+                })
+    return records
+
+
+def p_records(study: "StudyResult") -> list[dict]:
+    """One record per (size, port) with the P score."""
+    records = []
+    for size in study.sizes:
+        for port, p in study.p_scores(size).items():
+            records.append({"size_gb": size, "port": port, "p": p})
+    return records
+
+
+def write_csv(study: "StudyResult", path: str | Path) -> Path:
+    """Write the flat measurement table as CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=MEASUREMENT_FIELDS)
+        writer.writeheader()
+        for record in study_records(study):
+            writer.writerow(record)
+    return path
+
+
+def write_json(study: "StudyResult", path: str | Path) -> Path:
+    """Write measurements + P scores + averages as one JSON document."""
+    path = Path(path)
+    payload = {
+        "sizes_gb": list(study.sizes),
+        "ports": list(study.port_keys),
+        "platforms": list(study.device_names),
+        "measurements": study_records(study),
+        "p_scores": p_records(study),
+        "average_p": {
+            port: study.average_p(port) for port in study.port_keys
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2, allow_nan=True))
+    return path
+
+
+def read_measurements_csv(path: str | Path) -> list[dict]:
+    """Read a CSV written by :func:`write_csv` back into records."""
+    out = []
+    with Path(path).open() as fh:
+        for row in csv.DictReader(fh):
+            record: dict = dict(row)
+            record["size_gb"] = float(row["size_gb"])
+            for key in ("iteration_time_s", "application_efficiency"):
+                record[key] = float(row[key]) if row[key] else None
+            record["excluded_reason"] = row["excluded_reason"] or None
+            out.append(record)
+    return out

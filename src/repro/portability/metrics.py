@@ -1,0 +1,130 @@
+"""Pennycook's performance-portability metric and its efficiencies.
+
+Eq. (1) of the paper (Pennycook, Sewall & Lee 2019):
+
+    P(a, p, H) = |H| / sum_{i in H} 1 / e_i(a, p)    if a runs on all
+                                                      i in H,
+    P(a, p, H) = 0                                    otherwise,
+
+the harmonic mean of the application's efficiency over the platform
+set H.  Two efficiency normalizations appear in the literature and in
+the paper's text:
+
+- :func:`application_efficiency` (used for P here, and the only
+  reading consistent with the reported values): performance relative
+  to the *best-observed performance on that platform* across all
+  ports, ``e_i(a) = min_b T(b, i) / T(a, i)``;
+- :func:`self_efficiency` (the artifact appendix's wording):
+  performance relative to the port's own best platform,
+  ``e_i(a) = min_j T(a, j) / T(a, i)``.
+
+Times may be ``None`` / ``inf`` to mark a port that cannot run on a
+platform; any such hole zeroes P by definition.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+#: Times mapping: port -> platform -> seconds (None/inf = cannot run).
+TimeTable = Mapping[str, Mapping[str, float | None]]
+
+
+def _usable(t: float | None) -> bool:
+    return t is not None and math.isfinite(t) and t > 0
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean; 0 if any value is 0; error on empty/negative."""
+    if not values:
+        raise ValueError("harmonic_mean of an empty sequence")
+    for v in values:
+        if v < 0:
+            raise ValueError(f"efficiencies must be >= 0, got {v}")
+    if any(v == 0 for v in values):
+        return 0.0
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def application_efficiency(
+    times: TimeTable, platforms: Sequence[str]
+) -> dict[str, dict[str, float | None]]:
+    """Per-platform efficiency vs. the best port on that platform.
+
+    Returns ``eff[port][platform]`` in (0, 1], or None where the port
+    cannot run.  Raises if no port at all runs on some platform.
+    """
+    best: dict[str, float] = {}
+    for platform in platforms:
+        candidates = [
+            t[platform]
+            for t in times.values()
+            if _usable(t.get(platform))
+        ]
+        if not candidates:
+            raise ValueError(f"no port produced a time on {platform!r}")
+        best[platform] = min(candidates)  # type: ignore[type-var]
+    out: dict[str, dict[str, float | None]] = {}
+    for port, row in times.items():
+        out[port] = {
+            platform: (
+                best[platform] / row[platform]  # type: ignore[operator]
+                if _usable(row.get(platform))
+                else None
+            )
+            for platform in platforms
+        }
+    return out
+
+
+def self_efficiency(
+    times: TimeTable, platforms: Sequence[str]
+) -> dict[str, dict[str, float | None]]:
+    """Per-platform efficiency vs. the port's own best platform."""
+    out: dict[str, dict[str, float | None]] = {}
+    for port, row in times.items():
+        usable = [row[p] for p in platforms if _usable(row.get(p))]
+        if not usable:
+            out[port] = {p: None for p in platforms}
+            continue
+        own_best = min(usable)  # type: ignore[type-var]
+        out[port] = {
+            p: (own_best / row[p] if _usable(row.get(p)) else None)
+            # type: ignore[operator]
+            for p in platforms
+        }
+    return out
+
+
+def pennycook_p(
+    efficiencies: Mapping[str, float | None], platforms: Sequence[str]
+) -> float:
+    """P over ``platforms`` given one port's per-platform efficiencies.
+
+    Missing or ``None`` entries mean the port does not run there: P is
+    0 by definition (the CUDA case on the AMD platform, §II).
+    """
+    if not platforms:
+        raise ValueError("P over an empty platform set is undefined")
+    values = []
+    for platform in platforms:
+        e = efficiencies.get(platform)
+        if e is None:
+            return 0.0
+        if not 0 <= e <= 1 + 1e-9:
+            raise ValueError(
+                f"efficiency on {platform!r} must be in [0, 1], got {e}"
+            )
+        values.append(min(e, 1.0))
+    return harmonic_mean(values)
+
+
+def pennycook_p_from_times(
+    times: TimeTable,
+    platforms: Sequence[str],
+    port: str,
+) -> float:
+    """Convenience: P of ``port`` from a raw time table."""
+    eff = application_efficiency(times, platforms)
+    return pennycook_p(eff[port], platforms)

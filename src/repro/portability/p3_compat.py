@@ -1,0 +1,52 @@
+"""Export in the p3-analysis-library's input schema.
+
+The paper plots Fig. 3 with Intel's p3-analysis-library [52], which
+consumes a flat table of columns ``problem``, ``application``,
+``platform``, ``fom`` (figure of merit -- here the mean iteration
+time, lower is better).  :func:`write_p3_csv` emits exactly that
+table from a study, so the original plotting pipeline can run on the
+reproduced data unchanged.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.portability.study import StudyResult
+
+#: The library's expected column order.
+P3_COLUMNS = ("problem", "application", "platform", "fom")
+
+
+def p3_records(study: "StudyResult") -> list[dict]:
+    """Flat p3-analysis records; unsupported cells are omitted (the
+    library treats missing rows as non-portable, matching Eq. 1)."""
+    records = []
+    for size in study.sizes:
+        times = study.times(size)
+        for port in study.port_keys:
+            for platform in study.platforms(size):
+                t = times[port].get(platform)
+                if t is None:
+                    continue
+                records.append({
+                    "problem": f"AVU-GSR {size:g}GB",
+                    "application": port,
+                    "platform": platform,
+                    "fom": t,
+                })
+    return records
+
+
+def write_p3_csv(study: "StudyResult", path: str | Path) -> Path:
+    """Write the p3-analysis-library input CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=P3_COLUMNS)
+        writer.writeheader()
+        for record in p3_records(study):
+            writer.writerow(record)
+    return path

@@ -1,0 +1,82 @@
+"""Full round-trip persistence of study results.
+
+`repro.portability.export` flattens a study for external tools; this
+module keeps *everything* -- per-repetition means, exclusion reasons,
+grid metadata -- so a saved study can be reloaded and diffed against a
+fresh run with :func:`repro.portability.compare_runs.diff_studies`
+(the regression workflow when the model or a port changes).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.frameworks.executor import ModeledRun
+from repro.portability.study import StudyResult
+
+_FORMAT = "repro-study"
+_VERSION = 1
+
+
+def save_study(study: StudyResult, path: str | Path) -> Path:
+    """Write a study to JSON; returns the path written."""
+    path = Path(path)
+    doc = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "sizes": list(study.sizes),
+        "port_keys": list(study.port_keys),
+        "device_names": list(study.device_names),
+        "runs": {
+            str(size): {
+                port: {
+                    device: {
+                        "size_gb": run.size_gb,
+                        "n_iterations": run.n_iterations,
+                        "repetition_means": run.repetition_means,
+                        "excluded_reason": run.excluded_reason,
+                    }
+                    for device, run in by_device.items()
+                }
+                for port, by_device in by_port.items()
+            }
+            for size, by_port in study.runs.items()
+        },
+    }
+    path.write_text(json.dumps(doc, indent=1))
+    return path
+
+
+def load_study(path: str | Path) -> StudyResult:
+    """Reload a study written by :func:`save_study`."""
+    path = Path(path)
+    doc = json.loads(path.read_text())
+    if doc.get("format") != _FORMAT:
+        raise ValueError(f"{path}: not a saved study")
+    if doc.get("version") != _VERSION:
+        raise ValueError(
+            f"{path}: unsupported study version {doc.get('version')} "
+            f"(expected {_VERSION})"
+        )
+    study = StudyResult(
+        sizes=tuple(doc["sizes"]),
+        port_keys=tuple(doc["port_keys"]),
+        device_names=tuple(doc["device_names"]),
+    )
+    for size_str, by_port in doc["runs"].items():
+        size = float(size_str)
+        study.runs[size] = {}
+        for port, by_device in by_port.items():
+            study.runs[size][port] = {}
+            for device, rec in by_device.items():
+                run = ModeledRun(
+                    port_key=port,
+                    device_name=device,
+                    size_gb=rec["size_gb"],
+                    n_iterations=rec["n_iterations"],
+                    repetition_means=list(rec["repetition_means"]),
+                    excluded_reason=rec["excluded_reason"],
+                )
+                study.runs[size][port][device] = run
+    return study

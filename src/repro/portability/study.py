@@ -1,0 +1,230 @@
+"""The full portability study of §V-B.
+
+Runs every (port, platform, problem size) cell of the paper's test
+matrix through the modeled executor: 10 GB on all five platforms,
+30 GB on the four that hold it (the T4 runs out of memory), 60 GB on
+H100 and MI250X only -- the exclusions emerge from the device memory
+model rather than being hard-coded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.frameworks.base import Port
+from repro.frameworks.executor import ModeledRun, run_modeled
+from repro.frameworks.registry import ALL_PORTS
+from repro.gpu.device import DeviceSpec, Vendor
+from repro.gpu.memory import fits
+from repro.gpu.platforms import ALL_DEVICES
+from repro.portability.metrics import (
+    application_efficiency,
+    pennycook_p,
+    self_efficiency,
+)
+from repro.system.sizing import device_footprint_bytes, dims_from_gb
+
+#: The paper's three problem sizes in GB.
+PAPER_SIZES = (10.0, 30.0, 60.0)
+
+
+def platforms_for_size(
+    size_gb: float, devices: Sequence[DeviceSpec] = ALL_DEVICES
+) -> tuple[str, ...]:
+    """Platforms whose memory holds a ``size_gb`` problem.
+
+    This is the platform set H over which P is computed for that
+    problem size (the paper evaluates each size only on the devices
+    with enough memory, §V-B).
+    """
+    dims = dims_from_gb(size_gb)
+    need = device_footprint_bytes(dims)
+    return tuple(d.name for d in devices if fits(d, need))
+
+
+@dataclass
+class StudyResult:
+    """All measurements of one study run, with metric accessors."""
+
+    sizes: tuple[float, ...]
+    port_keys: tuple[str, ...]
+    device_names: tuple[str, ...]
+    runs: dict[float, dict[str, dict[str, ModeledRun]]] = field(
+        default_factory=dict
+    )
+
+    # ------------------------------------------------------------------
+    def times(self, size_gb: float) -> dict[str, dict[str, float | None]]:
+        """Mean iteration times (port -> platform -> s; None=excluded)."""
+        out: dict[str, dict[str, float | None]] = {}
+        for port_key, row in self.runs[size_gb].items():
+            out[port_key] = {
+                dev: (r.mean_iteration_time if r.supported else None)
+                for dev, r in row.items()
+            }
+        return out
+
+    def platforms(self, size_gb: float) -> tuple[str, ...]:
+        """Platform set H for ``size_gb`` (devices holding the problem)."""
+        names = [d for d in self.device_names]
+        some_port = next(iter(self.runs[size_gb].values()))
+        return tuple(
+            d for d in names
+            if not (
+                some_port[d].excluded_reason or ""
+            ).startswith("out of memory")
+        )
+
+    def efficiencies(
+        self, size_gb: float, *, normalization: str = "application"
+    ) -> dict[str, dict[str, float | None]]:
+        """Per-platform efficiencies at one size (Fig. 5 data)."""
+        platforms = self.platforms(size_gb)
+        table = self.times(size_gb)
+        if normalization == "application":
+            return application_efficiency(table, platforms)
+        if normalization == "self":
+            return self_efficiency(table, platforms)
+        raise ValueError(
+            f"unknown normalization {normalization!r}; expected "
+            "'application' or 'self'"
+        )
+
+    def p_scores(
+        self,
+        size_gb: float,
+        *,
+        vendor: Vendor | None = None,
+    ) -> dict[str, float]:
+        """P of every port at one size (Fig. 3 data).
+
+        ``vendor`` restricts the platform set (the paper's NVIDIA-only
+        CUDA numbers).
+        """
+        platforms = self.platforms(size_gb)
+        if vendor is not None:
+            from repro.gpu.platforms import DEVICES_BY_NAME
+
+            platforms = tuple(
+                p for p in platforms if DEVICES_BY_NAME[p].vendor is vendor
+            )
+        eff = application_efficiency(self.times(size_gb), platforms)
+        return {
+            port: pennycook_p(eff[port], platforms)
+            for port in self.port_keys
+        }
+
+    def average_p(
+        self,
+        port_key: str,
+        *,
+        vendor: Vendor | None = None,
+        sizes: Sequence[float] | None = None,
+        min_platforms: int = 2,
+    ) -> float:
+        """Mean P of a port across sizes (the paper's headline averages).
+
+        Sizes whose (possibly vendor-restricted) platform set has fewer
+        than ``min_platforms`` members are skipped -- "there is no
+        meaning to compute P from the 60 GB problem" on NVIDIA alone
+        (§V-B).
+        """
+        if sizes is None:
+            sizes = self.sizes
+        values = []
+        for size in sizes:
+            platforms = self.platforms(size)
+            if vendor is not None:
+                from repro.gpu.platforms import DEVICES_BY_NAME
+
+                platforms = tuple(
+                    p for p in platforms
+                    if DEVICES_BY_NAME[p].vendor is vendor
+                )
+            if len(platforms) < min_platforms:
+                continue
+            eff = application_efficiency(self.times(size), platforms)
+            values.append(pennycook_p(eff[port_key], platforms))
+        if not values:
+            raise ValueError(
+                f"no size leaves >= {min_platforms} platforms for "
+                f"{port_key!r}"
+            )
+        return float(sum(values) / len(values))
+
+    def summary(self) -> str:
+        """One-pager: the paper's conclusions over this run's numbers."""
+        lines = ["Portability study summary", "=" * 25]
+        for size in self.sizes:
+            platforms = self.platforms(size)
+            p = self.p_scores(size)
+            full = {k: v for k, v in p.items() if v > 0}
+            best = max(full, key=full.get) if full else "-"
+            lines.append(
+                f"{size:g} GB over {{{', '.join(platforms)}}}: "
+                f"most portable {best} (P={p.get(best, 0):.3f}); "
+                f"winners: "
+                + ", ".join(f"{d}={self.best_port(size, d)}"
+                            for d in platforms)
+            )
+        averages = {k: self.average_p(k) for k in self.port_keys}
+        ranked = sorted(averages, key=averages.get, reverse=True)
+        lines.append(
+            "averages: "
+            + ", ".join(f"{k}={averages[k]:.3f}" for k in ranked)
+        )
+        zero = [k for k, v in averages.items() if v == 0.0]
+        if zero:
+            lines.append(
+                f"P = 0 by definition (platform support holes): "
+                f"{', '.join(zero)}"
+            )
+        return "\n".join(lines)
+
+    def best_port(self, size_gb: float, device_name: str) -> str:
+        """Fastest port on one platform at one size."""
+        table = self.times(size_gb)
+        candidates = {
+            port: row[device_name]
+            for port, row in table.items()
+            if row.get(device_name) is not None
+        }
+        if not candidates:
+            raise ValueError(f"no port ran on {device_name!r}")
+        return min(candidates, key=candidates.__getitem__)
+
+
+def run_study(
+    *,
+    sizes: Sequence[float] = PAPER_SIZES,
+    ports: Sequence[Port] = ALL_PORTS,
+    devices: Sequence[DeviceSpec] = ALL_DEVICES,
+    n_iterations: int = 100,
+    repetitions: int = 3,
+    jitter: float = 0.01,
+    seed: int = 0,
+) -> StudyResult:
+    """Execute the full §V-B measurement matrix on the modeled substrate."""
+    result = StudyResult(
+        sizes=tuple(sizes),
+        port_keys=tuple(p.key for p in ports),
+        device_names=tuple(d.name for d in devices),
+    )
+    for size in sizes:
+        dims = dims_from_gb(size)
+        by_port: dict[str, dict[str, ModeledRun]] = {}
+        for port in ports:
+            by_port[port.key] = {
+                device.name: run_modeled(
+                    port, device, dims,
+                    size_gb=size,
+                    n_iterations=n_iterations,
+                    repetitions=repetitions,
+                    jitter=jitter,
+                    seed=seed,
+                )
+                for device in devices
+            }
+        result.runs[size] = by_port
+    return result

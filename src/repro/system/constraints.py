@@ -1,0 +1,150 @@
+"""Constraint equations appended to the overdetermined system.
+
+§III-B of the paper: *"some constraint equations must be set to derive
+a univocal solution"*.  The astrometric sphere reconstruction is
+rank-deficient because a rigid rotation of the whole solution (and its
+time derivative) leaves the observables unchanged; the production code
+removes this null space by appending a small number of constraint
+rows.  We implement the same device: each constraint is a sparse row
+``sum_j w_j * x[c_j] = r`` appended below the observation block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from repro.system.structure import ATT_AXES, SystemDims
+
+if TYPE_CHECKING:  # pragma: no cover
+    import scipy.sparse
+
+
+@dataclass
+class ConstraintRow:
+    """A single sparse constraint equation.
+
+    Attributes
+    ----------
+    cols:
+        Global column indices of the non-zero coefficients.
+    vals:
+        Matching coefficients.
+    rhs:
+        Right-hand side of the equation (usually 0).
+    label:
+        Human-readable provenance (e.g. ``"att-null-axis0"``).
+    """
+
+    cols: np.ndarray
+    vals: np.ndarray
+    rhs: float = 0.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.cols = np.asarray(self.cols, dtype=np.int64)
+        self.vals = np.asarray(self.vals, dtype=np.float64)
+        if self.cols.ndim != 1 or self.cols.shape != self.vals.shape:
+            raise ValueError("cols and vals must be matching 1-D arrays")
+        if self.cols.size == 0:
+            raise ValueError("a constraint row needs at least one coefficient")
+        if np.unique(self.cols).size != self.cols.size:
+            raise ValueError("constraint columns must be distinct")
+        if not np.all(np.isfinite(self.vals)) or not np.isfinite(self.rhs):
+            raise ValueError("constraint coefficients must be finite")
+
+
+@dataclass
+class ConstraintSet:
+    """An ordered collection of constraint rows.
+
+    The solver treats these as extra equations: ``aprod1`` appends
+    their dot products below the observation block and ``aprod2``
+    scatters their transposed contributions back into the unknowns.
+    """
+
+    rows: list[ConstraintRow] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[ConstraintRow]:
+        return iter(self.rows)
+
+    def add(self, row: ConstraintRow) -> None:
+        """Append one constraint row."""
+        self.rows.append(row)
+
+    @property
+    def rhs(self) -> np.ndarray:
+        """Right-hand sides of all constraint rows, ``(len(self),)``."""
+        return np.array([r.rhs for r in self.rows], dtype=np.float64)
+
+    def check_bounds(self, n_params: int) -> None:
+        """Raise if any referenced column is outside the unknown space."""
+        for r in self.rows:
+            if r.cols.min(initial=0) < 0 or r.cols.max(initial=-1) >= n_params:
+                raise ValueError(
+                    f"constraint {r.label!r} references columns outside "
+                    f"[0, {n_params})"
+                )
+
+    def to_scipy_csr(self, n_params: int) -> "scipy.sparse.csr_matrix":
+        """Expand the constraint block to CSR with ``n_params`` columns."""
+        import scipy.sparse as sp
+
+        self.check_bounds(n_params)
+        data = np.concatenate([r.vals for r in self.rows]) if self.rows else (
+            np.empty(0)
+        )
+        cols = np.concatenate([r.cols for r in self.rows]) if self.rows else (
+            np.empty(0, dtype=np.int64)
+        )
+        indptr = np.cumsum([0] + [r.cols.size for r in self.rows])
+        return sp.csr_matrix(
+            (data, cols, indptr), shape=(len(self.rows), n_params)
+        )
+
+    # ------------------------------------------------------------------
+    # Kernels (few rows -> a plain loop is the right tool here)
+    # ------------------------------------------------------------------
+    def apply_forward(self, x: np.ndarray) -> np.ndarray:
+        """``C @ x`` for the constraint block, ``(len(self),)``."""
+        out = np.empty(len(self.rows), dtype=np.float64)
+        for i, r in enumerate(self.rows):
+            out[i] = np.dot(r.vals, x[r.cols])
+        return out
+
+    def apply_transpose(self, y: np.ndarray, out: np.ndarray) -> None:
+        """Accumulate ``C.T @ y`` into ``out`` in place."""
+        if y.shape != (len(self.rows),):
+            raise ValueError(
+                f"y has shape {y.shape}, expected ({len(self.rows)},)"
+            )
+        for i, r in enumerate(self.rows):
+            out[r.cols] += r.vals * y[i]
+
+
+def attitude_null_space_constraints(
+    dims: SystemDims, weight: float = 1.0
+) -> ConstraintSet:
+    """Zero-mean constraints removing the attitude null space.
+
+    One row per attitude axis forcing the B-spline coefficients of that
+    axis to sum to zero, mirroring the de-rotation constraints of the
+    production solver.  ``weight`` scales the coefficients so the
+    constraint rows have a norm comparable to the observation rows.
+    """
+    if weight <= 0 or not np.isfinite(weight):
+        raise ValueError(f"weight must be positive and finite, got {weight}")
+    cs = ConstraintSet()
+    dof = dims.n_deg_freedom_att
+    for axis in range(ATT_AXES):
+        start = dims.att_offset + axis * dof
+        cols = np.arange(start, start + dof, dtype=np.int64)
+        vals = np.full(dof, weight / np.sqrt(dof), dtype=np.float64)
+        cs.add(ConstraintRow(cols=cols, vals=vals, rhs=0.0,
+                             label=f"att-null-axis{axis}"))
+    return cs

@@ -1,0 +1,97 @@
+"""Merging observation segments into one system.
+
+The production pipeline accumulates observations across data
+segments; solving "all data so far" means concatenating segment
+systems that share one unknown space.  :func:`concatenate_systems`
+does that: stacks the observation blocks (preserving the star-sorted
+order by merging on star id) and keeps a single constraint set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.system.sparse import GaiaSystem
+
+
+def concatenate_systems(
+    a: GaiaSystem, b: GaiaSystem, *, resort: bool = True
+) -> GaiaSystem:
+    """Concatenate two systems over the same unknown space.
+
+    Both systems must have identical dimensions apart from the row
+    count (same stars, same attitude/instrumental/global sections).
+    With ``resort`` (default) the merged rows are re-sorted by star so
+    the astrometric fast path and the star-aligned decomposition keep
+    working; the constraint set is taken from ``a`` (they describe the
+    same unknown space).
+    """
+    da, db = a.dims, b.dims
+    same_space = (
+        da.n_stars == db.n_stars
+        and da.n_deg_freedom_att == db.n_deg_freedom_att
+        and da.n_instr_params == db.n_instr_params
+        and da.n_glob_params == db.n_glob_params
+    )
+    if not same_space:
+        raise ValueError(
+            "systems describe different unknown spaces: "
+            f"{da.describe()} vs {db.describe()}"
+        )
+    from dataclasses import replace
+
+    dims = replace(da, n_obs=da.n_obs + db.n_obs)
+
+    def cat(name: str) -> np.ndarray:
+        return np.concatenate([getattr(a, name), getattr(b, name)],
+                              axis=0)
+
+    arrays = {
+        name: cat(name)
+        for name in ("astro_values", "matrix_index_astro", "att_values",
+                     "matrix_index_att", "instr_values", "instr_col",
+                     "glob_values", "known_terms")
+    }
+    if resort:
+        order = np.argsort(arrays["matrix_index_astro"], kind="stable")
+        arrays = {name: arr[order] for name, arr in arrays.items()}
+
+    return GaiaSystem(
+        dims=dims,
+        constraints=a.constraints,
+        meta={"merged_from": (a.dims.n_obs, b.dims.n_obs),
+              "resorted": resort},
+        **arrays,
+    )
+
+
+def split_rows(system: GaiaSystem, row: int) -> tuple[GaiaSystem,
+                                                      GaiaSystem]:
+    """Inverse-ish of :func:`concatenate_systems`: cut at ``row``.
+
+    Both halves keep the full unknown space; the constraint set rides
+    with the first half (matching the merge convention).
+    """
+    from dataclasses import replace
+
+    m = system.dims.n_obs
+    if not 0 < row < m:
+        raise ValueError(f"row must be in (0, {m}), got {row}")
+
+    def piece(sl: slice, with_constraints: bool) -> GaiaSystem:
+        return GaiaSystem(
+            dims=replace(system.dims,
+                         n_obs=(sl.stop or m) - (sl.start or 0)),
+            astro_values=system.astro_values[sl],
+            matrix_index_astro=system.matrix_index_astro[sl],
+            att_values=system.att_values[sl],
+            matrix_index_att=system.matrix_index_att[sl],
+            instr_values=system.instr_values[sl],
+            instr_col=system.instr_col[sl],
+            glob_values=system.glob_values[sl],
+            known_terms=system.known_terms[sl],
+            constraints=system.constraints if with_constraints else None,
+            meta={"split_from": m},
+        )
+
+    return piece(slice(0, row), True), piece(slice(row, m), False)

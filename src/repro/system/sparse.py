@@ -1,0 +1,245 @@
+"""Compressed storage scheme of the AVU-GSR coefficient matrix.
+
+Following §III-B of the paper, the matrix is split into four
+submatrices stored by structure:
+
+- **astrometric** -- dense ``(n_obs, 5)`` coefficient block plus
+  ``matrix_index_astro``, the *global column* of the first of the five
+  contiguous non-zeros in each row (always ``star_id * 5``);
+- **attitude** -- dense ``(n_obs, 12)`` coefficients plus
+  ``matrix_index_att``, the *section-local* column of the first
+  coefficient; the 12 coefficients sit in three blocks of four,
+  separated by the ``att_stride`` of the system dimensions;
+- **instrumental** -- dense ``(n_obs, 6)`` coefficients plus
+  ``instr_col``, the section-local columns of all six coefficients
+  (irregular pattern);
+- **global** -- dense ``(n_obs, 1)`` coefficients hitting the single
+  global column (optional).
+
+Storing only these arrays reduces the problem by seven orders of
+magnitude relative to the dense matrix, as the paper notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.system.structure import (
+    ASTRO_PARAMS_PER_STAR,
+    ATT_AXES,
+    ATT_BLOCK_SIZE,
+    ATT_PARAMS_PER_ROW,
+    INSTR_PARAMS_PER_ROW,
+    SystemDims,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    import scipy.sparse
+
+    from repro.system.constraints import ConstraintSet
+
+
+@dataclass
+class GaiaSystem:
+    """One AVU-GSR system instance in compressed storage.
+
+    Attributes
+    ----------
+    dims:
+        Dimension bookkeeping (see :class:`repro.system.SystemDims`).
+    astro_values:
+        ``(n_obs, 5)`` float64 astrometric coefficients.
+    matrix_index_astro:
+        ``(n_obs,)`` int64, global column of the first astrometric
+        coefficient of each row; a multiple of 5.
+    att_values:
+        ``(n_obs, 12)`` float64 attitude coefficients, ordered by axis
+        then by coefficient within the block.
+    matrix_index_att:
+        ``(n_obs,)`` int64, section-local column of the first attitude
+        coefficient (``0 <= idx <= n_deg_freedom_att - 4``).
+    instr_values:
+        ``(n_obs, 6)`` float64 instrumental coefficients.
+    instr_col:
+        ``(n_obs, 6)`` int32 section-local instrumental columns, sorted
+        and distinct within each row.
+    glob_values:
+        ``(n_obs, n_glob_params)`` float64 global coefficients.
+    known_terms:
+        ``(n_obs,)`` float64 right-hand side ``b`` (observation rows
+        only; constraint right-hand sides live on the constraint set).
+    constraints:
+        Optional :class:`~repro.system.constraints.ConstraintSet`
+        appended below the observation rows.
+    meta:
+        Free-form provenance dictionary (generator seed, noise level,
+        target size, ...).
+    """
+
+    dims: SystemDims
+    astro_values: np.ndarray
+    matrix_index_astro: np.ndarray
+    att_values: np.ndarray
+    matrix_index_att: np.ndarray
+    instr_values: np.ndarray
+    instr_col: np.ndarray
+    glob_values: np.ndarray
+    known_terms: np.ndarray
+    constraints: "ConstraintSet | None" = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check every structural invariant; raise ``ValueError`` if violated."""
+        d = self.dims
+        m = d.n_obs
+        expected_shapes = {
+            "astro_values": (m, ASTRO_PARAMS_PER_STAR),
+            "matrix_index_astro": (m,),
+            "att_values": (m, ATT_PARAMS_PER_ROW),
+            "matrix_index_att": (m,),
+            "instr_values": (m, INSTR_PARAMS_PER_ROW),
+            "instr_col": (m, INSTR_PARAMS_PER_ROW),
+            "glob_values": (m, d.n_glob_params),
+            "known_terms": (m,),
+        }
+        for name, shape in expected_shapes.items():
+            arr = getattr(self, name)
+            if arr.shape != shape:
+                raise ValueError(
+                    f"{name} has shape {arr.shape}, expected {shape}"
+                )
+        for name in ("astro_values", "att_values", "instr_values",
+                     "glob_values", "known_terms"):
+            arr = getattr(self, name)
+            if arr.dtype != np.float64:
+                raise ValueError(f"{name} must be float64, got {arr.dtype}")
+            if not np.all(np.isfinite(arr)):
+                raise ValueError(f"{name} contains non-finite values")
+
+        idx_a = self.matrix_index_astro
+        if idx_a.min(initial=0) < 0 or idx_a.max(initial=0) > (
+            d.n_astro_params - ASTRO_PARAMS_PER_STAR
+        ):
+            raise ValueError("matrix_index_astro out of the astrometric section")
+        if np.any(idx_a % ASTRO_PARAMS_PER_STAR):
+            raise ValueError("matrix_index_astro entries must be multiples of 5")
+
+        idx_t = self.matrix_index_att
+        if idx_t.min(initial=0) < 0 or idx_t.max(initial=0) > (
+            d.n_deg_freedom_att - ATT_BLOCK_SIZE
+        ):
+            raise ValueError("matrix_index_att out of the attitude axis range")
+
+        cols = self.instr_col
+        if cols.min(initial=0) < 0 or cols.max(initial=0) >= d.n_instr_params:
+            raise ValueError("instr_col out of the instrumental section")
+        if np.any(np.diff(cols, axis=1) <= 0):
+            raise ValueError("instr_col rows must be strictly increasing")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        """Total equation count: observations plus constraint rows."""
+        extra = 0 if self.constraints is None else len(self.constraints)
+        return self.dims.n_obs + extra
+
+    @property
+    def star_ids(self) -> np.ndarray:
+        """``(n_obs,)`` star index observed by each row."""
+        return self.matrix_index_astro // ASTRO_PARAMS_PER_STAR
+
+    def att_columns(self) -> np.ndarray:
+        """Global columns of all 12 attitude coefficients, ``(n_obs, 12)``.
+
+        Axis ``a``, in-block position ``j`` maps to section-local column
+        ``matrix_index_att + a * att_stride + j``.
+        """
+        d = self.dims
+        base = self.matrix_index_att[:, None]
+        axis_off = (np.arange(ATT_AXES) * d.att_stride)[None, :, None]
+        block_off = np.arange(ATT_BLOCK_SIZE)[None, None, :]
+        local = base[:, None] + axis_off + block_off  # (n_obs, 3, 4)
+        return local.reshape(d.n_obs, ATT_PARAMS_PER_ROW) + d.att_offset
+
+    def astro_columns(self) -> np.ndarray:
+        """Global columns of the 5 astrometric coefficients, ``(n_obs, 5)``."""
+        return self.matrix_index_astro[:, None] + np.arange(
+            ASTRO_PARAMS_PER_STAR
+        )
+
+    def instr_columns(self) -> np.ndarray:
+        """Global columns of the 6 instrumental coefficients, ``(n_obs, 6)``."""
+        return self.instr_col.astype(np.int64) + self.dims.instr_offset
+
+    def row_norms_squared(self) -> np.ndarray:
+        """Squared 2-norm of every observation row (constraints excluded)."""
+        out = np.einsum("ij,ij->i", self.astro_values, self.astro_values)
+        out += np.einsum("ij,ij->i", self.att_values, self.att_values)
+        out += np.einsum("ij,ij->i", self.instr_values, self.instr_values)
+        if self.dims.n_glob_params:
+            out += self.glob_values[:, 0] ** 2
+        return out
+
+    # ------------------------------------------------------------------
+    # Conversions (test / cross-check paths; not used by the solver)
+    # ------------------------------------------------------------------
+    def to_scipy_csr(self) -> "scipy.sparse.csr_matrix":
+        """Expand to a SciPy CSR matrix, including constraint rows.
+
+        Intended for correctness cross-checks on small systems; the
+        solver itself never materializes this.
+        """
+        import scipy.sparse as sp
+
+        d = self.dims
+        m = d.n_obs
+        per_row = d.nnz_per_row
+        cols = np.empty((m, per_row), dtype=np.int64)
+        vals = np.empty((m, per_row), dtype=np.float64)
+        cols[:, :5] = self.astro_columns()
+        vals[:, :5] = self.astro_values
+        cols[:, 5:17] = self.att_columns()
+        vals[:, 5:17] = self.att_values
+        cols[:, 17:23] = self.instr_columns()
+        vals[:, 17:23] = self.instr_values
+        if d.n_glob_params:
+            cols[:, 23] = d.glob_offset
+            vals[:, 23] = self.glob_values[:, 0]
+        indptr = np.arange(0, (m + 1) * per_row, per_row, dtype=np.int64)
+        obs = sp.csr_matrix(
+            (vals.ravel(), cols.ravel(), indptr), shape=(m, d.n_params)
+        )
+        if self.constraints is None or len(self.constraints) == 0:
+            return obs
+        return sp.vstack([obs, self.constraints.to_scipy_csr(d.n_params)],
+                         format="csr")
+
+    def to_dense(self) -> np.ndarray:
+        """Expand to a dense ndarray (small systems only)."""
+        dense_bytes = self.n_rows * self.dims.n_params * 8
+        if dense_bytes > 1 << 30:
+            raise MemoryError(
+                f"dense expansion would need {dense_bytes / 2**30:.1f} GiB; "
+                "refusing (use to_scipy_csr instead)"
+            )
+        return np.asarray(self.to_scipy_csr().todense())
+
+    def rhs(self) -> np.ndarray:
+        """Full right-hand side including constraint rows, ``(n_rows,)``."""
+        if self.constraints is None or len(self.constraints) == 0:
+            return self.known_terms
+        return np.concatenate([self.known_terms, self.constraints.rhs])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GaiaSystem({self.dims.describe()})"

@@ -1,0 +1,187 @@
+"""Layout constants and dimensions of the AVU-GSR coefficient matrix.
+
+The reduced coefficient matrix ``A`` (paper §III-B) keeps, for every
+observation row, exactly 24 non-zero coefficients:
+
+====================  =====  =========================================
+section               nnz    placement within the row
+====================  =====  =========================================
+astrometric           5      contiguous, block-diagonal: the 5
+                             parameters of the observed star
+attitude              12     3 blocks of 4 contiguous coefficients,
+                             one block per attitude axis, separated by
+                             a stride of ``n_deg_freedom_att`` columns
+instrumental          6      irregular columns inside the instrumental
+                             section
+global                1      the single PPN-gamma column (optional)
+====================  =====  =========================================
+
+The unknown vector is laid out as
+``[astrometric | attitude | instrumental | global]``; a
+:class:`SystemDims` instance carries the dimension bookkeeping and the
+section offsets within that column space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Astrometric parameters estimated per star (right ascension,
+#: declination, parallax and the two proper-motion components).
+ASTRO_PARAMS_PER_STAR = 5
+
+#: Attitude axes of the satellite; each contributes one block of
+#: B-spline coefficients per observation row.
+ATT_AXES = 3
+
+#: Contiguous attitude coefficients per axis touched by one row.
+ATT_BLOCK_SIZE = 4
+
+#: Attitude non-zeros per row (3 blocks of 4).
+ATT_PARAMS_PER_ROW = ATT_AXES * ATT_BLOCK_SIZE
+
+#: Irregularly-placed instrumental non-zeros per row.
+INSTR_PARAMS_PER_ROW = 6
+
+#: Global (PPN gamma) non-zeros per row -- "at most one" in the paper.
+GLOB_PARAMS_PER_ROW = 1
+
+#: Total stored coefficients per observation row.
+NNZ_PER_ROW = (
+    ASTRO_PARAMS_PER_STAR
+    + ATT_PARAMS_PER_ROW
+    + INSTR_PARAMS_PER_ROW
+    + GLOB_PARAMS_PER_ROW
+)
+
+
+@dataclass(frozen=True)
+class SystemDims:
+    """Dimensions of one AVU-GSR system instance.
+
+    Parameters
+    ----------
+    n_stars:
+        Number of primary stars; each contributes
+        :data:`ASTRO_PARAMS_PER_STAR` unknowns.
+    n_obs:
+        Number of observation rows (equations before constraints).
+    n_deg_freedom_att:
+        B-spline degrees of freedom *per attitude axis*.  The attitude
+        section holds ``ATT_AXES * n_deg_freedom_att`` unknowns, and
+        the per-row attitude blocks are separated by exactly this
+        stride.  Must be at least :data:`ATT_BLOCK_SIZE`.
+    n_instr_params:
+        Number of instrumental unknowns.  Must be at least
+        :data:`INSTR_PARAMS_PER_ROW`.
+    n_glob_params:
+        Number of global unknowns: ``1`` for the PPN-gamma run
+        configuration, ``0`` when the global section is disabled (as in
+        the production validation runs of §V-C).
+    """
+
+    n_stars: int
+    n_obs: int
+    n_deg_freedom_att: int
+    n_instr_params: int
+    n_glob_params: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_stars < 1:
+            raise ValueError(f"n_stars must be >= 1, got {self.n_stars}")
+        if self.n_obs < 1:
+            raise ValueError(f"n_obs must be >= 1, got {self.n_obs}")
+        if self.n_deg_freedom_att < ATT_BLOCK_SIZE:
+            raise ValueError(
+                "n_deg_freedom_att must be >= "
+                f"{ATT_BLOCK_SIZE}, got {self.n_deg_freedom_att}"
+            )
+        if self.n_instr_params < INSTR_PARAMS_PER_ROW:
+            raise ValueError(
+                "n_instr_params must be >= "
+                f"{INSTR_PARAMS_PER_ROW}, got {self.n_instr_params}"
+            )
+        if self.n_glob_params not in (0, 1):
+            raise ValueError(
+                f"n_glob_params must be 0 or 1, got {self.n_glob_params}"
+            )
+
+    # ------------------------------------------------------------------
+    # Section sizes
+    # ------------------------------------------------------------------
+    @property
+    def n_astro_params(self) -> int:
+        """Unknowns in the astrometric section."""
+        return self.n_stars * ASTRO_PARAMS_PER_STAR
+
+    @property
+    def n_att_params(self) -> int:
+        """Unknowns in the attitude section (all axes)."""
+        return ATT_AXES * self.n_deg_freedom_att
+
+    @property
+    def n_params(self) -> int:
+        """Total number of unknowns (columns of ``A``)."""
+        return (
+            self.n_astro_params
+            + self.n_att_params
+            + self.n_instr_params
+            + self.n_glob_params
+        )
+
+    @property
+    def nnz_per_row(self) -> int:
+        """Stored coefficients per observation row."""
+        return NNZ_PER_ROW - (GLOB_PARAMS_PER_ROW - self.n_glob_params)
+
+    @property
+    def nnz(self) -> int:
+        """Total stored coefficients over all observation rows."""
+        return self.n_obs * self.nnz_per_row
+
+    # ------------------------------------------------------------------
+    # Column-space offsets
+    # ------------------------------------------------------------------
+    @property
+    def astro_offset(self) -> int:
+        """First column of the astrometric section (always 0)."""
+        return 0
+
+    @property
+    def att_offset(self) -> int:
+        """First column of the attitude section."""
+        return self.n_astro_params
+
+    @property
+    def instr_offset(self) -> int:
+        """First column of the instrumental section."""
+        return self.att_offset + self.n_att_params
+
+    @property
+    def glob_offset(self) -> int:
+        """First column of the global section."""
+        return self.instr_offset + self.n_instr_params
+
+    @property
+    def att_stride(self) -> int:
+        """Column stride between consecutive per-row attitude blocks."""
+        return self.n_deg_freedom_att
+
+    def section_slices(self) -> dict[str, slice]:
+        """Column slices of the four sections, keyed by section name."""
+        return {
+            "astrometric": slice(self.astro_offset, self.att_offset),
+            "attitude": slice(self.att_offset, self.instr_offset),
+            "instrumental": slice(self.instr_offset, self.glob_offset),
+            "global": slice(self.glob_offset, self.n_params),
+        }
+
+    def describe(self) -> str:
+        """Human-readable one-paragraph summary of the dimensions."""
+        return (
+            f"AVU-GSR system: {self.n_obs:,} observations x "
+            f"{self.n_params:,} unknowns "
+            f"(astro {self.n_astro_params:,}, att {self.n_att_params:,}, "
+            f"instr {self.n_instr_params:,}, glob {self.n_glob_params}); "
+            f"{self.nnz:,} stored coefficients."
+        )

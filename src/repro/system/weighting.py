@@ -1,0 +1,56 @@
+"""Observation weighting (the "Weights Calculation" feedback of Fig. 1).
+
+Between pipeline cycles the production system re-weights observations
+from their residuals (outliers are down-weighted to zero) and solves
+again.  Weighted least squares is implemented the standard way: scale
+every observation row -- coefficients and known term -- by
+``sqrt(w)``, leaving the constraint rows untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.system.sparse import GaiaSystem
+
+
+def apply_weights(system: GaiaSystem, weights: np.ndarray) -> GaiaSystem:
+    """Weighted copy of ``system``: rows scaled by ``sqrt(weights)``.
+
+    ``weights`` must be non-negative with shape ``(n_obs,)``; zero
+    weight removes an observation's influence entirely (its row
+    becomes zero).  Returns a new system; the input is untouched.
+    """
+    m = system.dims.n_obs
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (m,):
+        raise ValueError(
+            f"weights has shape {weights.shape}, expected ({m},)"
+        )
+    if not np.all(np.isfinite(weights)) or np.any(weights < 0):
+        raise ValueError("weights must be finite and non-negative")
+    s = np.sqrt(weights)
+    meta = {k: v for k, v in system.meta.items()}
+    meta["weighted"] = True
+    return GaiaSystem(
+        dims=system.dims,
+        astro_values=system.astro_values * s[:, None],
+        matrix_index_astro=system.matrix_index_astro,
+        att_values=system.att_values * s[:, None],
+        matrix_index_att=system.matrix_index_att,
+        instr_values=system.instr_values * s[:, None],
+        instr_col=system.instr_col,
+        glob_values=system.glob_values * s[:, None],
+        known_terms=system.known_terms * s,
+        constraints=system.constraints,
+        meta=meta,
+    )
+
+
+def effective_observations(weights: np.ndarray) -> float:
+    """Kish's effective sample size of a weight vector."""
+    weights = np.asarray(weights, dtype=np.float64)
+    total = float(np.sum(weights))
+    if total == 0:
+        return 0.0
+    return total**2 / float(np.sum(weights**2))

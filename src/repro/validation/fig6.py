@@ -1,0 +1,137 @@
+"""Fig. 6 scatter data and its terminal rendering.
+
+Fig. 6 of the paper plots, per astrometric unknown, the HIP solution
+(and standard error) against the CUDA-production one, with the
+one-to-one line as reference.  :func:`fig6_scatter` extracts exactly
+those point sets; :func:`ascii_scatter` renders them as a terminal
+plot; :func:`save_fig6_data` writes the arrays for external plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.system.structure import SystemDims
+from repro.validation.compare import PortSolution
+
+
+@dataclass(frozen=True)
+class Fig6Scatter:
+    """The four point sets of one Fig. 6 panel pair."""
+
+    reference_label: str
+    candidate_label: str
+    x_ref: np.ndarray   # reference astrometric solution
+    x_cand: np.ndarray  # candidate astrometric solution
+    se_ref: np.ndarray  # reference standard errors
+    se_cand: np.ndarray
+
+    @property
+    def solution_correlation(self) -> float:
+        """Pearson correlation of the solution scatter."""
+        return float(np.corrcoef(self.x_ref, self.x_cand)[0, 1])
+
+    @property
+    def se_correlation(self) -> float:
+        """Pearson correlation of the standard-error scatter."""
+        return float(np.corrcoef(self.se_ref, self.se_cand)[0, 1])
+
+
+def fig6_scatter(
+    reference: PortSolution,
+    candidate: PortSolution,
+    dims: SystemDims,
+) -> Fig6Scatter:
+    """Extract the astrometric solution/error scatters of Fig. 6."""
+    sl = dims.section_slices()["astrometric"]
+    return Fig6Scatter(
+        reference_label=(f"{reference.port_key} on "
+                         f"{reference.device_name}"),
+        candidate_label=(f"{candidate.port_key} on "
+                         f"{candidate.device_name}"),
+        x_ref=reference.x[sl].copy(),
+        x_cand=candidate.x[sl].copy(),
+        se_ref=reference.se[sl].copy(),
+        se_cand=candidate.se[sl].copy(),
+    )
+
+
+def ascii_scatter(
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    width: int = 56,
+    height: int = 20,
+    title: str = "",
+) -> str:
+    """Terminal scatter plot with the one-to-one diagonal as ``\\``.
+
+    Points landing on the diagonal render as ``*``; off-diagonal
+    points as ``o`` -- on a correct port every marker is a ``*``.
+    """
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be matching 1-D arrays")
+    if x.size == 0:
+        raise ValueError("nothing to plot")
+    lo = min(x.min(), y.min())
+    hi = max(x.max(), y.max())
+    span = hi - lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def diag_row(col: int) -> int:
+        return height - 1 - round(col * (height - 1) / (width - 1))
+
+    # The one-to-one reference line.
+    for col in range(width):
+        row = diag_row(col)
+        if grid[row][col] == " ":
+            grid[row][col] = "\\"
+    for xv, yv in zip(x, y):
+        col = round((xv - lo) / span * (width - 1))
+        row = height - 1 - round((yv - lo) / span * (height - 1))
+        # One character cell of raster tolerance around the diagonal.
+        on_diag = abs(row - diag_row(col)) <= 1
+        grid[row][col] = "*" if on_diag else "o"
+    lines = ([title] if title else [])
+    lines += ["|" + "".join(r) + "|" for r in grid]
+    lines.append(f"range: [{lo:.3e}, {hi:.3e}]  (\\ = one-to-one line, "
+                 "* = on it, o = off it)")
+    return "\n".join(lines)
+
+
+def render_fig6(scatter: Fig6Scatter) -> str:
+    """Both panels of Fig. 6 as terminal plots plus the statistics."""
+    a = ascii_scatter(
+        scatter.x_ref, scatter.x_cand,
+        title=(f"Fig. 6a: astrometric solution, "
+               f"{scatter.candidate_label} vs {scatter.reference_label}"),
+    )
+    b = ascii_scatter(
+        scatter.se_ref, scatter.se_cand,
+        title="Fig. 6b: astrometric standard error",
+    )
+    stats = (
+        f"solution correlation {scatter.solution_correlation:.9f}; "
+        f"std-error correlation {scatter.se_correlation:.9f}"
+    )
+    return f"{a}\n\n{b}\n\n{stats}"
+
+
+def save_fig6_data(scatter: Fig6Scatter, path: str | Path) -> Path:
+    """Write the scatter arrays as ``.npz`` for external plotting."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    np.savez_compressed(
+        path,
+        x_ref=scatter.x_ref, x_cand=scatter.x_cand,
+        se_ref=scatter.se_ref, se_cand=scatter.se_cand,
+        reference_label=np.frombuffer(
+            scatter.reference_label.encode(), dtype=np.uint8),
+        candidate_label=np.frombuffer(
+            scatter.candidate_label.encode(), dtype=np.uint8),
+    )
+    return path

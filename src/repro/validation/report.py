@@ -1,0 +1,93 @@
+"""The full §V-C validation harness.
+
+Validates every port on the NVIDIA H100, A100 and AMD MI250X (the
+devices the paper validates on) against the production reference, and
+renders a Fig.-6-style report: per-port, per-section one-to-one
+slopes, sigma agreement and micro-arcsecond statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.frameworks.base import Port
+from repro.frameworks.registry import ALL_PORTS
+from repro.gpu.device import DeviceSpec
+from repro.gpu.platforms import A100, H100, MI250X
+from repro.system.sparse import GaiaSystem
+from repro.validation.compare import (
+    PortSolution,
+    ValidationComparison,
+    compare_solutions,
+    solve_as_port,
+    solve_production_reference,
+)
+
+#: Devices the paper validates on (§V-C).
+VALIDATION_DEVICES: tuple[DeviceSpec, ...] = (H100, A100, MI250X)
+
+
+@dataclass
+class ValidationReport:
+    """All port-vs-production comparisons for one dataset."""
+
+    dataset_label: str
+    reference: PortSolution
+    comparisons: list[ValidationComparison] = field(default_factory=list)
+
+    @property
+    def all_passed(self) -> bool:
+        """True when every port meets the §V-C criteria everywhere."""
+        return all(c.passed for c in self.comparisons)
+
+    def failures(self) -> list[ValidationComparison]:
+        """Comparisons that violate a criterion."""
+        return [c for c in self.comparisons if not c.passed]
+
+    def summary(self) -> str:
+        """Fig.-6-style text table."""
+        lines = [
+            f"Validation against production reference "
+            f"({self.dataset_label}):",
+            f"{'port':<12}{'device':<10}{'section':<14}"
+            f"{'slope':>8}{'<=1sigma':>9}{'dSE mean':>10}{'dSE std':>10}"
+            f"{'ok':>4}",
+        ]
+        for c in self.comparisons:
+            for s in c.sections.values():
+                lines.append(
+                    f"{c.port_key:<12}{c.device_name:<10}{s.section:<14}"
+                    f"{s.one_to_one_slope:>8.4f}"
+                    f"{s.frac_within_1sigma:>9.3f}"
+                    f"{s.se_mean_diff_uas:>10.4f}"
+                    f"{s.se_std_diff_uas:>10.4f}"
+                    f"{'yes' if s.within_threshold else 'NO':>4}"
+                )
+        verdict = "PASS" if self.all_passed else "FAIL"
+        lines.append(f"overall: {verdict}")
+        return "\n".join(lines)
+
+
+def run_validation(
+    system: GaiaSystem,
+    *,
+    dataset_label: str = "synthetic",
+    ports: Sequence[Port] = ALL_PORTS,
+    devices: Sequence[DeviceSpec] = VALIDATION_DEVICES,
+    iter_lim: int | None = None,
+) -> ValidationReport:
+    """Validate every (port, device) pair that can run the dataset."""
+    reference = solve_production_reference(system, iter_lim=iter_lim)
+    report = ValidationReport(dataset_label=dataset_label,
+                              reference=reference)
+    for port in ports:
+        for device in devices:
+            if not port.supports(device):
+                continue
+            candidate = solve_as_port(system, port, device,
+                                      iter_lim=iter_lim)
+            report.comparisons.append(
+                compare_solutions(reference, candidate, system.dims)
+            )
+    return report

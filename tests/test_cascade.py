@@ -1,0 +1,44 @@
+"""Unit tests for the efficiency cascade (Fig. 3 left panels)."""
+
+import pytest
+
+from repro.portability.cascade import efficiency_cascade
+from repro.portability.metrics import harmonic_mean
+
+
+def test_cascade_sorts_descending():
+    eff = {"A": 0.5, "B": 1.0, "C": 0.8}
+    c = efficiency_cascade("port", eff, ("A", "B", "C"))
+    assert c.platforms == ("B", "C", "A")
+    assert c.efficiencies == (1.0, 0.8, 0.5)
+    assert c.best_platform == "B"
+
+
+def test_running_p_matches_prefix_harmonic_means():
+    eff = {"A": 0.5, "B": 1.0, "C": 0.8}
+    c = efficiency_cascade("port", eff, ("A", "B", "C"))
+    assert c.running_p[0] == 1.0
+    assert c.running_p[1] == pytest.approx(harmonic_mean([1.0, 0.8]))
+    assert c.running_p[2] == pytest.approx(harmonic_mean([1.0, 0.8, 0.5]))
+    assert c.p == c.running_p[-1]
+
+
+def test_running_p_decreasing():
+    eff = {"A": 0.4, "B": 0.9, "C": 0.7, "D": 0.95}
+    c = efficiency_cascade("port", eff, tuple(eff))
+    assert all(b <= a + 1e-12 for a, b in zip(c.running_p, c.running_p[1:]))
+
+
+def test_unsupported_platforms_zero_the_tail():
+    eff = {"A": 0.9, "B": None}
+    c = efficiency_cascade("cuda", eff, ("A", "B"))
+    assert c.platforms == ("A", "B")
+    assert c.efficiencies == (0.9, None)
+    assert c.running_p[0] == pytest.approx(0.9)
+    assert c.running_p[1] == 0.0
+    assert c.p == 0.0
+
+
+def test_empty_platform_set_rejected():
+    with pytest.raises(ValueError):
+        efficiency_cascade("p", {}, ())

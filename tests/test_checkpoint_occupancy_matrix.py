@@ -1,0 +1,145 @@
+"""Tests for checkpoint/restart, occupancy and the capability matrix."""
+
+import numpy as np
+import pytest
+
+from repro.core import lsqr_solve
+from repro.core.checkpoint import LSQRState, ResumableLSQR
+from repro.frameworks.port_matrix import capability_matrix, port_row
+from repro.frameworks.registry import port_by_key
+from repro.gpu.occupancy import (
+    KernelResources,
+    occupancy,
+    occupancy_table,
+)
+from repro.gpu.platforms import H100, MI250X, T4
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / restart
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def resumable(small_system):
+    return ResumableLSQR(small_system, atol=1e-12)
+
+
+def test_resumed_run_is_bitwise_identical(resumable, tmp_path):
+    straight = resumable.run()
+    state = resumable.start()
+    state = resumable.step(state, 7)
+    reloaded = LSQRState.load(state.save(tmp_path / "ckpt"))
+    resumed = resumable.step(reloaded, 10_000)
+    assert resumed.itn == straight.itn
+    assert np.array_equal(resumable.solution(resumed),
+                          resumable.solution(straight))
+
+
+def test_multiple_checkpoints_compose(resumable, tmp_path):
+    straight = resumable.run()
+    state = resumable.start()
+    for k in range(5):
+        state = resumable.step(state, 5)
+        state = LSQRState.load(state.save(tmp_path / f"c{k}"))
+        if state.done:
+            break
+    state = resumable.step(state, 10_000)
+    assert np.array_equal(resumable.solution(state),
+                          resumable.solution(straight))
+
+
+def test_matches_lsqr_solve(resumable, small_system):
+    state = resumable.run()
+    ref = lsqr_solve(small_system, atol=1e-12, btol=1e-12)
+    x = resumable.solution(state)
+    assert np.linalg.norm(x - ref.x) < 1e-9 * np.linalg.norm(ref.x)
+
+
+def test_run_with_periodic_checkpointing(resumable, tmp_path):
+    path = tmp_path / "periodic.npz"
+    state = resumable.run(checkpoint_every=10, checkpoint_path=path)
+    assert state.done
+    on_disk = LSQRState.load(path)
+    assert on_disk.itn == state.itn  # final state persisted too
+
+
+def test_step_on_done_state_is_noop(resumable):
+    state = resumable.run()
+    itn = state.itn
+    x = state.x.copy()
+    state = resumable.step(state, 10)
+    assert state.itn == itn
+    assert np.array_equal(state.x, x)
+
+
+def test_step_validation(resumable):
+    with pytest.raises(ValueError):
+        resumable.step(resumable.start(), 0)
+
+
+def test_iter_lim_respected(small_system):
+    solver = ResumableLSQR(small_system, atol=0.0)
+    state = solver.run(iter_lim=5)
+    assert state.itn == 5 and not state.done
+
+
+# ----------------------------------------------------------------------
+# Occupancy
+# ----------------------------------------------------------------------
+def test_occupancy_limits():
+    r = occupancy(T4, 256)
+    assert r.blocks_per_sm >= 1
+    assert 0 < r.occupancy <= 1
+    # 1024-thread blocks with 40 regs/thread are register-limited.
+    big = occupancy(T4, 1024)
+    assert big.limiter == "registers"
+    assert big.blocks_per_sm == 1
+
+
+def test_occupancy_warp_rounding():
+    # 33 threads on a 64-wide wavefront machine occupies a full wave.
+    r = occupancy(MI250X, 33)
+    assert r.resident_threads % 64 == 0
+
+
+def test_smem_limits_occupancy():
+    heavy = occupancy(H100, 128,
+                      KernelResources(registers_per_thread=32,
+                                      smem_per_block=48 * 1024))
+    assert heavy.limiter == "smem"
+    assert heavy.blocks_per_sm == 2
+
+
+def test_occupancy_validation():
+    with pytest.raises(ValueError):
+        occupancy(T4, 0)
+    with pytest.raises(ValueError):
+        KernelResources(registers_per_thread=0)
+
+
+def test_occupancy_table_renders():
+    text = occupancy_table(H100)
+    assert "Occupancy on H100" in text
+    assert "limiter" in text and "256" in text
+
+
+# ----------------------------------------------------------------------
+# Capability matrix
+# ----------------------------------------------------------------------
+def test_port_rows():
+    cuda = port_row(port_by_key("CUDA"))
+    assert cuda["amd"] == "—"
+    assert cuda["style"] == "language-specific"
+    omp = port_row(port_by_key("OMP+LLVM"))
+    assert omp["style"] == "directive-based"
+    assert "CAS loop" in omp["amd"]
+    pstl = port_row(port_by_key("PSTL+V"))
+    assert pstl["style"] == "abstraction library"
+    assert "fixed 256" in pstl["nvidia"]
+
+
+def test_capability_matrix_renders_all_ports():
+    text = capability_matrix()
+    assert text.count("\n") == 9  # header + rule + 8 ports
+    for key in ("CUDA", "HIP", "SYCL+ACPP", "PSTL+V"):
+        assert f"| {key} |" in text
+    assert "hand-tuned" in text and "compiler default" in text

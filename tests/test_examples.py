@@ -1,0 +1,85 @@
+"""Smoke-run the fast example scripts end to end.
+
+Keeps the examples (deliverable b) from rotting: each is executed as
+``__main__`` with its output captured.  Only the quick ones run here;
+the heavyweight studies are exercised by the benchmark harness.
+"""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str) -> str:
+    buf = io.StringIO()
+    argv = sys.argv
+    sys.argv = [name]
+    try:
+        with redirect_stdout(buf):
+            runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return buf.getvalue()
+
+
+def test_quickstart_example():
+    out = _run("quickstart.py")
+    assert "relative error vs generating truth" in out
+    assert "PPN-gamma" in out
+    assert "LSQ" in out  # converged stop reason
+
+
+def test_tuning_sweep_example():
+    out = _run("tuning_sweep.py")
+    assert "CUDA" in out and "MI250X" in out
+    assert "cannot be tuned" in out
+
+
+def test_weak_scaling_example():
+    out = _run("weak_scaling.py")
+    assert "Weak scaling on A100" in out
+    assert "Strong scaling of HIP" in out
+
+
+def test_distributed_solver_example():
+    out = _run("distributed_solver.py")
+    assert "ranks=8" in out
+    assert "x_serial" in out
+
+
+def test_fig6_terminal_example():
+    out = _run("fig6_terminal.py")
+    assert "Fig. 6a" in out and "Fig. 6b" in out
+    assert "one-to-one" in out
+
+
+def test_artifact_workflow_example():
+    out = _run("artifact_workflow.py")
+    assert "capability matrix" in out
+    assert "nvcc" in out and "gfx90a" in out
+    assert "same solution: True" in out
+
+
+def test_regression_workflow_example():
+    out = _run("regression_workflow.py")
+    assert "identical" in out
+    assert "H100" in out
+
+
+def test_multi_cycle_pipeline_example():
+    out = _run("multi_cycle_pipeline.py")
+    assert "cycle 2:" in out
+    assert "better)" in out
+
+
+def test_examples_directory_complete():
+    """Deliverable check: at least quickstart + five domain examples."""
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert "quickstart.py" in names
+    assert len(names) >= 12

@@ -1,0 +1,112 @@
+"""Tests for the production-style binary dataset I/O."""
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    read_binary_system,
+    read_rank_block,
+    write_binary_system,
+)
+from repro.io.binary import FORMAT_VERSION, MAGIC, read_header
+from repro.system import SystemDims, make_system
+
+
+@pytest.fixture(scope="module")
+def binfile(tmp_path_factory, small_system):
+    path = tmp_path_factory.mktemp("io") / "system.gsrb"
+    return write_binary_system(small_system, path)
+
+
+def test_header_decodes(binfile, small_system):
+    header = read_header(binfile)
+    assert header.version == FORMAT_VERSION
+    assert header.dims == small_system.dims
+    assert header.has_constraints
+
+
+def test_full_roundtrip(binfile, small_system):
+    back = read_binary_system(binfile)
+    for name in ("astro_values", "matrix_index_astro", "att_values",
+                 "matrix_index_att", "instr_values", "instr_col",
+                 "glob_values", "known_terms"):
+        assert np.array_equal(getattr(back, name),
+                              getattr(small_system, name)), name
+    assert len(back.constraints) == len(small_system.constraints)
+    for a, b in zip(back.constraints, small_system.constraints):
+        assert np.array_equal(a.cols, b.cols)
+        assert np.array_equal(a.vals, b.vals)
+        assert a.label == b.label
+
+
+def test_roundtrip_solves_identically(binfile, small_system):
+    from repro.core import lsqr_solve
+
+    back = read_binary_system(binfile)
+    a = lsqr_solve(small_system, atol=1e-10, btol=1e-10)
+    b = lsqr_solve(back, atol=1e-10, btol=1e-10)
+    assert np.array_equal(a.x, b.x)
+
+
+def test_rank_block_matches_decomposition(binfile, small_system):
+    from repro.dist import partition_by_rows, slice_system
+
+    blocks = partition_by_rows(small_system, 3)
+    for block in blocks:
+        from_file = read_rank_block(binfile, block.row_start,
+                                    block.row_stop)
+        in_memory = slice_system(small_system, block)
+        assert np.array_equal(from_file.known_terms,
+                              in_memory.known_terms)
+        assert np.array_equal(from_file.astro_values,
+                              in_memory.astro_values)
+        assert from_file.dims.n_obs == block.n_rows
+
+
+def test_rank_block_window_validation(binfile, small_system):
+    m = small_system.dims.n_obs
+    with pytest.raises(ValueError, match="row window"):
+        read_rank_block(binfile, 10, 5)
+    with pytest.raises(ValueError, match="row window"):
+        read_rank_block(binfile, 0, m + 1)
+
+
+def test_checksum_detects_corruption(tmp_path, small_system):
+    path = write_binary_system(small_system, tmp_path / "c.gsrb")
+    blob = bytearray(path.read_bytes())
+    blob[200] ^= 0xFF  # flip a payload byte
+    path.write_bytes(bytes(blob))
+    with pytest.raises(ValueError, match="checksum"):
+        read_binary_system(path)
+    # verify=False skips the check (and yields corrupted data).
+    read_binary_system(path, verify=False)
+
+
+def test_magic_and_version_guards(tmp_path, small_system):
+    path = write_binary_system(small_system, tmp_path / "m.gsrb")
+    blob = bytearray(path.read_bytes())
+    blob[:4] = b"XXXX"
+    bad = tmp_path / "bad.gsrb"
+    bad.write_bytes(bytes(blob))
+    with pytest.raises(ValueError, match="magic"):
+        read_header(bad)
+    trunc = tmp_path / "trunc.gsrb"
+    trunc.write_bytes(b"GS")
+    with pytest.raises(ValueError, match="truncated"):
+        read_header(trunc)
+
+
+def test_no_global_section(tmp_path, noglob_system):
+    path = write_binary_system(noglob_system, tmp_path / "ng.gsrb")
+    back = read_binary_system(path)
+    assert back.dims.n_glob_params == 0
+    assert back.glob_values.shape == (noglob_system.dims.n_obs, 0)
+    assert np.array_equal(back.known_terms, noglob_system.known_terms)
+
+
+def test_without_constraints(tmp_path, small_dims):
+    system = make_system(small_dims, seed=4, with_constraints=False)
+    back = read_binary_system(
+        write_binary_system(system, tmp_path / "nc.gsrb")
+    )
+    assert back.constraints is None

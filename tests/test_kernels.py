@@ -1,0 +1,170 @@
+"""Unit tests for the gather/scatter kernels and per-submatrix wrappers.
+
+Every strategy must agree with the pure-Python ``loop`` reference --
+the kernels differ only in floating-point summation order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import astro, att, gather_scatter, glob, instr
+
+
+@pytest.fixture()
+def gs_case(rng):
+    m, k, n = 200, 6, 50
+    values = rng.normal(size=(m, k))
+    cols = rng.integers(0, n, size=(m, k))
+    x = rng.normal(size=n)
+    y = rng.normal(size=m)
+    return values, cols, x, y, n
+
+
+@pytest.mark.parametrize("strategy", ["vectorized", "loop"])
+def test_gather_dot_strategies_agree(gs_case, strategy):
+    values, cols, x, y, n = gs_case
+    ref = np.zeros(values.shape[0])
+    gather_scatter.gather_dot(values, cols, x, ref, strategy="loop")
+    out = np.zeros(values.shape[0])
+    gather_scatter.gather_dot(values, cols, x, out, strategy=strategy)
+    assert np.allclose(out, ref, rtol=1e-13)
+
+
+@pytest.mark.parametrize("strategy", ["atomic", "bincount", "loop"])
+def test_scatter_add_strategies_agree(gs_case, strategy):
+    values, cols, x, y, n = gs_case
+    ref = np.zeros(n)
+    gather_scatter.scatter_add(values, cols, y, ref, strategy="loop")
+    out = np.zeros(n)
+    gather_scatter.scatter_add(values, cols, y, out, strategy=strategy)
+    assert np.allclose(out, ref, rtol=1e-12, atol=1e-15)
+
+
+def test_gather_accumulates_into_out(gs_case):
+    values, cols, x, y, n = gs_case
+    out = np.ones(values.shape[0])
+    gather_scatter.gather_dot(values, cols, x, out)
+    out2 = np.zeros(values.shape[0])
+    gather_scatter.gather_dot(values, cols, x, out2)
+    assert np.allclose(out, out2 + 1.0)
+
+
+def test_unknown_strategies_rejected(gs_case):
+    values, cols, x, y, n = gs_case
+    with pytest.raises(ValueError, match="gather strategy"):
+        gather_scatter.gather_dot(values, cols, x,
+                                  np.zeros(values.shape[0]),
+                                  strategy="magic")
+    with pytest.raises(ValueError, match="scatter strategy"):
+        gather_scatter.scatter_add(values, cols, y, np.zeros(n),
+                                   strategy="magic")
+
+
+def test_shape_mismatches_rejected(gs_case):
+    values, cols, x, y, n = gs_case
+    with pytest.raises(ValueError):
+        gather_scatter.gather_dot(values, cols[:, :3], x,
+                                  np.zeros(values.shape[0]))
+    with pytest.raises(ValueError):
+        gather_scatter.scatter_add(values, cols, y[:-1], np.zeros(n))
+    with pytest.raises(ValueError):
+        gather_scatter.gather_dot(values, cols, x, np.zeros(3))
+
+
+def test_column_sq_norms(gs_case):
+    values, cols, x, y, n = gs_case
+    out = np.zeros(n)
+    gather_scatter.column_sq_norms(values, cols, out)
+    ref = np.zeros(n)
+    for i in range(values.shape[0]):
+        for j in range(values.shape[1]):
+            ref[cols[i, j]] += values[i, j] ** 2
+    assert np.allclose(out, ref)
+
+
+# ----------------------------------------------------------------------
+# Astrometric fast path
+# ----------------------------------------------------------------------
+def test_astro_sorted_matches_bincount(small_system):
+    cols = small_system.astro_columns()
+    y = np.linspace(-1, 1, small_system.dims.n_obs)
+    ref = np.zeros(small_system.dims.n_params)
+    astro.aprod2_astro(small_system.astro_values, cols, y, ref,
+                       strategy="bincount")
+    out = np.zeros(small_system.dims.n_params)
+    astro.aprod2_astro(small_system.astro_values, cols, y, out,
+                       strategy="sorted")
+    assert np.allclose(out, ref, rtol=1e-13)
+
+
+def test_astro_sorted_rejects_shuffled(shuffled_system):
+    cols = shuffled_system.astro_columns()
+    y = np.ones(shuffled_system.dims.n_obs)
+    with pytest.raises(ValueError, match="star-sorted"):
+        astro.aprod2_astro(shuffled_system.astro_values, cols, y,
+                           np.zeros(shuffled_system.dims.n_params),
+                           strategy="sorted")
+
+
+def test_astro_sorted_empty_is_noop():
+    out = np.zeros(5)
+    astro.aprod2_astro(np.zeros((0, 5)), np.zeros((0, 5), dtype=np.int64),
+                       np.zeros(0), out, strategy="sorted")
+    assert np.all(out == 0)
+
+
+# ----------------------------------------------------------------------
+# Attitude column builder
+# ----------------------------------------------------------------------
+def test_att_columns_layout():
+    idx = np.array([0, 2], dtype=np.int64)
+    cols = att.columns(idx, att_stride=10, att_offset=100)
+    expected_row0 = np.array(
+        [100, 101, 102, 103, 110, 111, 112, 113, 120, 121, 122, 123]
+    )
+    assert np.array_equal(cols[0], expected_row0)
+    assert np.array_equal(cols[1], expected_row0 + 2)
+
+
+def test_instr_columns_offset():
+    ic = np.array([[0, 3, 5]], dtype=np.int32)
+    out = instr.columns(ic, instr_offset=7)
+    assert out.dtype == np.int64
+    assert np.array_equal(out, [[7, 10, 12]])
+
+
+# ----------------------------------------------------------------------
+# Global kernels
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("strategy", ["reduce", "atomic", "loop"])
+def test_glob_aprod2_strategies_agree(rng, strategy):
+    m = 300
+    values = rng.normal(size=(m, 1))
+    y = rng.normal(size=m)
+    out = np.zeros(10)
+    glob.aprod2_glob(values, 4, y, out, strategy=strategy)
+    assert out[4] == pytest.approx(float(values[:, 0] @ y), rel=1e-12)
+    assert np.all(out[np.arange(10) != 4] == 0)
+
+
+def test_glob_aprod1(rng):
+    m = 100
+    values = rng.normal(size=(m, 1))
+    x = np.zeros(10)
+    x[4] = 2.5
+    out = np.zeros(m)
+    glob.aprod1_glob(values, 4, x, out)
+    assert np.allclose(out, values[:, 0] * 2.5)
+
+
+def test_glob_empty_section_noop(rng):
+    out = np.zeros(5)
+    glob.aprod2_glob(np.zeros((3, 0)), 4, np.ones(3), out)
+    glob.aprod1_glob(np.zeros((3, 0)), 4, np.zeros(5), np.zeros(3))
+    assert np.all(out == 0)
+
+
+def test_glob_unknown_strategy(rng):
+    with pytest.raises(ValueError, match="glob scatter"):
+        glob.aprod2_glob(np.ones((2, 1)), 0, np.ones(2), np.zeros(3),
+                         strategy="magic")

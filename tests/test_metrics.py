@@ -1,0 +1,93 @@
+"""Unit tests for the Pennycook metric and efficiency normalizations."""
+
+import pytest
+
+from repro.portability.metrics import (
+    application_efficiency,
+    harmonic_mean,
+    pennycook_p,
+    pennycook_p_from_times,
+    self_efficiency,
+)
+
+
+def test_harmonic_mean_basics():
+    assert harmonic_mean([1.0, 1.0]) == 1.0
+    assert harmonic_mean([0.5]) == 0.5
+    assert harmonic_mean([1.0, 0.5]) == pytest.approx(2 / 3)
+    assert harmonic_mean([1.0, 0.0]) == 0.0
+    with pytest.raises(ValueError):
+        harmonic_mean([])
+    with pytest.raises(ValueError):
+        harmonic_mean([-0.1])
+
+
+def test_harmonic_mean_below_arithmetic():
+    vals = [0.3, 0.9, 0.7]
+    assert harmonic_mean(vals) <= sum(vals) / len(vals)
+
+
+TIMES = {
+    "fast": {"P1": 1.0, "P2": 2.0},
+    "slow": {"P1": 2.0, "P2": 2.5},
+    "partial": {"P1": 1.5, "P2": None},
+}
+PLATFORMS = ("P1", "P2")
+
+
+def test_application_efficiency_vs_platform_best():
+    eff = application_efficiency(TIMES, PLATFORMS)
+    assert eff["fast"]["P1"] == 1.0
+    assert eff["fast"]["P2"] == 1.0
+    assert eff["slow"]["P1"] == 0.5
+    assert eff["slow"]["P2"] == 0.8
+    assert eff["partial"]["P2"] is None
+
+
+def test_self_efficiency_vs_own_best():
+    eff = self_efficiency(TIMES, PLATFORMS)
+    assert eff["fast"]["P1"] == 1.0
+    assert eff["fast"]["P2"] == 0.5
+    assert eff["partial"]["P1"] == 1.0
+
+
+def test_p_zero_when_any_platform_unsupported():
+    """The CUDA case: P = 0 by definition (Eq. 1)."""
+    eff = application_efficiency(TIMES, PLATFORMS)
+    assert pennycook_p(eff["partial"], PLATFORMS) == 0.0
+    # But positive over the subset it supports.
+    assert pennycook_p(eff["partial"], ("P1",)) > 0
+
+
+def test_p_is_harmonic_mean_of_efficiencies():
+    eff = application_efficiency(TIMES, PLATFORMS)
+    assert pennycook_p(eff["slow"], PLATFORMS) == pytest.approx(
+        harmonic_mean([0.5, 0.8])
+    )
+
+
+def test_p_from_times_convenience():
+    assert pennycook_p_from_times(TIMES, PLATFORMS, "fast") == 1.0
+
+
+def test_p_rejects_bad_efficiency():
+    with pytest.raises(ValueError):
+        pennycook_p({"P1": 1.5}, ("P1",))
+    with pytest.raises(ValueError):
+        pennycook_p({"P1": 0.5}, ())
+
+
+def test_no_port_on_platform_is_an_error():
+    with pytest.raises(ValueError, match="no port"):
+        application_efficiency({"a": {"P1": None}}, ("P1",))
+
+
+def test_p_invariant_under_time_rescaling():
+    """P depends only on time ratios: rescaling a platform's clock
+    leaves every port's P unchanged."""
+    times2 = {k: {"P1": v["P1"], "P2": (v["P2"] * 7.5 if v["P2"] else None)}
+              for k, v in TIMES.items()}
+    for port in ("fast", "slow"):
+        assert pennycook_p_from_times(TIMES, PLATFORMS, port) == (
+            pytest.approx(pennycook_p_from_times(times2, PLATFORMS, port))
+        )

@@ -1,0 +1,64 @@
+"""Unit tests for the column-scaling preconditioner."""
+
+import numpy as np
+import pytest
+
+from repro.core.aprod import AprodOperator
+from repro.core.precond import ColumnScaling, PreconditionedAprod
+
+
+def test_scaling_normalizes_columns(small_system):
+    op = AprodOperator(small_system)
+    scaling = ColumnScaling.from_operator(op)
+    norms = np.sqrt(op.column_sq_norms())
+    nz = norms > 0
+    assert np.allclose(scaling.scale[nz], 1.0 / norms[nz])
+
+
+def test_preconditioned_columns_have_unit_norm(small_system):
+    op = AprodOperator(small_system)
+    scaling = ColumnScaling.from_operator(op)
+    pre = PreconditionedAprod(op, scaling)
+    # (A D) e_j has norm 1 for a handful of probe columns.
+    for j in (0, 7, small_system.dims.att_offset + 1,
+              small_system.dims.n_params - 1):
+        e = np.zeros(op.shape[1])
+        e[j] = 1.0
+        col = pre.aprod1(e)
+        assert np.linalg.norm(col) == pytest.approx(1.0, rel=1e-12)
+
+
+def test_roundtrip_maps(small_system, rng):
+    scaling = ColumnScaling.from_operator(AprodOperator(small_system))
+    x = rng.normal(size=scaling.scale.shape[0])
+    assert np.allclose(scaling.to_physical(scaling.to_preconditioned(x)), x)
+
+
+def test_identity_scaling(rng):
+    s = ColumnScaling.identity(10)
+    x = rng.normal(size=10)
+    assert np.array_equal(s.to_physical(x), x)
+    assert np.array_equal(s.scale_variance(x), x)
+
+
+def test_variance_scaling_squares(small_system, rng):
+    scaling = ColumnScaling.from_operator(AprodOperator(small_system))
+    var = np.abs(rng.normal(size=scaling.scale.shape[0]))
+    assert np.allclose(scaling.scale_variance(var),
+                       var * scaling.scale**2)
+
+
+def test_preconditioned_adjointness(small_system, rng):
+    op = AprodOperator(small_system)
+    pre = PreconditionedAprod(op, ColumnScaling.from_operator(op))
+    z = rng.normal(size=pre.shape[1])
+    y = rng.normal(size=pre.shape[0])
+    assert float(np.dot(pre.aprod1(z), y)) == pytest.approx(
+        float(np.dot(z, pre.aprod2(y))), rel=1e-11
+    )
+
+
+def test_mismatched_scaling_rejected(small_system):
+    op = AprodOperator(small_system)
+    with pytest.raises(ValueError):
+        PreconditionedAprod(op, ColumnScaling.identity(3))

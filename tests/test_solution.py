@@ -1,0 +1,58 @@
+"""Unit tests for solution sectioning."""
+
+import numpy as np
+import pytest
+
+from repro.system.solution import (
+    ASTRO_PARAM_NAMES,
+    join_sections,
+    split_solution,
+)
+
+
+def test_split_roundtrip(small_dims, rng):
+    x = rng.normal(size=small_dims.n_params)
+    sections = split_solution(x, small_dims)
+    assert np.array_equal(join_sections(sections), x)
+
+
+def test_sections_are_views(small_dims, rng):
+    x = rng.normal(size=small_dims.n_params)
+    sections = split_solution(x, small_dims)
+    x[0] = 42.0
+    assert sections.astrometric[0] == 42.0
+
+
+def test_per_star_table_shape(small_dims, rng):
+    x = rng.normal(size=small_dims.n_params)
+    table = split_solution(x, small_dims).per_star()
+    assert table.shape == (small_dims.n_stars, 5)
+    assert np.array_equal(table.ravel(),
+                          x[: small_dims.n_astro_params])
+
+
+def test_astro_param_lookup(small_dims, rng):
+    x = rng.normal(size=small_dims.n_params)
+    s = split_solution(x, small_dims)
+    for j, name in enumerate(ASTRO_PARAM_NAMES):
+        assert np.array_equal(s.astro_param(name), s.per_star()[:, j])
+    with pytest.raises(KeyError):
+        s.astro_param("magnitude")
+
+
+def test_attitude_axes_shape(small_dims, rng):
+    x = rng.normal(size=small_dims.n_params)
+    axes = split_solution(x, small_dims).attitude_axes()
+    assert axes.shape == (3, small_dims.n_deg_freedom_att)
+
+
+def test_ppn_gamma(small_dims, noglob_dims, rng):
+    x = rng.normal(size=small_dims.n_params)
+    assert split_solution(x, small_dims).ppn_gamma == pytest.approx(x[-1])
+    y = rng.normal(size=noglob_dims.n_params)
+    assert split_solution(y, noglob_dims).ppn_gamma is None
+
+
+def test_shape_mismatch_rejected(small_dims, rng):
+    with pytest.raises(ValueError):
+        split_solution(rng.normal(size=3), small_dims)

@@ -1,0 +1,57 @@
+"""Unit tests for the kernel-geometry autotuner (E12/E13)."""
+
+import pytest
+
+from repro.frameworks import port_by_key, tune_port
+from repro.gpu.platforms import A100, H100, MI250X, T4, V100
+from repro.system.sizing import dims_from_gb
+
+
+@pytest.fixture(scope="module")
+def dims10():
+    return dims_from_gb(10.0)
+
+
+def test_t4_optimum_is_32_threads(dims10):
+    """SSV-B: 'the number of threads that give best performance is 32'
+    on T4 (and V100)."""
+    for device in (T4, V100):
+        result = tune_port(port_by_key("CUDA" if device is T4 else "HIP"),
+                           device, dims10)
+        assert result.best_block_size == 32, device.name
+
+
+def test_big_gpus_prefer_256(dims10):
+    for device in (A100, H100):
+        result = tune_port(port_by_key("HIP"), device, dims10)
+        assert result.best_block_size == 256, device.name
+
+
+def test_tuning_gain_up_to_40_percent(dims10):
+    """SSV-B: 'achieving up to 40% reduction in iteration time'."""
+    gains = [tune_port(port_by_key("CUDA"), d, dims10).gain
+             for d in (T4, V100)]
+    assert max(gains) == pytest.approx(0.40, abs=0.08)
+    # And on the flat-geometry H100 the gain is small.
+    h_gain = tune_port(port_by_key("HIP"), H100, dims10).gain
+    assert h_gain < 0.25  # mostly the atomic-region grid cap, not geometry
+
+
+def test_different_platforms_need_different_tuning(dims10):
+    """SSV-B: 'different platforms often require different tuning'."""
+    best = {d.name: tune_port(port_by_key("HIP"), d, dims10).best_block_size
+            for d in (T4, H100, MI250X)}
+    assert len(set(best.values())) >= 2
+
+
+def test_pstl_cannot_be_tuned(dims10):
+    with pytest.raises(ValueError, match="cannot be tuned"):
+        tune_port(port_by_key("PSTL+ACPP"), H100, dims10)
+
+
+def test_sweep_contains_all_candidates(dims10):
+    result = tune_port(port_by_key("CUDA"), T4, dims10)
+    assert len(result.sweep) == 5 * 5  # block sizes x grid caps
+    assert result.best_time <= min(result.sweep.values()) + 1e-15
+    assert result.default_time == result.sweep[(256, None)]
+    assert 0 <= result.gain < 1
