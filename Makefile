@@ -1,0 +1,23 @@
+# Developer targets. Everything here is tier-1-safe: no network, no
+# extra dependencies beyond the baked-in python toolchain.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test test-obs telemetry-smoke
+
+# The full tier-1 suite (ROADMAP.md's verify command).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# The observability suite: unit + golden-shape regression tests that
+# lock down solver/port telemetry behavior.
+test-obs:
+	$(PYTHON) -m pytest -q tests/test_obs.py tests/test_obs_integration.py
+
+# Smoke the telemetry CLI end to end: instrumented solve, modeled
+# iteration, Perfetto-loadable Chrome trace.
+telemetry-smoke:
+	$(PYTHON) -m repro.cli telemetry --size tiny --iterations 15 \
+	    --export chrome --output telemetry_trace.json
+	$(PYTHON) -c "import json; json.load(open('telemetry_trace.json')); print('telemetry_trace.json: valid JSON')"

@@ -9,7 +9,10 @@ Subcommands mirror the artifact's workflows:
   substrate and print the Fig. 3/4/5 tables;
 - ``validate`` -- run the §V-C correctness validation;
 - ``tune``     -- sweep kernel geometry for one port on one platform;
-- ``tables``   -- print Tables I-IV.
+- ``tables``   -- print Tables I-IV;
+- ``telemetry`` -- run an instrumented solve plus a modeled iteration
+  and export the collected spans/metrics (Chrome trace, JSON,
+  markdown; see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -227,6 +230,95 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``telemetry --size`` presets (stars, observations per star).
+TELEMETRY_SIZES = {
+    "tiny": (20, 30),
+    "small": (60, 30),
+    "demo": (150, 40),
+}
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.core import lsqr_solve
+    from repro.frameworks import port_by_key
+    from repro.frameworks.executor import model_iteration
+    from repro.gpu.platforms import device_by_name
+    from repro.gpu.profiler import Profiler
+    from repro.gpu.trace import trace_iteration
+    from repro.obs import (
+        Telemetry,
+        to_markdown,
+        write_chrome_trace,
+        write_flat_json,
+    )
+    from repro.system import SystemDims, make_system
+
+    n_stars, obs_per_star = TELEMETRY_SIZES[args.size]
+    dims = SystemDims(
+        n_stars=n_stars,
+        n_obs=n_stars * obs_per_star,
+        n_deg_freedom_att=max(12, n_stars // 2),
+        n_instr_params=max(18, n_stars // 2),
+        n_glob_params=1,
+    )
+    tel = Telemetry()
+
+    # Measured: the real (scaled-down) solve, instrumented end to end.
+    system = make_system(dims, seed=args.seed, noise_sigma=1e-9)
+    res = lsqr_solve(system, atol=1e-10, btol=1e-10,
+                     iter_lim=args.iterations, telemetry=tel)
+
+    # Modeled: one iteration of the chosen port on the chosen device,
+    # with the profiler forwarding into the same registry.  Unsupported
+    # combinations are exclusions (as in the §V-B study), not crashes.
+    from repro.frameworks.base import UnsupportedPlatform
+
+    port = port_by_key(args.port)
+    device = device_by_name(args.device)
+    profiler = Profiler(telemetry=tel)
+    trace = None
+    try:
+        model_iteration(port, device, dims, profiler=profiler,
+                        telemetry=tel)
+        trace = trace_iteration(port, device, dims)
+        trace.record_to(tel)
+    except UnsupportedPlatform as exc:
+        print(f"modeled iteration excluded: {exc}")
+
+    aprod_share = tel.span_share(("lsqr.aprod1", "lsqr.aprod2"),
+                                 ("lsqr.iteration",))
+    print(f"solve: istop={res.istop.name} itn={res.itn} "
+          f"r2norm={res.r2norm:.3e}")
+    print(f"measured aprod1+aprod2 share of iteration time: "
+          f"{aprod_share:.1%}")
+    if trace is not None:
+        print(f"modeled aprod share on {device.name} ({port.key}): "
+              f"{profiler.fraction('aprod'):.1%}")
+    print()
+    print(to_markdown(tel))
+
+    exports = (("chrome", "json", "markdown") if args.export == "all"
+               else (args.export,))
+    base = args.output
+    if "chrome" in exports:
+        path = base or "telemetry_trace.json"
+        kernel_events = (trace.to_chrome_trace()["traceEvents"]
+                         if trace is not None else None)
+        print(f"wrote {write_chrome_trace(tel, path, extra_events=kernel_events)}")
+    if "json" in exports:
+        path = (f"{base}.flat.json" if base and "chrome" in exports
+                else base) or "telemetry.json"
+        print(f"wrote {write_flat_json(tel, path)}")
+    if "markdown" in exports:
+        path = (f"{base}.md" if base and len(exports) > 1
+                else base) or "telemetry.md"
+        from pathlib import Path
+
+        Path(path).write_text(to_markdown(tel) + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro-gaia`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -312,6 +404,25 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=0)
     sim.add_argument("--iterations", type=int, default=100)
     sim.set_defaults(fn=_cmd_simulate)
+
+    te = sub.add_parser(
+        "telemetry",
+        help="instrumented solve + modeled iteration; export telemetry",
+    )
+    te.add_argument("--size", choices=tuple(TELEMETRY_SIZES),
+                    default="tiny")
+    te.add_argument("--seed", type=int, default=0)
+    te.add_argument("--iterations", type=int, default=60,
+                    help="LSQR iteration cap for the instrumented solve")
+    te.add_argument("--port", default="CUDA")
+    te.add_argument("--device", default="A100",
+                    help="modeled device for the kernel timeline")
+    te.add_argument("--export",
+                    choices=("chrome", "json", "markdown", "all"),
+                    default="chrome")
+    te.add_argument("--output", default=None,
+                    help="output path (defaults per export format)")
+    te.set_defaults(fn=_cmd_telemetry)
     return parser
 
 

@@ -23,6 +23,7 @@ from repro.core.kernels import astro as k_astro
 from repro.core.kernels import att as k_att
 from repro.core.kernels import glob as k_glob
 from repro.core.kernels import instr as k_instr
+from repro.obs.telemetry import Telemetry
 from repro.system.sparse import GaiaSystem
 
 #: Kernel names in submission order (aprod1 then aprod2, §IV streams).
@@ -56,6 +57,12 @@ class AprodOperator:
     kernel_hook:
         Optional callable invoked after each kernel with
         ``(name, rows, nnz)``.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry`; every kernel execution
+        then increments the ``aprod.kernel_calls`` and
+        ``aprod.kernel_nnz`` counters (labeled by kernel name), the
+        CPU-side analogue of the per-kernel launch counts ``nsys``
+        reports.
     """
 
     def __init__(
@@ -66,12 +73,14 @@ class AprodOperator:
         scatter_strategy: str = "bincount",
         astro_scatter_strategy: str = "bincount",
         kernel_hook: KernelHook | None = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         self.system = system
         self.gather_strategy = gather_strategy
         self.scatter_strategy = scatter_strategy
         self.astro_scatter_strategy = astro_scatter_strategy
         self.kernel_hook = kernel_hook
+        self.telemetry = telemetry
 
         d = system.dims
         # Column caches: rebuilt once, reused every iteration (the GPU
@@ -93,6 +102,9 @@ class AprodOperator:
     def _emit(self, name: str, rows: int, nnz: int) -> None:
         if self.kernel_hook is not None:
             self.kernel_hook(name, rows, nnz)
+        if self.telemetry is not None:
+            self.telemetry.counter("aprod.kernel_calls", kernel=name).inc()
+            self.telemetry.counter("aprod.kernel_nnz", kernel=name).inc(nnz)
 
     # ------------------------------------------------------------------
     def aprod1(self, x: np.ndarray, out: np.ndarray | None = None

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core.aprod import AprodOperator
 from repro.core.precond import ColumnScaling, PreconditionedAprod
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.system.sparse import GaiaSystem
 
 
@@ -120,6 +121,7 @@ def lsqr_solve(
     astro_scatter_strategy: str = "bincount",
     callback: IterationCallback | None = None,
     clock: Callable[[], float] = time.perf_counter,
+    telemetry: Telemetry | None = None,
 ) -> LSQRResult:
     """Solve ``min ||A x - b||_2`` (optionally damped) with LSQR.
 
@@ -159,13 +161,21 @@ def lsqr_solve(
         ``(itn, x_physical, r2norm)``.
     clock:
         Injectable monotonic clock for iteration timing.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry`; when given, every
+        iteration emits ``lsqr.iteration`` spans with nested
+        ``lsqr.aprod1`` / ``lsqr.normalize`` / ``lsqr.aprod2`` /
+        ``lsqr.update`` phase spans (the §V-A breakdown), plus
+        iteration counters and an ``lsqr.iteration_time_s`` histogram.
     """
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
     op, b, scaling = _prepare(
         system, b,
         precondition=precondition,
         gather_strategy=gather_strategy,
         scatter_strategy=scatter_strategy,
         astro_scatter_strategy=astro_scatter_strategy,
+        telemetry=telemetry,
     )
     if damp < 0 or not np.isfinite(damp):
         raise ValueError(f"damp must be >= 0, got {damp}")
@@ -228,78 +238,88 @@ def lsqr_solve(
         itn += 1
         t0 = clock()
 
-        # Bidiagonalization step: next beta, u, alfa, v.
-        u *= -alfa
-        op.aprod1(v, out=u)
-        beta = float(np.linalg.norm(u))
-        if beta > 0.0:
-            u /= beta
-            anorm = float(np.sqrt(anorm**2 + alfa**2 + beta**2 + dampsq))
-            v *= -beta
-            op.aprod2(u, out=v)
-            alfa = float(np.linalg.norm(v))
-            if alfa > 0.0:
-                v /= alfa
+        with tel.span("lsqr.iteration", itn=itn):
+            # Bidiagonalization step: next beta, u, alfa, v.
+            with tel.span("lsqr.aprod1"):
+                u *= -alfa
+                op.aprod1(v, out=u)
+            with tel.span("lsqr.normalize"):
+                beta = float(np.linalg.norm(u))
+                if beta > 0.0:
+                    u /= beta
+                    anorm = float(
+                        np.sqrt(anorm**2 + alfa**2 + beta**2 + dampsq)
+                    )
+            if beta > 0.0:
+                with tel.span("lsqr.aprod2"):
+                    v *= -beta
+                    op.aprod2(u, out=v)
+                    alfa = float(np.linalg.norm(v))
+                    if alfa > 0.0:
+                        v /= alfa
 
-        # Eliminate the damping parameter.
-        rhobar1 = float(np.sqrt(rhobar**2 + dampsq))
-        cs1 = rhobar / rhobar1
-        sn1 = damp / rhobar1
-        psi = sn1 * phibar
-        phibar = cs1 * phibar
+            with tel.span("lsqr.update"):
+                # Eliminate the damping parameter.
+                rhobar1 = float(np.sqrt(rhobar**2 + dampsq))
+                cs1 = rhobar / rhobar1
+                sn1 = damp / rhobar1
+                psi = sn1 * phibar
+                phibar = cs1 * phibar
 
-        # Plane rotation updating x and w.
-        rho = float(np.sqrt(rhobar1**2 + beta**2))
-        cs = rhobar1 / rho
-        sn = beta / rho
-        theta = sn * alfa
-        rhobar = -cs * alfa
-        phi = cs * phibar
-        phibar = sn * phibar
-        tau = sn * phi
+                # Plane rotation updating x and w.
+                rho = float(np.sqrt(rhobar1**2 + beta**2))
+                cs = rhobar1 / rho
+                sn = beta / rho
+                theta = sn * alfa
+                rhobar = -cs * alfa
+                phi = cs * phibar
+                phibar = sn * phibar
+                tau = sn * phi
 
-        t1 = phi / rho
-        t2 = -theta / rho
-        dk = w / rho
-        x += t1 * w
-        w *= t2
-        w += v
-        ddnorm += float(np.dot(dk, dk))
-        if calc_var:
-            var += dk * dk
+                t1 = phi / rho
+                t2 = -theta / rho
+                dk = w / rho
+                x += t1 * w
+                w *= t2
+                w += v
+                ddnorm += float(np.dot(dk, dk))
+                if calc_var:
+                    var += dk * dk
 
-        # Norm estimates (see Paige & Saunders 1982a, §5).
-        delta = sn2 * rho
-        gambar = -cs2 * rho
-        rhs = phi - delta * z
-        zbar = rhs / gambar
-        xnorm = float(np.sqrt(xxnorm + zbar**2))
-        gamma = float(np.sqrt(gambar**2 + theta**2))
-        cs2 = gambar / gamma
-        sn2 = theta / gamma
-        z = rhs / gamma
-        xxnorm += z * z
+                # Norm estimates (see Paige & Saunders 1982a, §5).
+                delta = sn2 * rho
+                gambar = -cs2 * rho
+                rhs = phi - delta * z
+                zbar = rhs / gambar
+                xnorm = float(np.sqrt(xxnorm + zbar**2))
+                gamma = float(np.sqrt(gambar**2 + theta**2))
+                cs2 = gambar / gamma
+                sn2 = theta / gamma
+                z = rhs / gamma
+                xxnorm += z * z
 
-        acond = anorm * float(np.sqrt(ddnorm))
-        res1 = phibar**2
-        res2 += psi**2
-        rnorm = float(np.sqrt(res1 + res2))
-        arnorm = alfa * abs(tau)
+                acond = anorm * float(np.sqrt(ddnorm))
+                res1 = phibar**2
+                res2 += psi**2
+                rnorm = float(np.sqrt(res1 + res2))
+                arnorm = alfa * abs(tau)
 
-        r1sq = rnorm**2 - dampsq * xxnorm
-        r1norm = float(np.sqrt(abs(r1sq)))
-        if r1sq < 0.0:
-            r1norm = -r1norm
-        r2norm = rnorm
+                r1sq = rnorm**2 - dampsq * xxnorm
+                r1norm = float(np.sqrt(abs(r1sq)))
+                if r1sq < 0.0:
+                    r1norm = -r1norm
+                r2norm = rnorm
 
-        # Stopping tests.
-        test1 = rnorm / bnorm
-        test2 = arnorm / (anorm * rnorm + eps)
-        test3 = 1.0 / (acond + eps)
-        rtol = btol + atol * anorm * xnorm / bnorm
-        t1_test = test1 / (1.0 + anorm * xnorm / bnorm)
+                # Stopping tests.
+                test1 = rnorm / bnorm
+                test2 = arnorm / (anorm * rnorm + eps)
+                test3 = 1.0 / (acond + eps)
+                rtol = btol + atol * anorm * xnorm / bnorm
+                t1_test = test1 / (1.0 + anorm * xnorm / bnorm)
 
         times.append(clock() - t0)
+        tel.counter("lsqr.iterations").inc()
+        tel.histogram("lsqr.iteration_time_s").observe(times[-1])
         if callback is not None:
             callback(itn, scaling.to_physical(x) + x_offset, r2norm)
 
@@ -331,6 +351,7 @@ def _prepare(
     gather_strategy: str,
     scatter_strategy: str,
     astro_scatter_strategy: str,
+    telemetry: Telemetry | None = None,
 ) -> tuple[Aprod, np.ndarray, ColumnScaling]:
     """Resolve the (operator, rhs, scaling) triple for every input form."""
     if isinstance(system, GaiaSystem):
@@ -344,6 +365,7 @@ def _prepare(
             gather_strategy=gather_strategy,
             scatter_strategy=scatter_strategy,
             astro_scatter_strategy=astro_scatter_strategy,
+            telemetry=telemetry,
         )
         b = system.rhs().astype(np.float64, copy=True)
     else:

@@ -28,6 +28,7 @@ from repro.core.aprod import AprodOperator
 from repro.core.precond import ColumnScaling
 from repro.dist.comm import CollectiveBus, SimComm
 from repro.dist.decomposition import partition_by_rows, slice_system
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.system.sparse import GaiaSystem
 
 
@@ -63,15 +64,24 @@ class DistributedResult:
 
 
 class DistributedLSQR:
-    """Driver binding a system to a rank count."""
+    """Driver binding a system to a rank count.
+
+    With ``telemetry``, each rank thread traces ``dist.iteration``
+    spans containing exactly the two per-iteration ``dist.comm_epoch``
+    spans of the production communication pattern (``epoch=normalize``
+    and ``epoch=aprod2``; the pre-loop collectives are labeled
+    ``epoch=init``), and counts its ``dist.allreduce_bytes`` payloads.
+    """
 
     def __init__(self, system: GaiaSystem, n_ranks: int,
                  *, precondition: bool = True,
-                 calc_var: bool = True) -> None:
+                 calc_var: bool = True,
+                 telemetry: Telemetry | None = None) -> None:
         self.system = system
         self.n_ranks = n_ranks
         self.precondition = precondition
         self.calc_var = calc_var
+        self.telemetry = telemetry
         self.blocks = partition_by_rows(system, n_ranks)
 
     def solve(self, *, atol: float = 1e-10, iter_lim: int | None = None
@@ -121,27 +131,39 @@ class DistributedLSQR:
         op = AprodOperator(local)
         n = self.system.dims.n_params
         d = scaling.scale
+        tel = (self.telemetry if self.telemetry is not None
+               else NULL_TELEMETRY)
+        rank = str(comm.rank)
+
+        def reduced(value, *, epoch: str, op_name: str = "sum"):
+            # One communication epoch: the collective plus the barrier
+            # wait it implies, as the production solver experiences it.
+            nbytes = value.nbytes if isinstance(value, np.ndarray) else 8
+            with tel.span("dist.comm_epoch", rank=rank, epoch=epoch):
+                out = comm.allreduce(value, op=op_name)
+            tel.counter("dist.allreduce_bytes", rank=rank).inc(nbytes)
+            return out
 
         def local_aprod1(z: np.ndarray) -> np.ndarray:
             return op.aprod1(z * d)
 
-        def local_aprod2(y_local: np.ndarray) -> np.ndarray:
+        def local_aprod2(y_local: np.ndarray, *, epoch: str) -> np.ndarray:
             partial = op.aprod2(y_local) * d
-            return comm.allreduce(partial, op="sum")
+            return reduced(partial, epoch=epoch)
 
-        def dist_norm(u_local: np.ndarray) -> float:
-            return float(np.sqrt(comm.allreduce(
-                float(np.dot(u_local, u_local)), op="sum")))
+        def dist_norm(u_local: np.ndarray, *, epoch: str) -> float:
+            return float(np.sqrt(reduced(
+                float(np.dot(u_local, u_local)), epoch=epoch)))
 
         var = np.zeros(n) if self.calc_var else None
 
         # --- initialization ------------------------------------------
         u = local.rhs().astype(np.float64)
-        beta = dist_norm(u)
+        beta = dist_norm(u, epoch="init")
         if beta == 0.0:
             return scaling.to_physical(np.zeros(n)), 0, 0.0, [], var
         u /= beta
-        v = local_aprod2(u)
+        v = local_aprod2(u, epoch="init")
         alfa = float(np.linalg.norm(v))
         if alfa == 0.0:
             return scaling.to_physical(np.zeros(n)), 0, beta, [], var
@@ -155,28 +177,29 @@ class DistributedLSQR:
         while itn < iter_lim:
             itn += 1
             t0 = time.perf_counter()
-            u *= -alfa
-            u += local_aprod1(v)
-            beta = dist_norm(u)
-            if beta > 0.0:
-                u /= beta
-                anorm = float(np.sqrt(anorm**2 + alfa**2 + beta**2))
-                v *= -beta
-                v += local_aprod2(u)
-                alfa = float(np.linalg.norm(v))
-                if alfa > 0.0:
-                    v /= alfa
-            rho = float(np.hypot(rhobar, beta))
-            cs, sn = rhobar / rho, beta / rho
-            theta = sn * alfa
-            rhobar = -cs * alfa
-            phi = cs * phibar
-            phibar = sn * phibar
-            x += (phi / rho) * w
-            if var is not None:
-                var += (w / rho) ** 2
-            w *= -theta / rho
-            w += v
+            with tel.span("dist.iteration", rank=rank, itn=itn):
+                u *= -alfa
+                u += local_aprod1(v)
+                beta = dist_norm(u, epoch="normalize")
+                if beta > 0.0:
+                    u /= beta
+                    anorm = float(np.sqrt(anorm**2 + alfa**2 + beta**2))
+                    v *= -beta
+                    v += local_aprod2(u, epoch="aprod2")
+                    alfa = float(np.linalg.norm(v))
+                    if alfa > 0.0:
+                        v /= alfa
+                rho = float(np.hypot(rhobar, beta))
+                cs, sn = rhobar / rho, beta / rho
+                theta = sn * alfa
+                rhobar = -cs * alfa
+                phi = cs * phibar
+                phibar = sn * phibar
+                x += (phi / rho) * w
+                if var is not None:
+                    var += (w / rho) ** 2
+                w *= -theta / rho
+                w += v
             times.append(
                 comm.allreduce(time.perf_counter() - t0, op="max")
             )
@@ -196,8 +219,10 @@ def distributed_lsqr_solve(
     calc_var: bool = True,
     atol: float = 1e-10,
     iter_lim: int | None = None,
+    telemetry: Telemetry | None = None,
 ) -> DistributedResult:
     """Convenience wrapper around :class:`DistributedLSQR`."""
     return DistributedLSQR(
-        system, n_ranks, precondition=precondition, calc_var=calc_var
+        system, n_ranks, precondition=precondition, calc_var=calc_var,
+        telemetry=telemetry,
     ).solve(atol=atol, iter_lim=iter_lim)

@@ -30,6 +30,7 @@ from repro.gpu.device import DeviceSpec
 from repro.gpu.kernel import LaunchConfig
 from repro.gpu.memory import DeviceMemory, DeviceOutOfMemory
 from repro.gpu.profiler import KernelEvent, Profiler
+from repro.obs.telemetry import Telemetry
 from repro.gpu.stream import StreamSchedule
 from repro.gpu.timing import KernelTiming, kernel_time
 from repro.gpu.workload import build_iteration_workload
@@ -172,6 +173,7 @@ def model_iteration(
     variant: str = "optimized",
     size_gb: float | None = None,
     profiler: Profiler | None = None,
+    telemetry: Telemetry | None = None,
 ) -> IterationModel:
     """Model one LSQR iteration of ``port`` on ``device``.
 
@@ -179,6 +181,11 @@ def model_iteration(
     toolchain cannot target the device and
     :class:`~repro.gpu.memory.DeviceOutOfMemory` when the problem does
     not fit -- the two exclusion modes of the paper's test matrix.
+
+    With ``telemetry``, every modeled launch ticks the per-port
+    ``executor.kernel_launches`` counter and feeds the
+    ``executor.kernel_time_s`` modeled-time histogram (labeled with
+    port, device and kernel name).
     """
     if variant not in VARIANTS:
         raise ValueError(
@@ -208,6 +215,15 @@ def model_iteration(
         if profiler is not None:
             profiler.record(KernelEvent(name=work.name, config=cfg,
                                         timing=t))
+        if telemetry is not None:
+            telemetry.counter(
+                "executor.kernel_launches",
+                port=port.key, device=device.name, kernel=work.name,
+            ).inc()
+            telemetry.histogram(
+                "executor.kernel_time_s",
+                port=port.key, device=device.name, kernel=work.name,
+            ).observe(t.total)
         return t
 
     # aprod1: four row-parallel kernels, back to back on one stream.
@@ -284,6 +300,7 @@ def run_modeled(
     seed: int = 0,
     tuned: bool = True,
     variant: str = "optimized",
+    telemetry: Telemetry | None = None,
 ) -> ModeledRun:
     """The paper's measurement protocol for one (port, device, size).
 
@@ -302,7 +319,8 @@ def run_modeled(
     )
     try:
         model = model_iteration(port, device, dims, tuned=tuned,
-                                variant=variant, size_gb=size_gb)
+                                variant=variant, size_gb=size_gb,
+                                telemetry=telemetry)
         run.setup_time = model_setup(port, device, dims)
     except UnsupportedPlatform as exc:
         run.excluded_reason = f"unsupported: {exc}"

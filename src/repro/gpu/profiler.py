@@ -4,6 +4,13 @@ The paper uses ``nsys``/``rocprof`` to (a) verify that the solver's
 time is dominated by the ``aprod1``/``aprod2`` products (§V-A) and
 (b) read off the default 256 threads/block of the PSTL ports (§V-B).
 :class:`Profiler` records the same facts from the modeled runs.
+
+The profiler is also a thin adapter over the unified telemetry layer:
+construct it with a :class:`~repro.obs.Telemetry` and every recorded
+event is forwarded as a ``profiler.kernel_launches`` counter and a
+``profiler.kernel_time_s`` histogram observation (labeled by kernel
+name), so modeled kernel measurements land in the same registry as
+the measured solver spans.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.gpu.kernel import LaunchConfig
 from repro.gpu.timing import KernelTiming
+from repro.obs.telemetry import Telemetry
 
 
 @dataclass(frozen=True)
@@ -34,10 +42,16 @@ class Profiler:
     """Accumulates :class:`KernelEvent` records across launches."""
 
     events: list[KernelEvent] = field(default_factory=list)
+    telemetry: Telemetry | None = None
 
     def record(self, event: KernelEvent) -> None:
-        """Append one event."""
+        """Append one event (and forward it to the telemetry registry)."""
         self.events.append(event)
+        if self.telemetry is not None:
+            self.telemetry.counter("profiler.kernel_launches",
+                                   kernel=event.name).inc()
+            self.telemetry.histogram("profiler.kernel_time_s",
+                                     kernel=event.name).observe(event.total)
 
     def total_time(self) -> float:
         """Sum of all recorded kernel times."""
@@ -50,13 +64,26 @@ class Profiler:
             out[e.name] += e.total
         return dict(out)
 
+    def shares(self) -> dict[str, tuple[float, float]]:
+        """Per-kernel ``(total seconds, share of all kernel time)``.
+
+        The one place the time-share division lives: both
+        :meth:`fraction` and :meth:`summary` are views of this table,
+        and an all-zero (or empty) profile yields zero shares rather
+        than a division by zero.
+        """
+        by = self.by_kernel()
+        total = sum(by.values())
+        if total == 0:
+            return {name: (t, 0.0) for name, t in by.items()}
+        return {name: (t, t / total) for name, t in by.items()}
+
     def fraction(self, prefix: str) -> float:
         """Fraction of total time in kernels whose name starts with ``prefix``."""
-        total = self.total_time()
-        if total == 0:
-            return 0.0
-        part = sum(e.total for e in self.events if e.name.startswith(prefix))
-        return part / total
+        return sum(
+            share for name, (_, share) in self.shares().items()
+            if name.startswith(prefix)
+        )
 
     def threads_per_block(self) -> set[int]:
         """Distinct block sizes observed (the nsys check of §V-B)."""
@@ -64,10 +91,8 @@ class Profiler:
 
     def summary(self) -> str:
         """nsys-like per-kernel table, sorted by total time."""
-        rows = sorted(self.by_kernel().items(), key=lambda kv: -kv[1])
-        total = self.total_time()
+        rows = sorted(self.shares().items(), key=lambda kv: -kv[1][0])
         lines = [f"{'kernel':<16} {'time [s]':>12} {'share':>7}"]
-        for name, t in rows:
-            share = 0.0 if total == 0 else t / total
+        for name, (t, share) in rows:
             lines.append(f"{name:<16} {t:>12.6f} {share:>6.1%}")
         return "\n".join(lines)

@@ -75,6 +75,25 @@ class IterationTrace:
         path.write_text(json.dumps(self.to_chrome_trace(), indent=1))
         return path
 
+    def record_to(self, telemetry) -> None:
+        """Forward the timeline into a :class:`~repro.obs.Telemetry`.
+
+        Each event becomes one ``trace.kernel_launches`` counter tick
+        and one ``trace.kernel_time_s`` histogram observation, labeled
+        with the kernel name and this trace's port; the makespan lands
+        in a ``trace.makespan_s`` gauge.  Use
+        ``to_chrome_trace()["traceEvents"]`` as ``extra_events`` of
+        :func:`repro.obs.to_chrome_trace` to merge the timeline into
+        the span trace for Perfetto.
+        """
+        for e in self.events:
+            telemetry.counter("trace.kernel_launches", kernel=e.name,
+                              port=self.port_key).inc()
+            telemetry.histogram("trace.kernel_time_s", kernel=e.name,
+                                port=self.port_key).observe(e.duration)
+        telemetry.gauge("trace.makespan_s", port=self.port_key,
+                        device=self.device_name).set(self.makespan)
+
 
 def trace_iteration(
     port: Port,

@@ -1,0 +1,190 @@
+"""Telemetry exporters: Chrome trace, flat JSON, markdown summary.
+
+Three views of one :class:`~repro.obs.telemetry.Telemetry`:
+
+- :func:`to_chrome_trace` -- the Chrome trace-event format
+  (``chrome://tracing`` / https://ui.perfetto.dev), the same workflow
+  the paper's authors used with ``nsys``.  Spans become complete
+  (``ph: "X"``) events on one ``tid`` per thread track; the modeled
+  kernel timelines of :meth:`repro.gpu.trace.IterationTrace
+  .to_chrome_trace` can be merged in as a second process row.
+- :func:`to_flat_json` -- every span and instrument as plain JSON for
+  scripted post-processing.
+- :func:`to_markdown` -- the human summary (per-span-name table with
+  counts/totals, counters, histogram percentiles).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.obs.telemetry import Telemetry
+
+#: ``pid`` of the span tracks in the merged Chrome trace.
+SPAN_PID = 0
+#: ``pid`` given to merged-in modeled kernel timelines.
+KERNEL_PID = 1
+
+
+def to_chrome_trace(
+    telemetry: Telemetry,
+    *,
+    extra_events: Iterable[Mapping] | None = None,
+) -> dict:
+    """Chrome trace-event JSON document (microsecond timestamps).
+
+    ``extra_events`` accepts trace events that are already in Chrome
+    format -- e.g. ``IterationTrace.to_chrome_trace()["traceEvents"]``
+    -- and files them under a separate ``pid`` so the modeled kernel
+    timeline sits next to the measured span tracks in Perfetto.
+    """
+    spans = telemetry.spans
+    epoch = min((s.start for s in spans), default=0.0)
+    tracks = telemetry.tracer.tracks()
+    tid_of = {track: i for i, track in enumerate(tracks)}
+
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": SPAN_PID,
+            "tid": 0,
+            "args": {"name": "repro.obs spans"},
+        }
+    ]
+    for track, tid in tid_of.items():
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": SPAN_PID,
+            "tid": tid,
+            "args": {"name": track},
+        })
+    for s in spans:
+        events.append({
+            "name": s.name,
+            "cat": "span",
+            "ph": "X",
+            "ts": (s.start - epoch) * 1e6,
+            "dur": s.duration * 1e6,
+            "pid": SPAN_PID,
+            "tid": tid_of[s.track],
+            "args": dict(s.labels),
+        })
+    if extra_events is not None:
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": KERNEL_PID,
+            "tid": 0,
+            "args": {"name": "modeled kernel timeline"},
+        })
+        for e in extra_events:
+            merged = dict(e)
+            merged["pid"] = KERNEL_PID
+            events.append(merged)
+    return {"displayTimeUnit": "ms", "traceEvents": events}
+
+
+def write_chrome_trace(
+    telemetry: Telemetry,
+    path: str | Path,
+    *,
+    extra_events: Iterable[Mapping] | None = None,
+) -> Path:
+    """Write the Chrome trace JSON; returns the path."""
+    path = Path(path)
+    doc = to_chrome_trace(telemetry, extra_events=extra_events)
+    path.write_text(json.dumps(doc, indent=1))
+    return path
+
+
+def to_flat_json(telemetry: Telemetry) -> dict:
+    """Every span and instrument as one plain-JSON document."""
+    spans = telemetry.spans
+    epoch = min((s.start for s in spans), default=0.0)
+    doc = {
+        "spans": [
+            {
+                "name": s.name,
+                "span_id": s.span_id,
+                "parent_id": s.parent_id,
+                "track": s.track,
+                "start_s": s.start - epoch,
+                "duration_s": s.duration,
+                "labels": dict(s.labels),
+            }
+            for s in spans
+        ],
+    }
+    doc.update(telemetry.metrics.snapshot())
+    return doc
+
+
+def write_flat_json(telemetry: Telemetry, path: str | Path) -> Path:
+    """Write the flat JSON document; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(to_flat_json(telemetry), indent=1))
+    return path
+
+
+def _fmt_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def to_markdown(telemetry: Telemetry) -> str:
+    """Markdown summary: spans by name, counters, histograms."""
+    lines = ["## Telemetry summary", "", "### Spans", ""]
+    spans = telemetry.spans
+    if spans:
+        by_name: dict[str, list[float]] = {}
+        for s in spans:
+            by_name.setdefault(s.name, []).append(s.duration)
+        lines += ["| span | count | total [s] | mean [s] |",
+                  "| --- | ---: | ---: | ---: |"]
+        for name, durs in sorted(by_name.items(),
+                                 key=lambda kv: -sum(kv[1])):
+            total = sum(durs)
+            lines.append(f"| {name} | {len(durs)} | {total:.6f} "
+                         f"| {total / len(durs):.6f} |")
+    else:
+        lines.append("(no spans recorded)")
+    snap = telemetry.metrics.snapshot()
+    lines += ["", "### Counters", ""]
+    if snap["counters"]:
+        lines += ["| counter | value |", "| --- | ---: |"]
+        for c in snap["counters"]:
+            lines.append(
+                f"| {c['name']}{_fmt_labels(c['labels'])} "
+                f"| {c['value']:g} |"
+            )
+    else:
+        lines.append("(no counters recorded)")
+    if snap["gauges"]:
+        lines += ["", "### Gauges", "", "| gauge | value |",
+                  "| --- | ---: |"]
+        for g in snap["gauges"]:
+            lines.append(
+                f"| {g['name']}{_fmt_labels(g['labels'])} "
+                f"| {g['value']:g} |"
+            )
+    lines += ["", "### Histograms", ""]
+    if snap["histograms"]:
+        lines += [
+            "| histogram | count | mean | p50 | p90 | p99 | max |",
+            "| --- | ---: | ---: | ---: | ---: | ---: | ---: |",
+        ]
+        for h in snap["histograms"]:
+            lines.append(
+                f"| {h['name']}{_fmt_labels(h['labels'])} | {h['count']} "
+                f"| {h['mean']:.3e} | {h['p50']:.3e} | {h['p90']:.3e} "
+                f"| {h['p99']:.3e} | {h['max']:.3e} |"
+            )
+    else:
+        lines.append("(no histograms recorded)")
+    return "\n".join(lines)

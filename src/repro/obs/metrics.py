@@ -1,0 +1,210 @@
+"""Labeled counters, gauges and histograms.
+
+The registry follows the Prometheus data model scaled down to an
+in-process library: an instrument is identified by ``(name, labels)``,
+instruments are created lazily on first touch, and every mutation is
+lock-protected so the SPMD rank threads of :mod:`repro.dist` can
+record concurrently.
+
+Histograms keep raw observations (the workloads here record at most a
+few thousand values per solve), which makes exact percentiles --
+``p50``/``p90``/``p99`` of the modeled kernel times, for example --
+available without bucket-boundary tuning.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator
+
+import numpy as np
+
+#: Canonical ordered form of a label set.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def label_key(labels: dict[str, str]) -> LabelKey:
+    """Canonical (sorted, stringified) key for a label dict."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current accumulated value."""
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, "
+                             f"got {amount}")
+        with self._lock:
+            self._value += amount
+
+
+class Gauge:
+    """Last-write-wins scalar."""
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Replace the value."""
+        with self._lock:
+            self._value = float(value)
+
+
+class Histogram:
+    """Distribution of observed values (raw-sample storage)."""
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self._values)
+
+    @property
+    def sum(self) -> float:
+        """Sum of observations."""
+        return float(np.sum(self._values)) if self._values else 0.0
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0.0 when empty)."""
+        return self.sum / self.count if self._values else 0.0
+
+    @property
+    def min(self) -> float:
+        """Smallest observation (0.0 when empty)."""
+        return float(np.min(self._values)) if self._values else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest observation (0.0 when empty)."""
+        return float(np.max(self._values)) if self._values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact ``q``-th percentile (0 <= q <= 100; 0.0 when empty)."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile q must be in [0, 100], got {q}")
+        if not self._values:
+            return 0.0
+        with self._lock:
+            return float(np.percentile(self._values, q))
+
+    def snapshot(self) -> dict:
+        """Summary statistics as a plain dict."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Lazily creating, thread-safe instrument store."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[tuple[str, LabelKey], Counter] = {}
+        self._gauges: dict[tuple[str, LabelKey], Gauge] = {}
+        self._histograms: dict[tuple[str, LabelKey], Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels) -> Counter:
+        """The counter for ``(name, labels)``, created on first use."""
+        return self._get(self._counters, Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """The gauge for ``(name, labels)``, created on first use."""
+        return self._get(self._gauges, Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        """The histogram for ``(name, labels)``, created on first use."""
+        return self._get(self._histograms, Histogram, name, labels)
+
+    def _get(self, store, cls, name: str, labels: dict):
+        key = (name, label_key(labels))
+        with self._lock:
+            inst = store.get(key)
+            if inst is None:
+                inst = store[key] = cls(name, key[1])
+            return inst
+
+    # ------------------------------------------------------------------
+    def counters(self) -> Iterator[Counter]:
+        """All counters, in creation order."""
+        return iter(list(self._counters.values()))
+
+    def gauges(self) -> Iterator[Gauge]:
+        """All gauges, in creation order."""
+        return iter(list(self._gauges.values()))
+
+    def histograms(self) -> Iterator[Histogram]:
+        """All histograms, in creation order."""
+        return iter(list(self._histograms.values()))
+
+    def counter_value(self, name: str, **labels) -> float:
+        """Value of one counter (0.0 when never touched)."""
+        inst = self._counters.get((name, label_key(labels)))
+        return inst.value if inst is not None else 0.0
+
+    def counter_values(self, name: str) -> dict[LabelKey, float]:
+        """All label-sets of one counter name, mapped to values."""
+        return {
+            labels: c.value
+            for (n, labels), c in self._counters.items()
+            if n == name
+        }
+
+    def snapshot(self) -> dict:
+        """Plain-dict dump of every instrument (for the exporters)."""
+        return {
+            "counters": [
+                {"name": c.name, "labels": dict(c.labels),
+                 "value": c.value}
+                for c in self.counters()
+            ],
+            "gauges": [
+                {"name": g.name, "labels": dict(g.labels),
+                 "value": g.value}
+                for g in self.gauges()
+            ],
+            "histograms": [
+                {"name": h.name, "labels": dict(h.labels),
+                 **h.snapshot()}
+                for h in self.histograms()
+            ],
+        }

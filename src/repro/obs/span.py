@@ -1,0 +1,181 @@
+"""Nested span tracing on a monotonic clock.
+
+A :class:`Span` is the telemetry analogue of one ``nsys`` range: a
+named interval with a start and end time, an optional parent, and
+free-form string labels.  :class:`Tracer` hands out spans as context
+managers and keeps one open-span stack *per thread*, so the SPMD rank
+threads of :mod:`repro.dist.comm` (named ``rank0``, ``rank1``, ...)
+each trace onto their own track without interleaving.
+
+Times come from an injectable monotonic clock (default
+:func:`time.perf_counter`), which makes span timing deterministic
+under test.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+
+@dataclass
+class SpanRecord:
+    """One (possibly still open) traced interval.
+
+    ``start``/``end`` are raw clock readings; exporters rebase them
+    against the tracer epoch.  ``track`` is the thread name at entry.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    track: str
+    start: float
+    end: float | None = None
+    labels: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        """True once the span has been exited."""
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Seconds between entry and exit (0.0 while open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def contains(self, other: "SpanRecord") -> bool:
+        """True when ``other``'s interval lies within this span's."""
+        if self.end is None or other.end is None:
+            return False
+        return self.start <= other.start and other.end <= self.end
+
+
+class Span:
+    """Context-manager handle over one :class:`SpanRecord`."""
+
+    __slots__ = ("_tracer", "record")
+
+    def __init__(self, tracer: "Tracer", record: SpanRecord) -> None:
+        self._tracer = tracer
+        self.record = record
+
+    def __enter__(self) -> "Span":
+        self._tracer._enter(self.record)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer._exit(self.record)
+
+
+class Tracer:
+    """Collects :class:`SpanRecord` instances across threads."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter
+                 ) -> None:
+        self.clock = clock
+        self.epoch = clock()
+        self._lock = threading.Lock()
+        self._records: list[SpanRecord] = []
+        self._local = threading.local()
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[SpanRecord]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **labels) -> Span:
+        """Create a span; enter it with ``with``.
+
+        Label values are stringified at export time, so any scalar is
+        accepted here.
+        """
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        record = SpanRecord(
+            name=name,
+            span_id=span_id,
+            parent_id=None,
+            track=threading.current_thread().name,
+            start=0.0,
+            labels={k: str(v) for k, v in labels.items()},
+        )
+        return Span(self, record)
+
+    def _enter(self, record: SpanRecord) -> None:
+        stack = self._stack()
+        if stack:
+            record.parent_id = stack[-1].span_id
+        record.track = threading.current_thread().name
+        stack.append(record)
+        with self._lock:
+            self._records.append(record)
+        record.start = self.clock()
+
+    def _exit(self, record: SpanRecord) -> None:
+        record.end = self.clock()
+        stack = self._stack()
+        if stack and stack[-1] is record:
+            stack.pop()
+        else:  # out-of-order exit: drop it wherever it sits
+            try:
+                stack.remove(record)
+            except ValueError:
+                pass
+
+    # ------------------------------------------------------------------
+    @property
+    def spans(self) -> list[SpanRecord]:
+        """Snapshot of all *finished* spans, in entry order."""
+        with self._lock:
+            return [r for r in self._records if r.finished]
+
+    def find(self, name: str) -> list[SpanRecord]:
+        """Finished spans with this exact name."""
+        return [r for r in self.spans if r.name == name]
+
+    def total(self, *names: str) -> float:
+        """Summed duration of all finished spans with these names."""
+        wanted = set(names)
+        return sum(r.duration for r in self.spans if r.name in wanted)
+
+    def children(self, parent: SpanRecord) -> list[SpanRecord]:
+        """Finished direct children of ``parent``."""
+        return [r for r in self.spans if r.parent_id == parent.span_id]
+
+    def span_names(self) -> list[str]:
+        """Distinct finished-span names, in first-seen order."""
+        seen: dict[str, None] = {}
+        for r in self.spans:
+            seen.setdefault(r.name)
+        return list(seen)
+
+    def tracks(self) -> list[str]:
+        """Distinct track (thread) names, in first-seen order."""
+        seen: dict[str, None] = {}
+        for r in self.spans:
+            seen.setdefault(r.track)
+        return list(seen)
+
+
+def share(spans: Iterable[SpanRecord], part_names: set[str],
+          whole_names: set[str]) -> float:
+    """Fraction of ``whole_names`` span time spent in ``part_names``.
+
+    The §V-A question ("how much of the iteration is aprod1+aprod2?")
+    asked of a span list; returns 0.0 when no whole-span time exists.
+    """
+    spans = list(spans)
+    whole = sum(s.duration for s in spans if s.name in whole_names)
+    if whole <= 0.0:
+        return 0.0
+    part = sum(s.duration for s in spans if s.name in part_names)
+    return part / whole

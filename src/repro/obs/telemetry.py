@@ -1,0 +1,116 @@
+"""The telemetry facade the instrumented hot paths accept.
+
+A :class:`Telemetry` bundles one :class:`~repro.obs.span.Tracer` and
+one :class:`~repro.obs.metrics.MetricsRegistry` on a shared clock.
+Instrumented call sites take ``telemetry: Telemetry | None = None``
+and resolve ``None`` to :data:`NULL_TELEMETRY`, whose spans and
+instruments are no-ops -- the uninstrumented path stays allocation-
+and lock-free.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.span import Span, SpanRecord, Tracer, share
+
+
+class Telemetry:
+    """One tracer plus one metrics registry on a shared clock."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter
+                 ) -> None:
+        self.tracer = Tracer(clock=clock)
+        self.metrics = MetricsRegistry()
+
+    # -- tracing --------------------------------------------------------
+    def span(self, name: str, **labels) -> Span:
+        """Open a (context-manager) span; see :meth:`Tracer.span`."""
+        return self.tracer.span(name, **labels)
+
+    @property
+    def spans(self) -> list[SpanRecord]:
+        """All finished spans."""
+        return self.tracer.spans
+
+    def span_share(self, part_names: set[str] | tuple[str, ...],
+                   whole_names: set[str] | tuple[str, ...]) -> float:
+        """Fraction of ``whole`` span time spent inside ``part`` spans."""
+        return share(self.spans, set(part_names), set(whole_names))
+
+    # -- metrics --------------------------------------------------------
+    def counter(self, name: str, **labels) -> Counter:
+        """Labeled counter (created on first use)."""
+        return self.metrics.counter(name, **labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """Labeled gauge (created on first use)."""
+        return self.metrics.gauge(name, **labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        """Labeled histogram (created on first use)."""
+        return self.metrics.histogram(name, **labels)
+
+
+class _NullSpan:
+    """Reusable no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+class _NullInstrument:
+    """Accepts every instrument mutation and records nothing."""
+
+    __slots__ = ()
+    value = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """No-op."""
+
+    def set(self, value: float) -> None:
+        """No-op."""
+
+    def observe(self, value: float) -> None:
+        """No-op."""
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullTelemetry:
+    """Telemetry-shaped sink used when no telemetry was requested."""
+
+    def span(self, name: str, **labels) -> _NullSpan:
+        """A shared no-op span."""
+        return _NULL_SPAN
+
+    @property
+    def spans(self) -> list[SpanRecord]:
+        """Always empty."""
+        return []
+
+    def span_share(self, part_names, whole_names) -> float:
+        """Always 0.0."""
+        return 0.0
+
+    def counter(self, name: str, **labels) -> _NullInstrument:
+        """A shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    gauge = counter
+    histogram = counter
+
+
+#: Process-wide no-op sink; ``telemetry or NULL_TELEMETRY`` at call
+#: sites keeps the uninstrumented path branch-free.
+NULL_TELEMETRY = NullTelemetry()

@@ -21,6 +21,7 @@ from repro.pipeline.statistics import (
     residuals,
     update_weights,
 )
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.pipeline.system_generation import system_from_catalog
 from repro.system.sparse import GaiaSystem
 
@@ -57,6 +58,7 @@ class AvuGsrPipeline:
         noise_sigma: float = 1e-9,
         seed: int = 0,
         solver: SolverModule | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.n_stars = n_stars
         self.obs_per_star = obs_per_star
@@ -66,19 +68,28 @@ class AvuGsrPipeline:
         self.noise_sigma = noise_sigma
         self.seed = seed
         self.solver = solver or SolverModule()
+        self.telemetry = telemetry
+
+    @property
+    def _tel(self):
+        return (self.telemetry if self.telemetry is not None
+                else NULL_TELEMETRY)
 
     def run(self) -> PipelineResult:
         """Execute one full cycle."""
-        catalog = make_catalog(self.n_stars, self.obs_per_star,
-                               seed=self.seed)
-        system = system_from_catalog(
-            catalog,
-            n_deg_freedom_att=self.n_deg_freedom_att,
-            n_instr_params=self.n_instr_params,
-            n_glob_params=self.n_glob_params,
-            seed=self.seed + 1,
-            noise_sigma=self.noise_sigma,
-        )
+        tel = self._tel
+        with tel.span("pipeline.preprocess"):
+            catalog = make_catalog(self.n_stars, self.obs_per_star,
+                                   seed=self.seed)
+        with tel.span("pipeline.system_generation"):
+            system = system_from_catalog(
+                catalog,
+                n_deg_freedom_att=self.n_deg_freedom_att,
+                n_instr_params=self.n_instr_params,
+                n_glob_params=self.n_glob_params,
+                seed=self.seed + 1,
+                noise_sigma=self.noise_sigma,
+            )
         return self._run_cycle(catalog, system, x0=None)
 
     def run_cycles(self, n_cycles: int) -> list[PipelineResult]:
@@ -93,16 +104,19 @@ class AvuGsrPipeline:
             raise ValueError(f"n_cycles must be >= 1, got {n_cycles}")
         from repro.system.weighting import apply_weights
 
-        catalog = make_catalog(self.n_stars, self.obs_per_star,
-                               seed=self.seed)
-        base_system = system_from_catalog(
-            catalog,
-            n_deg_freedom_att=self.n_deg_freedom_att,
-            n_instr_params=self.n_instr_params,
-            n_glob_params=self.n_glob_params,
-            seed=self.seed + 1,
-            noise_sigma=self.noise_sigma,
-        )
+        tel = self._tel
+        with tel.span("pipeline.preprocess"):
+            catalog = make_catalog(self.n_stars, self.obs_per_star,
+                                   seed=self.seed)
+        with tel.span("pipeline.system_generation"):
+            base_system = system_from_catalog(
+                catalog,
+                n_deg_freedom_att=self.n_deg_freedom_att,
+                n_instr_params=self.n_instr_params,
+                n_glob_params=self.n_glob_params,
+                seed=self.seed + 1,
+                noise_sigma=self.noise_sigma,
+            )
         results: list[PipelineResult] = []
         x0 = None
         system = base_system
@@ -120,31 +134,39 @@ class AvuGsrPipeline:
 
     def _run_cycle(self, catalog: ObservationCatalog,
                    system: GaiaSystem, *, x0) -> PipelineResult:
-        out = self.solver.solve(system, x0=x0)
+        tel = self._tel
+        with tel.span("pipeline.solve"):
+            out = self.solver.solve(system, x0=x0,
+                                    telemetry=self.telemetry)
 
         # De-rotation against the AGIS-like reference: the generating
         # truth plays the reference role, as in the pre-launch
         # demonstration campaigns.
-        x_true = system.meta["x_true"]
-        solved = out.sections.per_star()
-        reference = x_true[: solved.size].reshape(solved.shape)
-        delta = solved - reference
-        delta_pos = np.empty(2 * catalog.n_stars)
-        delta_pos[0::2] = delta[:, 0]
-        delta_pos[1::2] = delta[:, 1]
-        delta_pm = np.empty(2 * catalog.n_stars)
-        delta_pm[0::2] = delta[:, 3]
-        delta_pm[1::2] = delta[:, 4]
-        rotation = fit_rotation(catalog.ra, catalog.dec, delta_pos,
-                                delta_pm)
-        derotated = derotate(catalog.ra, catalog.dec, solved, rotation)
+        with tel.span("pipeline.derotation"):
+            x_true = system.meta["x_true"]
+            solved = out.sections.per_star()
+            reference = x_true[: solved.size].reshape(solved.shape)
+            delta = solved - reference
+            delta_pos = np.empty(2 * catalog.n_stars)
+            delta_pos[0::2] = delta[:, 0]
+            delta_pos[1::2] = delta[:, 1]
+            delta_pm = np.empty(2 * catalog.n_stars)
+            delta_pm[0::2] = delta[:, 3]
+            delta_pm[1::2] = delta[:, 4]
+            rotation = fit_rotation(catalog.ra, catalog.dec, delta_pos,
+                                    delta_pm)
+            derotated = derotate(catalog.ra, catalog.dec, solved,
+                                 rotation)
 
-        stats = analyze_residuals(
-            system, out.result.x,
-            noise_sigma=self.noise_sigma or None,
-            epoch=catalog.epoch,
-        )
-        weights = update_weights(residuals(system, out.result.x))
+        with tel.span("pipeline.statistics"):
+            stats = analyze_residuals(
+                system, out.result.x,
+                noise_sigma=self.noise_sigma or None,
+                epoch=catalog.epoch,
+            )
+        with tel.span("pipeline.weights"):
+            weights = update_weights(residuals(system, out.result.x))
+        tel.counter("pipeline.cycles").inc()
         return PipelineResult(
             catalog=catalog,
             system=system,

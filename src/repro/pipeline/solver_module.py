@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.core.lsqr import LSQRResult, lsqr_solve
 from repro.core.variance import standard_errors
+from repro.obs.telemetry import Telemetry
 from repro.system.solution import SolutionSections, split_solution
 from repro.system.sparse import GaiaSystem
 
@@ -60,11 +61,14 @@ class SolverModule:
         self.damp = damp
 
     def solve(self, system: GaiaSystem,
-              x0: np.ndarray | None = None) -> SolverOutput:
+              x0: np.ndarray | None = None,
+              telemetry: Telemetry | None = None) -> SolverOutput:
         """Run the solve, collecting periodic (itn, r2norm) checkpoints.
 
         ``x0`` warm-starts the iteration (used when chaining pipeline
-        cycles).
+        cycles); ``telemetry`` is forwarded to
+        :func:`~repro.core.lsqr.lsqr_solve` so the per-phase iteration
+        spans are recorded.
         """
         checkpoints: list[tuple[int, float]] = []
 
@@ -84,6 +88,7 @@ class SolverModule:
             calc_var=True,
             x0=x0,
             callback=on_iteration,
+            telemetry=telemetry,
         )
         return SolverOutput(
             result=result,

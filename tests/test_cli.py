@@ -87,6 +87,16 @@ def test_study_export_options(tmp_path, capsys):
     assert "iteration_time_s" in csv_path.read_text().splitlines()[0]
 
 
+def test_telemetry_subcommand(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["telemetry", "--size", "tiny", "--iterations", "10",
+                 "--export", "chrome", "--output", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "aprod1+aprod2 share" in text
+    assert "## Telemetry summary" in text
+    assert out.exists()
+
+
 def test_parser_requires_subcommand():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
