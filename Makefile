@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-obs telemetry-smoke
+.PHONY: test test-obs telemetry-smoke bench-engine
 
 # The full tier-1 suite (ROADMAP.md's verify command).
 test:
@@ -21,3 +21,8 @@ telemetry-smoke:
 	$(PYTHON) -m repro.cli telemetry --size tiny --iterations 15 \
 	    --export chrome --output telemetry_trace.json
 	$(PYTHON) -c "import json; json.load(open('telemetry_trace.json')); print('telemetry_trace.json: valid JSON')"
+
+# Hot-path baseline for the shared LSQR step engine: iterations/sec
+# and loop allocations, engine vs the pre-refactor loop body.
+bench-engine:
+	$(PYTHON) benchmarks/bench_engine.py --output BENCH_engine.json

@@ -45,6 +45,23 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     else:
         system = make_system(dims_from_gb(args.size_gb), seed=args.seed,
                              noise_sigma=args.noise)
+    if args.ranks > 1:
+        # The distributed driver runs the same step engine, so it
+        # reports the same stopping codes as the serial solve.
+        from repro.dist import distributed_lsqr_solve
+
+        dres = distributed_lsqr_solve(system, args.ranks,
+                                      atol=args.atol, btol=args.atol,
+                                      iter_lim=args.iterations)
+        print(f"ranks={dres.n_ranks} istop={dres.stop.name} "
+              f"itn={dres.itn} r2norm={dres.r2norm:.3e}")
+        print(f"mean iteration time (max over ranks): "
+              f"{dres.mean_iteration_time * 1e3:.3f} ms")
+        se = dres.standard_errors()
+        astro = system.dims.section_slices()["astrometric"]
+        print(f"median astrometric standard error: "
+              f"{np.median(to_microarcsec(se[astro])):.4f} uas")
+        return 0
     res = lsqr_solve(system, atol=args.atol, btol=args.atol,
                      iter_lim=args.iterations)
     print(f"istop={res.istop.name} itn={res.itn} "
@@ -341,6 +358,10 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--noise", type=float, default=1e-9)
     s.add_argument("--atol", type=float, default=1e-10)
     s.add_argument("--iterations", type=int, default=None)
+    s.add_argument("--ranks", type=int, default=1,
+                   help="run the distributed driver on N simulated "
+                        "MPI ranks (same step engine, same stopping "
+                        "rules)")
     s.set_defaults(fn=_cmd_solve)
 
     st = sub.add_parser("study", help="run the SS V-B portability study")

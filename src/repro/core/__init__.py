@@ -12,14 +12,23 @@ matrix-vector products ``aprod1`` (``b += A x``) and ``aprod2``
   :class:`~repro.core.aprod.AprodOperator`;
 - :mod:`repro.core.precond` -- the column-scaling (Jacobi)
   preconditioner of the customized LSQR;
-- :mod:`repro.core.lsqr` -- the Paige & Saunders iteration with
-  damping, stopping rules, timing hooks and variance accumulation;
+- :mod:`repro.core.engine` -- the single Paige & Saunders step engine
+  (bidiagonalization + Givens update, full stopping rules, variance
+  accumulation) parameterized by a pluggable ``ReductionBackend``;
+- :mod:`repro.core.lsqr` -- the serial driver over the engine, with
+  damping, warm start, timing hooks and checkpoint dumps;
 - :mod:`repro.core.variance` -- standard errors of the solution;
 - :mod:`repro.core.baseline` -- a textbook LSQR and a SciPy
   cross-check used as comparators.
 """
 
 from repro.core.aprod import AprodOperator, aprod1, aprod2
+from repro.core.engine import (
+    EngineState,
+    LSQRStepEngine,
+    ReductionBackend,
+    SerialReduction,
+)
 from repro.core.lsqr import LSQRResult, StopReason, lsqr_solve
 from repro.core.precond import ColumnScaling
 from repro.core.baseline import scipy_reference, textbook_lsqr
@@ -36,6 +45,10 @@ __all__ = [
     "AprodOperator",
     "aprod1",
     "aprod2",
+    "EngineState",
+    "LSQRStepEngine",
+    "ReductionBackend",
+    "SerialReduction",
     "LSQRResult",
     "StopReason",
     "lsqr_solve",

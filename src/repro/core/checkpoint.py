@@ -2,11 +2,13 @@
 
 Production solves at the 10^11-row scale run against batch-queue wall
 clocks; the production pipeline checkpoints the solver state between
-jobs.  :class:`ResumableLSQR` is the checkpointable form of the same
-Paige & Saunders recurrence: its entire state is an explicit
-:class:`LSQRState` that can be serialized mid-solve and resumed
-*bit-for-bit* -- the resumed run produces exactly the iterates the
-uninterrupted run would have.
+jobs.  :class:`ResumableLSQR` is the checkpointable driver over the
+shared :class:`~repro.core.engine.LSQRStepEngine`: the entire state is
+the engine's explicit :class:`~repro.core.engine.EngineState`
+(re-exported here as :data:`LSQRState`), serializable mid-solve and
+resumable *bit-for-bit* -- the resumed run produces exactly the
+iterates the uninterrupted run would have, including the full
+Paige & Saunders stopping rules and the ``var`` accumulation.
 """
 
 from __future__ import annotations
@@ -17,68 +19,40 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.aprod import AprodOperator
-from repro.core.lsqr import Aprod
+from repro.core.engine import (
+    Aprod,
+    EngineState,
+    LSQRStepEngine,
+    SerialReduction,
+)
 from repro.core.precond import ColumnScaling, PreconditionedAprod
 from repro.system.sparse import GaiaSystem
 
-
-@dataclass
-class LSQRState:
-    """The complete bidiagonalization state after ``itn`` iterations."""
-
-    itn: int
-    x: np.ndarray
-    u: np.ndarray
-    v: np.ndarray
-    w: np.ndarray
-    alfa: float
-    rhobar: float
-    phibar: float
-    anorm: float
-    done: bool = False
-
-    def save(self, path: str | Path) -> Path:
-        """Serialize the state to ``.npz``."""
-        path = Path(path)
-        if path.suffix != ".npz":
-            path = path.with_suffix(".npz")
-        np.savez_compressed(
-            path, itn=self.itn, x=self.x, u=self.u, v=self.v, w=self.w,
-            scalars=np.array([self.alfa, self.rhobar, self.phibar,
-                              self.anorm]),
-            done=np.array([self.done]),
-        )
-        return path
-
-    @classmethod
-    def load(cls, path: str | Path) -> "LSQRState":
-        """Reload a state written by :meth:`save`."""
-        with np.load(Path(path)) as z:
-            alfa, rhobar, phibar, anorm = z["scalars"]
-            return cls(
-                itn=int(z["itn"]), x=z["x"].copy(), u=z["u"].copy(),
-                v=z["v"].copy(), w=z["w"].copy(),
-                alfa=float(alfa), rhobar=float(rhobar),
-                phibar=float(phibar), anorm=float(anorm),
-                done=bool(z["done"][0]),
-            )
+#: The checkpointable solver state is exactly the engine state.
+LSQRState = EngineState
 
 
 @dataclass
 class ResumableLSQR:
     """Checkpointable LSQR over one system.
 
-    The stopping rule is the arnorm test (the distributed driver's
-    rule); ``step(n)`` advances at most ``n`` iterations and returns
-    the state, which :meth:`resume` (or a fresh instance plus
-    :class:`LSQRState`) continues exactly.
+    A thin driver over the shared step engine: ``step(n)`` advances at
+    most ``n`` iterations and returns the state, which :meth:`step` on
+    a reloaded state (or a fresh instance built over the same system
+    and parameters) continues exactly.  Stopping follows the full
+    Paige & Saunders rules; ``btol`` defaults to ``atol``.
     """
 
     system: GaiaSystem
     atol: float = 1e-10
+    btol: float | None = None
+    conlim: float = 1e8
+    damp: float = 0.0
     precondition: bool = True
+    calc_var: bool = True
     _op: Aprod = field(init=False, repr=False)
     _scaling: ColumnScaling = field(init=False, repr=False)
+    _engine: LSQRStepEngine = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         op = AprodOperator(self.system)
@@ -88,67 +62,27 @@ class ResumableLSQR:
         else:
             self._scaling = ColumnScaling.identity(op.shape[1])
             self._op = op
+        self._engine = LSQRStepEngine(
+            self._op, backend=SerialReduction(), damp=self.damp,
+            atol=self.atol,
+            btol=self.atol if self.btol is None else self.btol,
+            conlim=self.conlim, calc_var=self.calc_var,
+        )
 
     # ------------------------------------------------------------------
     def start(self) -> LSQRState:
         """Initialize the bidiagonalization."""
-        b = self.system.rhs().astype(np.float64)
-        u = b.copy()
-        beta = float(np.linalg.norm(u))
-        n = self._op.shape[1]
-        if beta == 0.0:
-            return LSQRState(itn=0, x=np.zeros(n), u=u,
-                             v=np.zeros(n), w=np.zeros(n),
-                             alfa=0.0, rhobar=0.0, phibar=0.0,
-                             anorm=0.0, done=True)
-        u /= beta
-        v = self._op.aprod2(u)
-        alfa = float(np.linalg.norm(v))
-        if alfa == 0.0:
-            return LSQRState(itn=0, x=np.zeros(n), u=u, v=v,
-                             w=np.zeros(n), alfa=0.0, rhobar=0.0,
-                             phibar=beta, anorm=0.0, done=True)
-        v /= alfa
-        return LSQRState(itn=0, x=np.zeros(n), u=u, v=v, w=v.copy(),
-                         alfa=alfa, rhobar=alfa, phibar=beta,
-                         anorm=0.0, done=False)
+        return self._engine.start(self.system.rhs().astype(np.float64))
 
     def step(self, state: LSQRState, max_steps: int = 1) -> LSQRState:
         """Advance up to ``max_steps`` iterations in place."""
         if max_steps < 1:
             raise ValueError(f"max_steps must be >= 1, got {max_steps}")
-        s = state
         for _ in range(max_steps):
-            if s.done:
+            if state.istop is not None:
                 break
-            s.itn += 1
-            s.u *= -s.alfa
-            s.u += self._op.aprod1(s.v)
-            beta = float(np.linalg.norm(s.u))
-            if beta > 0.0:
-                s.u /= beta
-                s.anorm = float(np.sqrt(s.anorm**2 + s.alfa**2
-                                        + beta**2))
-                s.v *= -beta
-                s.v += self._op.aprod2(s.u)
-                s.alfa = float(np.linalg.norm(s.v))
-                if s.alfa > 0.0:
-                    s.v /= s.alfa
-            rho = float(np.hypot(s.rhobar, beta))
-            cs, sn = s.rhobar / rho, beta / rho
-            theta = sn * s.alfa
-            s.rhobar = -cs * s.alfa
-            phi = cs * s.phibar
-            s.phibar = sn * s.phibar
-            s.x += (phi / rho) * s.w
-            s.w *= -theta / rho
-            s.w += s.v
-            arnorm = s.alfa * abs(sn * phi)
-            if arnorm <= self.atol * max(s.anorm, 1e-300) * max(
-                s.phibar, 1e-300
-            ):
-                s.done = True
-        return s
+            self._engine.step(state)
+        return state
 
     def solution(self, state: LSQRState) -> np.ndarray:
         """Physical-units solution of a (possibly partial) state."""

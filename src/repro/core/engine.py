@@ -1,0 +1,418 @@
+"""The single LSQR step engine behind every solver driver.
+
+The paper's portability argument is that *one* solver body runs
+everywhere -- only the execution backend changes.  This module is that
+body for the reproduction: one implementation of the Paige & Saunders
+bidiagonalization + Givens update (refs [20], [21]: ACM TOMS 1982a/b)
+with the AVU-GSR customizations (damping, variance accumulation, the
+full ``istop`` stopping rules), parameterized by *how reductions
+happen*:
+
+- :class:`SerialReduction` reduces locally (the serial and
+  checkpointable solvers);
+- ``repro.dist.runner.CommReduction`` wraps the simulated MPI
+  collectives, so the distributed solver runs the very same
+  ``step()`` -- it inherits stopping rules, checkpoint/resume and
+  convergence tracing instead of re-typing the math.
+
+The drivers (:func:`repro.core.lsqr.lsqr_solve`,
+:class:`repro.dist.runner.DistributedLSQR`,
+:class:`repro.core.checkpoint.ResumableLSQR`) own policy: right-hand
+sides, preconditioning, iteration budgets, timing and result types.
+The engine owns the numerics.  Its entire iteration state is the
+explicit, serializable :class:`EngineState`; per-iteration workspaces
+are preallocated once so the hot loop performs no array allocations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Protocol
+
+import numpy as np
+
+from repro.obs.telemetry import Telemetry
+
+
+class Aprod(Protocol):
+    """Anything exposing the two structured products and a shape.
+
+    Both products *accumulate* into ``out`` (``out += A x`` /
+    ``out += A^T y``) and allocate the accumulator when ``out`` is
+    None, matching :class:`~repro.core.aprod.AprodOperator`.
+    """
+
+    @property
+    def shape(self) -> tuple[int, int]: ...
+
+    def aprod1(self, x: np.ndarray, out: np.ndarray | None = None
+               ) -> np.ndarray: ...
+
+    def aprod2(self, y: np.ndarray, out: np.ndarray | None = None
+               ) -> np.ndarray: ...
+
+
+class StopReason(enum.IntEnum):
+    """LSQR termination codes (Paige & Saunders' ``istop``)."""
+
+    X_ZERO = 0          #: b = 0; the exact solution is x = 0.
+    ATOL_BTOL = 1       #: Ax = b solved to atol/btol.
+    LSQ_ATOL = 2        #: least-squares solution found to atol.
+    CONLIM_WARN = 3     #: cond(Abar) close to conlim.
+    ATOL_EPS = 4        #: Ax = b solved to machine precision.
+    LSQ_EPS = 5         #: least-squares solved to machine precision.
+    CONLIM_EPS = 6      #: cond(Abar) beyond machine precision.
+    ITERATION_LIMIT = 7  #: iteration limit reached before convergence.
+
+
+class ReductionBackend(Protocol):
+    """How the engine's two per-iteration reductions are carried out.
+
+    The bidiagonalization needs exactly two global reductions per
+    iteration -- the production solver's two communication epochs:
+
+    - the squared norm of the (possibly row-distributed) ``u`` vector;
+    - the sum of the per-rank ``A^T u`` partials into the replicated
+      unknown-space vector ``v``.
+
+    A third, :meth:`time_max`, is the paper's max-over-ranks timing
+    protocol; it carries no solver state.  Implementations with a real
+    communicator label each reduction with the ``epoch`` it serves
+    (``init``, ``normalize``, ``aprod2``) for telemetry.
+    """
+
+    def norm_sq(self, u_local: np.ndarray, *, epoch: str) -> float:
+        """Global squared 2-norm of the row-space vector ``u``."""
+        ...
+
+    def accumulate_atu(self, op: Aprod, u_local: np.ndarray,
+                       v: np.ndarray, *, epoch: str) -> None:
+        """``v += A^T u`` reduced over all row blocks."""
+        ...
+
+    def time_max(self, seconds: float) -> float:
+        """Max-over-ranks of one iteration's wall time."""
+        ...
+
+
+class SerialReduction:
+    """Local reductions: the single-process backend."""
+
+    def norm_sq(self, u_local: np.ndarray, *, epoch: str) -> float:
+        """Squared 2-norm, computed locally."""
+        return float(np.dot(u_local, u_local))
+
+    def accumulate_atu(self, op: Aprod, u_local: np.ndarray,
+                       v: np.ndarray, *, epoch: str) -> None:
+        """``v += A^T u`` straight into the accumulator."""
+        op.aprod2(u_local, out=v)
+
+    def time_max(self, seconds: float) -> float:
+        """One rank: the local time is the maximum."""
+        return seconds
+
+
+@dataclass
+class EngineState:
+    """The complete LSQR state after ``itn`` iterations.
+
+    Everything the recurrence needs to continue -- the Lanczos vectors
+    ``u`` (local row block), ``v``, ``w``, the accumulated solution
+    ``x`` (preconditioned units), the bidiagonal scalars and the
+    Paige & Saunders norm-estimate machinery -- lives here explicitly,
+    so a state can be serialized mid-solve and resumed *bit-for-bit*.
+    ``istop`` is None while the iteration is running; drivers that
+    exhaust an iteration budget report
+    :attr:`StopReason.ITERATION_LIMIT` themselves without marking the
+    state done, so a resumed solve continues seamlessly.
+    """
+
+    itn: int
+    x: np.ndarray
+    u: np.ndarray
+    v: np.ndarray
+    w: np.ndarray
+    alfa: float
+    beta: float
+    rhobar: float
+    phibar: float
+    anorm: float = 0.0
+    acond: float = 0.0
+    ddnorm: float = 0.0
+    res2: float = 0.0
+    xnorm: float = 0.0
+    xxnorm: float = 0.0
+    z: float = 0.0
+    cs2: float = -1.0
+    sn2: float = 0.0
+    bnorm: float = 0.0
+    rnorm: float = 0.0
+    r1norm: float = 0.0
+    r2norm: float = 0.0
+    arnorm: float = 0.0
+    var: np.ndarray | None = None
+    istop: StopReason | None = None
+
+    @property
+    def done(self) -> bool:
+        """True once a stopping rule has fired."""
+        return self.istop is not None
+
+    _SCALARS = ("alfa", "beta", "rhobar", "phibar", "anorm", "acond",
+                "ddnorm", "res2", "xnorm", "xxnorm", "z", "cs2", "sn2",
+                "bnorm", "rnorm", "r1norm", "r2norm", "arnorm")
+
+    def save(self, path: str | Path) -> Path:
+        """Serialize the state to ``.npz``."""
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_suffix(".npz")
+        arrays = dict(
+            itn=self.itn, x=self.x, u=self.u, v=self.v, w=self.w,
+            scalars=np.array([getattr(self, f) for f in self._SCALARS]),
+            istop=np.array(
+                [-1 if self.istop is None else int(self.istop)]
+            ),
+        )
+        if self.var is not None:
+            arrays["var"] = self.var
+        np.savez_compressed(path, **arrays)
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "EngineState":
+        """Reload a state written by :meth:`save`."""
+        with np.load(Path(path)) as zf:
+            scalars = dict(zip(cls._SCALARS, (float(s)
+                                              for s in zf["scalars"])))
+            code = int(zf["istop"][0])
+            return cls(
+                itn=int(zf["itn"]), x=zf["x"].copy(), u=zf["u"].copy(),
+                v=zf["v"].copy(), w=zf["w"].copy(),
+                var=zf["var"].copy() if "var" in zf else None,
+                istop=None if code < 0 else StopReason(code),
+                **scalars,
+            )
+
+
+class LSQRStepEngine:
+    """One LSQR iteration, parameterized by a reduction backend.
+
+    Parameters
+    ----------
+    op:
+        The (already preconditioned, possibly row-local) operator.
+    backend:
+        How reductions happen; defaults to :class:`SerialReduction`.
+    damp, atol, btol, conlim:
+        Paige & Saunders parameters of the stopping rules.
+    calc_var:
+        Accumulate the ``var`` estimate of ``diag((A^T A)^-1)``.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry`.  Each :meth:`step`
+        emits one ``<span_prefix>.iteration`` span (labels from
+        ``span_labels`` plus ``itn``); with ``phase_spans`` the
+        serial-profile ``.aprod1`` / ``.normalize`` / ``.aprod2`` /
+        ``.update`` children are emitted too (the §V-A breakdown).
+        Distributed drivers disable phase spans so their communication
+        epochs stay direct children of the iteration span.
+    """
+
+    def __init__(
+        self,
+        op: Aprod,
+        *,
+        backend: ReductionBackend | None = None,
+        damp: float = 0.0,
+        atol: float = 1e-10,
+        btol: float = 1e-10,
+        conlim: float = 1e8,
+        calc_var: bool = True,
+        telemetry: Telemetry | None = None,
+        span_prefix: str = "lsqr",
+        span_labels: dict[str, str] | None = None,
+        phase_spans: bool = True,
+    ) -> None:
+        if damp < 0 or not np.isfinite(damp):
+            raise ValueError(f"damp must be >= 0, got {damp}")
+        if atol < 0 or btol < 0:
+            raise ValueError("atol and btol must be >= 0")
+        self.op = op
+        self.backend: ReductionBackend = (backend if backend is not None
+                                          else SerialReduction())
+        self.damp = damp
+        self.atol = atol
+        self.btol = btol
+        self.conlim = conlim
+        self.calc_var = calc_var
+        self._tel = Telemetry.or_null(telemetry)
+        self._phase_tel = (self._tel if phase_spans
+                           else Telemetry.or_null(None))
+        self._prefix = span_prefix
+        self._labels = dict(span_labels or {})
+        self._eps = float(np.finfo(np.float64).eps)
+        self._ctol = 1.0 / conlim if conlim > 0 else 0.0
+        self._dampsq = damp * damp
+        n = op.shape[1]
+        # Hot-loop workspaces, allocated once: the loop itself performs
+        # no array allocations.
+        self._dk = np.empty(n)
+        self._tmp = np.empty(n)
+
+    # ------------------------------------------------------------------
+    def start(self, b_local: np.ndarray) -> EngineState:
+        """Initialize the bidiagonalization from the local rhs block.
+
+        The engine takes ownership of ``b_local`` (it becomes ``u``).
+        Degenerate systems stop immediately: ``b = 0`` yields
+        :attr:`StopReason.X_ZERO`, ``A^T b = 0`` yields
+        :attr:`StopReason.LSQ_ATOL` (x = 0 is the LS solution).
+        """
+        n = self.op.shape[1]
+        u = np.asarray(b_local, dtype=np.float64)
+        beta = float(np.sqrt(self.backend.norm_sq(u, epoch="init")))
+        var = np.zeros(n) if self.calc_var else None
+        if beta == 0.0:
+            return EngineState(
+                itn=0, x=np.zeros(n), u=u, v=np.zeros(n), w=np.zeros(n),
+                alfa=0.0, beta=0.0, rhobar=0.0, phibar=0.0, var=var,
+                istop=StopReason.X_ZERO,
+            )
+        u /= beta
+        v = np.zeros(n)
+        self.backend.accumulate_atu(self.op, u, v, epoch="init")
+        alfa = float(np.sqrt(np.dot(v, v)))
+        if alfa == 0.0:
+            # b is orthogonal to the range of A: x = 0 is the LS
+            # solution.
+            return EngineState(
+                itn=0, x=np.zeros(n), u=u, v=v, w=np.zeros(n),
+                alfa=0.0, beta=beta, rhobar=0.0, phibar=beta,
+                bnorm=beta, rnorm=beta, r1norm=beta, r2norm=beta,
+                var=var, istop=StopReason.LSQ_ATOL,
+            )
+        v /= alfa
+        return EngineState(
+            itn=0, x=np.zeros(n), u=u, v=v, w=v.copy(),
+            alfa=alfa, beta=beta, rhobar=alfa, phibar=beta,
+            bnorm=beta, rnorm=beta, r1norm=beta, r2norm=beta,
+            arnorm=alfa * beta, var=var,
+        )
+
+    # ------------------------------------------------------------------
+    def step(self, s: EngineState) -> EngineState:
+        """Advance one iteration in place; set ``istop`` on convergence.
+
+        A no-op on a done state.  Every rank of a distributed solve
+        executes this identical body on replicated scalars, so all
+        ranks take the same stopping decision on the same iteration.
+        """
+        if s.istop is not None:
+            return s
+        op, backend = self.op, self.backend
+        s.itn += 1
+        tel, ptel = self._tel, self._phase_tel
+        with tel.span(f"{self._prefix}.iteration", **self._labels,
+                      itn=s.itn):
+            # Bidiagonalization step: next beta, u, alfa, v.
+            with ptel.span(f"{self._prefix}.aprod1"):
+                s.u *= -s.alfa
+                op.aprod1(s.v, out=s.u)
+            with ptel.span(f"{self._prefix}.normalize"):
+                beta = float(np.sqrt(
+                    backend.norm_sq(s.u, epoch="normalize")
+                ))
+                s.beta = beta
+                if beta > 0.0:
+                    s.u /= beta
+                    s.anorm = float(np.sqrt(
+                        s.anorm**2 + s.alfa**2 + beta**2 + self._dampsq
+                    ))
+            if beta > 0.0:
+                with ptel.span(f"{self._prefix}.aprod2"):
+                    s.v *= -beta
+                    backend.accumulate_atu(op, s.u, s.v, epoch="aprod2")
+                    alfa = float(np.sqrt(np.dot(s.v, s.v)))
+                    s.alfa = alfa
+                    if alfa > 0.0:
+                        s.v /= alfa
+
+            with ptel.span(f"{self._prefix}.update"):
+                # Eliminate the damping parameter.
+                rhobar1 = float(np.sqrt(s.rhobar**2 + self._dampsq))
+                cs1 = s.rhobar / rhobar1
+                sn1 = self.damp / rhobar1
+                psi = sn1 * s.phibar
+                s.phibar = cs1 * s.phibar
+
+                # Plane rotation updating x and w.
+                rho = float(np.sqrt(rhobar1**2 + beta**2))
+                cs = rhobar1 / rho
+                sn = beta / rho
+                theta = sn * s.alfa
+                s.rhobar = -cs * s.alfa
+                phi = cs * s.phibar
+                s.phibar = sn * s.phibar
+                tau = sn * phi
+
+                t1 = phi / rho
+                t2 = -theta / rho
+                dk, tmp = self._dk, self._tmp
+                np.divide(s.w, rho, out=dk)
+                np.multiply(s.w, t1, out=tmp)
+                s.x += tmp
+                s.w *= t2
+                s.w += s.v
+                s.ddnorm += float(np.dot(dk, dk))
+                if s.var is not None:
+                    np.multiply(dk, dk, out=tmp)
+                    s.var += tmp
+
+                # Norm estimates (see Paige & Saunders 1982a, §5).
+                delta = s.sn2 * rho
+                gambar = -s.cs2 * rho
+                rhs = phi - delta * s.z
+                zbar = rhs / gambar
+                s.xnorm = float(np.sqrt(s.xxnorm + zbar**2))
+                gamma = float(np.sqrt(gambar**2 + theta**2))
+                s.cs2 = gambar / gamma
+                s.sn2 = theta / gamma
+                s.z = rhs / gamma
+                s.xxnorm += s.z * s.z
+
+                s.acond = s.anorm * float(np.sqrt(s.ddnorm))
+                res1 = s.phibar**2
+                s.res2 += psi**2
+                s.rnorm = float(np.sqrt(res1 + s.res2))
+                s.arnorm = s.alfa * abs(tau)
+
+                r1sq = s.rnorm**2 - self._dampsq * s.xxnorm
+                s.r1norm = float(np.sqrt(abs(r1sq)))
+                if r1sq < 0.0:
+                    s.r1norm = -s.r1norm
+                s.r2norm = s.rnorm
+
+                # Stopping tests.
+                eps = self._eps
+                test1 = s.rnorm / s.bnorm
+                test2 = s.arnorm / (s.anorm * s.rnorm + eps)
+                test3 = 1.0 / (s.acond + eps)
+                rtol = (self.btol
+                        + self.atol * s.anorm * s.xnorm / s.bnorm)
+                t1_test = test1 / (1.0 + s.anorm * s.xnorm / s.bnorm)
+
+        if 1.0 + test3 <= 1.0:
+            s.istop = StopReason.CONLIM_EPS
+        elif 1.0 + test2 <= 1.0:
+            s.istop = StopReason.LSQ_EPS
+        elif 1.0 + t1_test <= 1.0:
+            s.istop = StopReason.ATOL_EPS
+        elif test3 <= self._ctol:
+            s.istop = StopReason.CONLIM_WARN
+        elif test2 <= self.atol:
+            s.istop = StopReason.LSQ_ATOL
+        elif test1 <= rtol:
+            s.istop = StopReason.ATOL_BTOL
+        return s

@@ -1,4 +1,4 @@
-"""The customized, preconditioned LSQR iteration.
+"""The customized, preconditioned LSQR solve (serial driver).
 
 A faithful implementation of Paige & Saunders' LSQR (refs [20], [21]
 of the paper: ACM TOMS 1982a/b) with the AVU-GSR customizations:
@@ -14,48 +14,45 @@ of the paper: ACM TOMS 1982a/b) with the AVU-GSR customizations:
 - optional accumulation of the ``var`` vector that yields the standard
   errors compared in Fig. 6.
 
+The iteration body itself lives in :mod:`repro.core.engine` -- one
+:class:`~repro.core.engine.LSQRStepEngine` shared with the
+distributed and checkpointable drivers.  This module is the *serial
+driver*: it prepares the preconditioned operator and right-hand side,
+runs the engine with the local :class:`~repro.core.engine.
+SerialReduction` backend, owns timing/callback/checkpoint policy, and
+folds the preconditioner back into physical units.
+
 The stopping rules and ``istop`` codes follow the original algorithm.
 """
 
 from __future__ import annotations
 
-import enum
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
 from repro.core.aprod import AprodOperator
+from repro.core.engine import (
+    Aprod,
+    EngineState,
+    LSQRStepEngine,
+    SerialReduction,
+    StopReason,
+)
 from repro.core.precond import ColumnScaling, PreconditionedAprod
-from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.obs.telemetry import Telemetry
 from repro.system.sparse import GaiaSystem
 
-
-class Aprod(Protocol):
-    """Anything exposing the two structured products and a shape."""
-
-    @property
-    def shape(self) -> tuple[int, int]: ...
-
-    def aprod1(self, x: np.ndarray, out: np.ndarray | None = None
-               ) -> np.ndarray: ...
-
-    def aprod2(self, y: np.ndarray, out: np.ndarray | None = None
-               ) -> np.ndarray: ...
-
-
-class StopReason(enum.IntEnum):
-    """LSQR termination codes (Paige & Saunders' ``istop``)."""
-
-    X_ZERO = 0          #: b = 0; the exact solution is x = 0.
-    ATOL_BTOL = 1       #: Ax = b solved to atol/btol.
-    LSQ_ATOL = 2        #: least-squares solution found to atol.
-    CONLIM_WARN = 3     #: cond(Abar) close to conlim.
-    ATOL_EPS = 4        #: Ax = b solved to machine precision.
-    LSQ_EPS = 5         #: least-squares solved to machine precision.
-    CONLIM_EPS = 6      #: cond(Abar) beyond machine precision.
-    ITERATION_LIMIT = 7  #: iteration limit reached before convergence.
+__all__ = [
+    "Aprod",
+    "StopReason",
+    "LSQRResult",
+    "IterationCallback",
+    "lsqr_solve",
+]
 
 
 @dataclass
@@ -122,6 +119,8 @@ def lsqr_solve(
     callback: IterationCallback | None = None,
     clock: Callable[[], float] = time.perf_counter,
     telemetry: Telemetry | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_path: str | Path | None = None,
 ) -> LSQRResult:
     """Solve ``min ||A x - b||_2`` (optionally damped) with LSQR.
 
@@ -167,8 +166,16 @@ def lsqr_solve(
         ``lsqr.aprod1`` / ``lsqr.normalize`` / ``lsqr.aprod2`` /
         ``lsqr.update`` phase spans (the §V-A breakdown), plus
         iteration counters and an ``lsqr.iteration_time_s`` histogram.
+    checkpoint_every, checkpoint_path:
+        When both are given, the engine state is serialized to
+        ``checkpoint_path`` every ``checkpoint_every`` iterations (and
+        once more at the end) -- the batch-queue crash-recovery dump.
+        Resume by loading the :class:`~repro.core.engine.EngineState`
+        into a :class:`~repro.core.checkpoint.ResumableLSQR` built
+        over the same system and parameters.  With ``x0`` the state
+        holds the *correction* in preconditioned units.
     """
-    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    tel = Telemetry.or_null(telemetry)
     op, b, scaling = _prepare(
         system, b,
         precondition=precondition,
@@ -177,10 +184,6 @@ def lsqr_solve(
         astro_scatter_strategy=astro_scatter_strategy,
         telemetry=telemetry,
     )
-    if damp < 0 or not np.isfinite(damp):
-        raise ValueError(f"damp must be >= 0, got {damp}")
-    if atol < 0 or btol < 0:
-        raise ValueError("atol and btol must be >= 0")
     m, n = op.shape
     if b.shape != (m,):
         raise ValueError(f"b has shape {b.shape}, expected ({m},)")
@@ -190,10 +193,10 @@ def lsqr_solve(
         iter_lim = 2 * n
     if iter_lim < 1:
         raise ValueError(f"iter_lim must be >= 1, got {iter_lim}")
-
-    eps = np.finfo(np.float64).eps
-    ctol = 1.0 / conlim if conlim > 0 else 0.0
-    dampsq = damp * damp
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise ValueError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}"
+        )
 
     x_offset = np.zeros(n)
     if x0 is not None:
@@ -206,141 +209,28 @@ def lsqr_solve(
         # preconditioned operator applied to D^-1 x0 is exactly A x0.
         b -= op.aprod1(scaling.to_preconditioned(x_offset))
 
-    x = np.zeros(n)
-    var = np.zeros(n) if calc_var else None
+    engine = LSQRStepEngine(
+        op, backend=SerialReduction(), damp=damp, atol=atol, btol=btol,
+        conlim=conlim, calc_var=calc_var, telemetry=telemetry,
+        span_prefix="lsqr",
+    )
+    state = engine.start(b)
     times: list[float] = []
-
-    u = b.copy()
-    beta = float(np.linalg.norm(u))
-    if beta == 0.0:
-        return _finish(x, StopReason.X_ZERO, 0, 0.0, 0.0, 0.0, 0.0, 0.0,
-                       0.0, var, m, n, times, scaling, x_offset)
-    u /= beta
-    v = op.aprod2(u)
-    alfa = float(np.linalg.norm(v))
-    if alfa == 0.0:
-        # b is orthogonal to the range of A: x = 0 is the LS solution.
-        return _finish(x, StopReason.LSQ_ATOL, 0, beta, beta, 0.0, 0.0,
-                       0.0, 0.0, var, m, n, times, scaling, x_offset)
-    v /= alfa
-    w = v.copy()
-
-    rhobar, phibar = alfa, beta
-    bnorm = rnorm = r1norm = r2norm = beta
-    anorm = acond = 0.0
-    ddnorm = res2 = xnorm = xxnorm = z = 0.0
-    cs2, sn2 = -1.0, 0.0
-    arnorm = alfa * beta
-    istop = StopReason.ITERATION_LIMIT
-    itn = 0
-
-    while itn < iter_lim:
-        itn += 1
+    while state.istop is None and state.itn < iter_lim:
         t0 = clock()
-
-        with tel.span("lsqr.iteration", itn=itn):
-            # Bidiagonalization step: next beta, u, alfa, v.
-            with tel.span("lsqr.aprod1"):
-                u *= -alfa
-                op.aprod1(v, out=u)
-            with tel.span("lsqr.normalize"):
-                beta = float(np.linalg.norm(u))
-                if beta > 0.0:
-                    u /= beta
-                    anorm = float(
-                        np.sqrt(anorm**2 + alfa**2 + beta**2 + dampsq)
-                    )
-            if beta > 0.0:
-                with tel.span("lsqr.aprod2"):
-                    v *= -beta
-                    op.aprod2(u, out=v)
-                    alfa = float(np.linalg.norm(v))
-                    if alfa > 0.0:
-                        v /= alfa
-
-            with tel.span("lsqr.update"):
-                # Eliminate the damping parameter.
-                rhobar1 = float(np.sqrt(rhobar**2 + dampsq))
-                cs1 = rhobar / rhobar1
-                sn1 = damp / rhobar1
-                psi = sn1 * phibar
-                phibar = cs1 * phibar
-
-                # Plane rotation updating x and w.
-                rho = float(np.sqrt(rhobar1**2 + beta**2))
-                cs = rhobar1 / rho
-                sn = beta / rho
-                theta = sn * alfa
-                rhobar = -cs * alfa
-                phi = cs * phibar
-                phibar = sn * phibar
-                tau = sn * phi
-
-                t1 = phi / rho
-                t2 = -theta / rho
-                dk = w / rho
-                x += t1 * w
-                w *= t2
-                w += v
-                ddnorm += float(np.dot(dk, dk))
-                if calc_var:
-                    var += dk * dk
-
-                # Norm estimates (see Paige & Saunders 1982a, §5).
-                delta = sn2 * rho
-                gambar = -cs2 * rho
-                rhs = phi - delta * z
-                zbar = rhs / gambar
-                xnorm = float(np.sqrt(xxnorm + zbar**2))
-                gamma = float(np.sqrt(gambar**2 + theta**2))
-                cs2 = gambar / gamma
-                sn2 = theta / gamma
-                z = rhs / gamma
-                xxnorm += z * z
-
-                acond = anorm * float(np.sqrt(ddnorm))
-                res1 = phibar**2
-                res2 += psi**2
-                rnorm = float(np.sqrt(res1 + res2))
-                arnorm = alfa * abs(tau)
-
-                r1sq = rnorm**2 - dampsq * xxnorm
-                r1norm = float(np.sqrt(abs(r1sq)))
-                if r1sq < 0.0:
-                    r1norm = -r1norm
-                r2norm = rnorm
-
-                # Stopping tests.
-                test1 = rnorm / bnorm
-                test2 = arnorm / (anorm * rnorm + eps)
-                test3 = 1.0 / (acond + eps)
-                rtol = btol + atol * anorm * xnorm / bnorm
-                t1_test = test1 / (1.0 + anorm * xnorm / bnorm)
-
+        engine.step(state)
         times.append(clock() - t0)
         tel.counter("lsqr.iterations").inc()
         tel.histogram("lsqr.iteration_time_s").observe(times[-1])
         if callback is not None:
-            callback(itn, scaling.to_physical(x) + x_offset, r2norm)
-
-        if 1.0 + test3 <= 1.0:
-            istop = StopReason.CONLIM_EPS
-        elif 1.0 + test2 <= 1.0:
-            istop = StopReason.LSQ_EPS
-        elif 1.0 + t1_test <= 1.0:
-            istop = StopReason.ATOL_EPS
-        elif test3 <= ctol:
-            istop = StopReason.CONLIM_WARN
-        elif test2 <= atol:
-            istop = StopReason.LSQ_ATOL
-        elif test1 <= rtol:
-            istop = StopReason.ATOL_BTOL
-        else:
-            continue
-        break
-
-    return _finish(x, istop, itn, r1norm, r2norm, anorm, acond, arnorm,
-                   xnorm, var, m, n, times, scaling, x_offset)
+            callback(state.itn, scaling.to_physical(state.x) + x_offset,
+                     state.r2norm)
+        if (checkpoint_path is not None and checkpoint_every is not None
+                and state.itn % checkpoint_every == 0):
+            state.save(checkpoint_path)
+    if checkpoint_path is not None and checkpoint_every is not None:
+        state.save(checkpoint_path)
+    return _finish(state, m, n, times, scaling, x_offset)
 
 
 def _prepare(
@@ -390,16 +280,7 @@ def _prepare(
 
 
 def _finish(
-    z: np.ndarray,
-    istop: StopReason,
-    itn: int,
-    r1norm: float,
-    r2norm: float,
-    anorm: float,
-    acond: float,
-    arnorm: float,
-    xnorm: float,
-    var: np.ndarray | None,
+    state: EngineState,
     m: int,
     n: int,
     times: list[float],
@@ -407,12 +288,15 @@ def _finish(
     x_offset: np.ndarray,
 ) -> LSQRResult:
     """Fold the preconditioner and warm-start offset back in."""
-    x = scaling.to_physical(z) + x_offset
+    x = scaling.to_physical(state.x) + x_offset
+    var = state.var
     if var is not None:
         var = scaling.scale_variance(var)
+    istop = (state.istop if state.istop is not None
+             else StopReason.ITERATION_LIMIT)
     return LSQRResult(
-        x=x, istop=istop, itn=itn, r1norm=r1norm, r2norm=r2norm,
-        anorm=anorm, acond=acond, arnorm=arnorm,
-        xnorm=float(np.linalg.norm(x)), var=var, m=m, n=n,
-        iteration_times=times,
+        x=x, istop=istop, itn=state.itn, r1norm=state.r1norm,
+        r2norm=state.r2norm, anorm=state.anorm, acond=state.acond,
+        arnorm=state.arnorm, xnorm=float(np.linalg.norm(x)), var=var,
+        m=m, n=n, iteration_times=times,
     )

@@ -25,7 +25,12 @@ from repro.dist.decomposition import (
     partition_by_rows,
     slice_system,
 )
-from repro.dist.runner import DistributedLSQR, distributed_lsqr_solve
+from repro.dist.runner import (
+    CommReduction,
+    DistributedLSQR,
+    DistributedResult,
+    distributed_lsqr_solve,
+)
 from repro.dist.profile import (
     CommProfile,
     ProfiledComm,
@@ -40,7 +45,9 @@ __all__ = [
     "partition_by_rows",
     "slice_system",
     "load_balance_report",
+    "CommReduction",
     "DistributedLSQR",
+    "DistributedResult",
     "distributed_lsqr_solve",
     "CommProfile",
     "ProfiledComm",

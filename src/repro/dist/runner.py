@@ -15,21 +15,84 @@ replicated state, so all ranks finish with the same solution.  The
 per-iteration wall time is maximized over ranks -- the paper's
 measurement rule ("we measured the iteration time maximized among all
 MPI processes and averaged among 100 iterations").
+
+The iteration body is *not* re-implemented here: each rank drives the
+shared :class:`~repro.core.engine.LSQRStepEngine` with a
+:class:`CommReduction` backend that routes the two reductions through
+the simulated MPI collectives.  The distributed solve therefore
+inherits the serial solver's full Paige & Saunders stopping rules
+(reported as :class:`~repro.core.engine.StopReason`), per-iteration
+convergence callbacks, and engine-state checkpoint/resume.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.core.aprod import AprodOperator
-from repro.core.precond import ColumnScaling
+from repro.core.engine import (
+    Aprod,
+    EngineState,
+    LSQRStepEngine,
+    StopReason,
+)
+from repro.core.lsqr import IterationCallback
+from repro.core.precond import ColumnScaling, PreconditionedAprod
 from repro.dist.comm import CollectiveBus, SimComm
 from repro.dist.decomposition import partition_by_rows, slice_system
-from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.obs.telemetry import Telemetry
 from repro.system.sparse import GaiaSystem
+
+
+class CommReduction:
+    """:class:`~repro.core.engine.ReductionBackend` over a communicator.
+
+    Each reduction is one *communication epoch*: the collective plus
+    the barrier wait it implies, as the production solver experiences
+    it.  Epochs are traced as ``dist.comm_epoch`` spans (labels
+    ``rank`` and ``epoch``) and their payloads counted in the
+    ``dist.allreduce_bytes`` counter; the timing max-over-ranks is a
+    bare collective, exactly like the production measurement loop.
+    """
+
+    def __init__(self, comm: SimComm,
+                 telemetry: Telemetry | None = None) -> None:
+        self.comm = comm
+        self._tel = Telemetry.or_null(telemetry)
+        self._rank = str(comm.rank)
+        self._partial: np.ndarray | None = None
+
+    def _reduced(self, value, *, epoch: str, op_name: str = "sum"):
+        nbytes = value.nbytes if isinstance(value, np.ndarray) else 8
+        with self._tel.span("dist.comm_epoch", rank=self._rank,
+                            epoch=epoch):
+            out = self.comm.allreduce(value, op=op_name)
+        self._tel.counter("dist.allreduce_bytes",
+                          rank=self._rank).inc(nbytes)
+        return out
+
+    def norm_sq(self, u_local: np.ndarray, *, epoch: str) -> float:
+        """Globally reduced squared norm of the row-distributed ``u``."""
+        return float(self._reduced(
+            float(np.dot(u_local, u_local)), epoch=epoch))
+
+    def accumulate_atu(self, op: Aprod, u_local: np.ndarray,
+                       v: np.ndarray, *, epoch: str) -> None:
+        """``v += allreduce(local A^T u)`` -- the dense epoch."""
+        if self._partial is None:
+            self._partial = np.zeros_like(v)
+        else:
+            self._partial[:] = 0.0
+        op.aprod2(u_local, out=self._partial)
+        v += self._reduced(self._partial, epoch=epoch)
+
+    def time_max(self, seconds: float) -> float:
+        """The paper's max-over-ranks per-iteration time."""
+        return self.comm.allreduce(seconds, op="max")
 
 
 @dataclass
@@ -41,9 +104,21 @@ class DistributedResult:
     r2norm: float
     n_ranks: int
     max_iteration_times: list[float]
+    stop: StopReason = StopReason.ITERATION_LIMIT
     var: np.ndarray | None = None
     m: int = 0
     n: int = 0
+
+    @property
+    def converged(self) -> bool:
+        """True when the solve stopped on a convergence test."""
+        return self.stop in (
+            StopReason.X_ZERO,
+            StopReason.ATOL_BTOL,
+            StopReason.LSQ_ATOL,
+            StopReason.ATOL_EPS,
+            StopReason.LSQ_EPS,
+        )
 
     def standard_errors(self) -> np.ndarray:
         """Least-squares standard errors (as in the serial solver)."""
@@ -84,10 +159,27 @@ class DistributedLSQR:
         self.telemetry = telemetry
         self.blocks = partition_by_rows(system, n_ranks)
 
-    def solve(self, *, atol: float = 1e-10, iter_lim: int | None = None
+    def solve(self, *, atol: float = 1e-10, btol: float | None = None,
+              conlim: float = 1e8, iter_lim: int | None = None,
+              callback: IterationCallback | None = None,
+              checkpoint_every: int | None = None,
+              checkpoint_path: str | Path | None = None,
+              resume_from: str | Path | None = None,
               ) -> DistributedResult:
-        """Run the SPMD solve; all ranks converge to the same x."""
+        """Run the SPMD solve; all ranks converge to the same x.
+
+        ``btol`` defaults to ``atol``.  ``callback`` is invoked on
+        rank 0 after every iteration with ``(itn, x_physical,
+        r2norm)`` -- the same convergence-tracing hook as the serial
+        solver.  With ``checkpoint_every``/``checkpoint_path`` each
+        rank periodically serializes its engine state to
+        ``<path>.rank<r>.npz`` (``u`` is row-distributed, so states
+        are per rank); ``resume_from`` restarts from such a set,
+        which requires the same system and rank count.
+        """
         n = self.system.dims.n_params
+        if btol is None:
+            btol = atol
         if iter_lim is None:
             iter_lim = 2 * n
 
@@ -100,7 +192,9 @@ class DistributedLSQR:
             scaling = ColumnScaling.identity(n)
 
         bus = CollectiveBus(self.n_ranks)
-        results = bus.run(self._rank_body, scaling, atol, iter_lim)
+        results = bus.run(self._rank_body, scaling, atol, btol, conlim,
+                          iter_lim, callback, checkpoint_every,
+                          checkpoint_path, resume_from)
         xs = [r[0] for r in results]
         for x_other in xs[1:]:
             if not np.array_equal(xs[0], x_other):
@@ -113,6 +207,7 @@ class DistributedLSQR:
             r2norm=results[0][2],
             n_ranks=self.n_ranks,
             max_iteration_times=results[0][3],
+            stop=results[0][5],
             var=results[0][4],
             m=self.system.n_rows,
             n=n,
@@ -124,91 +219,60 @@ class DistributedLSQR:
         comm: SimComm,
         scaling: ColumnScaling,
         atol: float,
+        btol: float,
+        conlim: float,
         iter_lim: int,
-    ) -> tuple[np.ndarray, int, float, list[float], np.ndarray | None]:
+        callback: IterationCallback | None,
+        checkpoint_every: int | None,
+        checkpoint_path: str | Path | None,
+        resume_from: str | Path | None,
+    ) -> tuple[np.ndarray, int, float, list[float],
+               np.ndarray | None, StopReason]:
         block = self.blocks[comm.rank]
         local = slice_system(self.system, block)
-        op = AprodOperator(local)
-        n = self.system.dims.n_params
-        d = scaling.scale
-        tel = (self.telemetry if self.telemetry is not None
-               else NULL_TELEMETRY)
-        rank = str(comm.rank)
+        op = PreconditionedAprod(AprodOperator(local), scaling)
+        tel = self.telemetry
+        backend = CommReduction(comm, telemetry=tel)
+        engine = LSQRStepEngine(
+            op, backend=backend, atol=atol, btol=btol, conlim=conlim,
+            calc_var=self.calc_var, telemetry=tel, span_prefix="dist",
+            span_labels={"rank": str(comm.rank)}, phase_spans=False,
+        )
 
-        def reduced(value, *, epoch: str, op_name: str = "sum"):
-            # One communication epoch: the collective plus the barrier
-            # wait it implies, as the production solver experiences it.
-            nbytes = value.nbytes if isinstance(value, np.ndarray) else 8
-            with tel.span("dist.comm_epoch", rank=rank, epoch=epoch):
-                out = comm.allreduce(value, op=op_name)
-            tel.counter("dist.allreduce_bytes", rank=rank).inc(nbytes)
-            return out
-
-        def local_aprod1(z: np.ndarray) -> np.ndarray:
-            return op.aprod1(z * d)
-
-        def local_aprod2(y_local: np.ndarray, *, epoch: str) -> np.ndarray:
-            partial = op.aprod2(y_local) * d
-            return reduced(partial, epoch=epoch)
-
-        def dist_norm(u_local: np.ndarray, *, epoch: str) -> float:
-            return float(np.sqrt(reduced(
-                float(np.dot(u_local, u_local)), epoch=epoch)))
-
-        var = np.zeros(n) if self.calc_var else None
-
-        # --- initialization ------------------------------------------
-        u = local.rhs().astype(np.float64)
-        beta = dist_norm(u, epoch="init")
-        if beta == 0.0:
-            return scaling.to_physical(np.zeros(n)), 0, 0.0, [], var
-        u /= beta
-        v = local_aprod2(u, epoch="init")
-        alfa = float(np.linalg.norm(v))
-        if alfa == 0.0:
-            return scaling.to_physical(np.zeros(n)), 0, beta, [], var
-        v /= alfa
-        w = v.copy()
-        x = np.zeros(n)
-        phibar, rhobar = beta, alfa
-        anorm = 0.0
+        if resume_from is not None:
+            state = EngineState.load(
+                _rank_state_path(resume_from, comm.rank))
+        else:
+            state = engine.start(local.rhs().astype(np.float64))
         times: list[float] = []
-        itn = 0
-        while itn < iter_lim:
-            itn += 1
+        while state.istop is None and state.itn < iter_lim:
             t0 = time.perf_counter()
-            with tel.span("dist.iteration", rank=rank, itn=itn):
-                u *= -alfa
-                u += local_aprod1(v)
-                beta = dist_norm(u, epoch="normalize")
-                if beta > 0.0:
-                    u /= beta
-                    anorm = float(np.sqrt(anorm**2 + alfa**2 + beta**2))
-                    v *= -beta
-                    v += local_aprod2(u, epoch="aprod2")
-                    alfa = float(np.linalg.norm(v))
-                    if alfa > 0.0:
-                        v /= alfa
-                rho = float(np.hypot(rhobar, beta))
-                cs, sn = rhobar / rho, beta / rho
-                theta = sn * alfa
-                rhobar = -cs * alfa
-                phi = cs * phibar
-                phibar = sn * phibar
-                x += (phi / rho) * w
-                if var is not None:
-                    var += (w / rho) ** 2
-                w *= -theta / rho
-                w += v
-            times.append(
-                comm.allreduce(time.perf_counter() - t0, op="max")
-            )
-            arnorm = alfa * abs(sn * phi)
-            if arnorm <= atol * max(anorm, 1e-300) * max(phibar, 1e-300):
-                break
+            engine.step(state)
+            times.append(backend.time_max(time.perf_counter() - t0))
+            if callback is not None and comm.rank == 0:
+                callback(state.itn, scaling.to_physical(state.x),
+                         state.r2norm)
+            if (checkpoint_path is not None
+                    and checkpoint_every is not None
+                    and state.itn % checkpoint_every == 0):
+                state.save(_rank_state_path(checkpoint_path, comm.rank))
+        if checkpoint_path is not None and checkpoint_every is not None:
+            state.save(_rank_state_path(checkpoint_path, comm.rank))
+        var = state.var
         if var is not None:
             var = scaling.scale_variance(var)
-        return scaling.to_physical(x), itn, float(phibar), times, var
+        istop = (state.istop if state.istop is not None
+                 else StopReason.ITERATION_LIMIT)
+        return (scaling.to_physical(state.x), state.itn, state.r2norm,
+                times, var, istop)
+
+
+def _rank_state_path(path: str | Path, rank: int) -> Path:
+    """Per-rank engine-state file: ``<path>.rank<r>.npz``."""
+    path = Path(path)
+    if path.suffix == ".npz":
+        path = path.with_suffix("")
+    return path.with_name(f"{path.name}.rank{rank}.npz")
 
 
 def distributed_lsqr_solve(
@@ -218,11 +282,13 @@ def distributed_lsqr_solve(
     precondition: bool = True,
     calc_var: bool = True,
     atol: float = 1e-10,
+    btol: float | None = None,
     iter_lim: int | None = None,
     telemetry: Telemetry | None = None,
+    callback: IterationCallback | None = None,
 ) -> DistributedResult:
     """Convenience wrapper around :class:`DistributedLSQR`."""
     return DistributedLSQR(
         system, n_ranks, precondition=precondition, calc_var=calc_var,
         telemetry=telemetry,
-    ).solve(atol=atol, iter_lim=iter_lim)
+    ).solve(atol=atol, btol=btol, iter_lim=iter_lim, callback=callback)

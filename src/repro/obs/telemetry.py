@@ -25,6 +25,18 @@ class Telemetry:
         self.tracer = Tracer(clock=clock)
         self.metrics = MetricsRegistry()
 
+    @staticmethod
+    def or_null(telemetry: "Telemetry | NullTelemetry | None"
+                ) -> "Telemetry | NullTelemetry":
+        """Resolve an optional telemetry to a usable sink.
+
+        The one fallback every instrumented call site needs:
+        ``tel = Telemetry.or_null(telemetry)`` keeps the
+        uninstrumented path allocation-free via the shared
+        :data:`NULL_TELEMETRY`.
+        """
+        return telemetry if telemetry is not None else NULL_TELEMETRY
+
     # -- tracing --------------------------------------------------------
     def span(self, name: str, **labels) -> Span:
         """Open a (context-manager) span; see :meth:`Tracer.span`."""

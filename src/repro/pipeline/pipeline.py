@@ -21,7 +21,7 @@ from repro.pipeline.statistics import (
     residuals,
     update_weights,
 )
-from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.obs.telemetry import Telemetry
 from repro.pipeline.system_generation import system_from_catalog
 from repro.system.sparse import GaiaSystem
 
@@ -72,8 +72,7 @@ class AvuGsrPipeline:
 
     @property
     def _tel(self):
-        return (self.telemetry if self.telemetry is not None
-                else NULL_TELEMETRY)
+        return Telemetry.or_null(self.telemetry)
 
     def run(self) -> PipelineResult:
         """Execute one full cycle."""

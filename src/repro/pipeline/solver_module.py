@@ -1,14 +1,17 @@
 """The Solver box of Fig. 1.
 
-Wraps the preconditioned LSQR with the pipeline conveniences the
-production module has: an iteration budget per pipeline cycle,
-periodic checkpoints of the running solution, and the
+Wraps the preconditioned LSQR -- a thin driver over the shared
+:class:`~repro.core.engine.LSQRStepEngine` -- with the pipeline
+conveniences the production module has: an iteration budget per
+pipeline cycle, periodic checkpoints of the running solution,
+optional engine-state dumps for batch-queue crash recovery, and the
 iteration-timing record the performance studies consume.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -45,6 +48,7 @@ class SolverModule:
         iter_lim: int | None = None,
         checkpoint_every: int = 25,
         damp: float = 0.0,
+        state_checkpoint_path: str | Path | None = None,
     ) -> None:
         # The sphere-reconstruction system is intrinsically
         # ill-conditioned (the attitude/astrometric quasi-degeneracy
@@ -59,6 +63,10 @@ class SolverModule:
         self.iter_lim = iter_lim
         self.checkpoint_every = checkpoint_every
         self.damp = damp
+        # Optional engine-state dump: every checkpoint_every iterations
+        # the full EngineState is serialized here, resumable with
+        # repro.core.checkpoint.ResumableLSQR over the same system.
+        self.state_checkpoint_path = state_checkpoint_path
 
     def solve(self, system: GaiaSystem,
               x0: np.ndarray | None = None,
@@ -89,6 +97,10 @@ class SolverModule:
             x0=x0,
             callback=on_iteration,
             telemetry=telemetry,
+            checkpoint_every=(self.checkpoint_every
+                              if self.state_checkpoint_path is not None
+                              else None),
+            checkpoint_path=self.state_checkpoint_path,
         )
         return SolverOutput(
             result=result,
