@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-obs telemetry-smoke bench-engine
+.PHONY: test test-obs telemetry-smoke bench-engine bench-aprod bench-aprod-smoke
 
 # The full tier-1 suite (ROADMAP.md's verify command).
 test:
@@ -26,3 +26,13 @@ telemetry-smoke:
 # and loop allocations, engine vs the pre-refactor loop body.
 bench-engine:
 	$(PYTHON) benchmarks/bench_engine.py --output BENCH_engine.json
+
+# Fused aprod plan vs the seed four-kernel path: iterations/sec,
+# hot-loop allocations, allclose + bitwise-determinism checks.
+bench-aprod:
+	$(PYTHON) benchmarks/bench_aprod_plan.py --output BENCH_aprod.json
+
+# CI-sized variant: tiny system, asserts fused >= baseline and zero
+# kernel allocations (nonzero exit on violation).
+bench-aprod-smoke:
+	$(PYTHON) benchmarks/bench_aprod_plan.py --smoke --output BENCH_aprod_smoke.json

@@ -62,8 +62,16 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         print(f"median astrometric standard error: "
               f"{np.median(to_microarcsec(se[astro])):.4f} uas")
         return 0
+    from repro.core.kernels.plan import select_strategies
+
+    selection = select_strategies(system.dims)
+    print(f"kernel strategies: gather={args.gather_strategy} "
+          f"scatter={args.scatter_strategy} (auto -> {selection.gather}"
+          f"/{selection.scatter}: {selection.reason})")
     res = lsqr_solve(system, atol=args.atol, btol=args.atol,
-                     iter_lim=args.iterations)
+                     iter_lim=args.iterations,
+                     gather_strategy=args.gather_strategy,
+                     scatter_strategy=args.scatter_strategy)
     print(f"istop={res.istop.name} itn={res.itn} "
           f"r2norm={res.r2norm:.3e} acond={res.acond:.3e}")
     print(f"mean iteration time: {res.mean_iteration_time * 1e3:.3f} ms")
@@ -358,6 +366,17 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--noise", type=float, default=1e-9)
     s.add_argument("--atol", type=float, default=1e-10)
     s.add_argument("--iterations", type=int, default=None)
+    s.add_argument("--gather-strategy", default="auto",
+                   choices=("auto", "fused", "vectorized", "chunked",
+                            "loop"),
+                   help="aprod1 kernel strategy (auto = shape "
+                        "heuristic; fused = packed plan gather)")
+    s.add_argument("--scatter-strategy", default="auto",
+                   choices=("auto", "sorted_segment", "bincount",
+                            "atomic", "chunked", "loop"),
+                   help="aprod2 kernel strategy (auto = shape "
+                        "heuristic; sorted_segment = deterministic "
+                        "plan reduction)")
     s.add_argument("--ranks", type=int, default=1,
                    help="run the distributed driver on N simulated "
                         "MPI ranks (same step engine, same stopping "

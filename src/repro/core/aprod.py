@@ -11,10 +11,20 @@ strategies, caches the reconstructed column indices, handles the
 constraint rows appended below the observation block, and optionally
 reports per-kernel work to a profiler hook (the Python analogue of
 running under ``nsys``/``rocprof``).
+
+Beyond the four-kernel reference path, the operator can compile the
+system into a fused :class:`~repro.core.kernels.plan.AprodPlan`
+(``gather_strategy="fused"`` / ``scatter_strategy="sorted_segment"``):
+one packed gather pass for ``aprod1`` and one deterministic sorted
+segment reduction for ``aprod2``, with every workspace preallocated at
+plan-build time.  ``"auto"`` resolves the strategies from the system
+shape via :func:`~repro.core.kernels.plan.select_strategies` -- the
+host analogue of the paper's per-platform kernel tuning.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 import numpy as np
@@ -23,6 +33,13 @@ from repro.core.kernels import astro as k_astro
 from repro.core.kernels import att as k_att
 from repro.core.kernels import glob as k_glob
 from repro.core.kernels import instr as k_instr
+from repro.core.kernels.gather_scatter import column_sq_norms
+from repro.core.kernels.plan import (
+    FUSED_GATHER,
+    SORTED_SEGMENT_SCATTER,
+    AprodPlan,
+    select_strategies,
+)
 from repro.obs.telemetry import Telemetry
 from repro.system.sparse import GaiaSystem
 
@@ -31,6 +48,9 @@ KERNEL_NAMES = (
     "aprod1_astro", "aprod1_att", "aprod1_instr", "aprod1_glob",
     "aprod2_astro", "aprod2_att", "aprod2_instr", "aprod2_glob",
 )
+
+#: Kernel names of the fused plan path (one kernel per direction).
+FUSED_KERNEL_NAMES = ("aprod1_fused", "aprod2_fused")
 
 #: Hook signature: (kernel_name, rows, nnz) -> None.
 KernelHook = Callable[[str, int, int], None]
@@ -45,15 +65,21 @@ class AprodOperator:
         The bound system.
     gather_strategy:
         Strategy for all ``aprod1`` kernels (see
-        :data:`~repro.core.kernels.GATHER_STRATEGIES`).
+        :data:`~repro.core.kernels.GATHER_STRATEGIES`), plus
+        ``"fused"`` (the packed single-pass plan kernel) and
+        ``"auto"`` (shape heuristic; the default).
     scatter_strategy:
         Strategy for the colliding ``aprod2`` kernels (attitude and
         instrumental; see
-        :data:`~repro.core.kernels.SCATTER_STRATEGIES`).
+        :data:`~repro.core.kernels.SCATTER_STRATEGIES`), plus
+        ``"sorted_segment"`` (the whole transpose product as one
+        collision-free, bitwise-deterministic segment reduction) and
+        ``"auto"``.
     astro_scatter_strategy:
         Strategy for the astrometric ``aprod2`` kernel; defaults to the
         collision-free ``bincount`` reduction and accepts the
-        ``sorted`` fast path on star-sorted systems.
+        ``sorted`` fast path on star-sorted systems (unused when the
+        scatter runs through the fused plan).
     kernel_hook:
         Optional callable invoked after each kernel with
         ``(name, rows, nnz)``.
@@ -62,20 +88,30 @@ class AprodOperator:
         then increments the ``aprod.kernel_calls`` and
         ``aprod.kernel_nnz`` counters (labeled by kernel name), the
         CPU-side analogue of the per-kernel launch counts ``nsys``
-        reports.
+        reports.  Building a fused plan additionally sets the
+        ``aprod.plan_build_ms`` gauge and ``aprod.plan_workspace_bytes``.
     """
 
     def __init__(
         self,
         system: GaiaSystem,
         *,
-        gather_strategy: str = "vectorized",
-        scatter_strategy: str = "bincount",
-        astro_scatter_strategy: str = "bincount",
+        gather_strategy: str = "auto",
+        scatter_strategy: str = "auto",
+        astro_scatter_strategy: str = "auto",
         kernel_hook: KernelHook | None = None,
-        telemetry: "Telemetry | None" = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.system = system
+        if "auto" in (gather_strategy, scatter_strategy,
+                      astro_scatter_strategy):
+            selection = select_strategies(system.dims)
+            if gather_strategy == "auto":
+                gather_strategy = selection.gather
+            if scatter_strategy == "auto":
+                scatter_strategy = selection.scatter
+            if astro_scatter_strategy == "auto":
+                astro_scatter_strategy = selection.astro_scatter
         self.gather_strategy = gather_strategy
         self.scatter_strategy = scatter_strategy
         self.astro_scatter_strategy = astro_scatter_strategy
@@ -93,11 +129,28 @@ class AprodOperator:
         self._instr_cols = k_instr.columns(system.instr_col, d.instr_offset)
         self._glob_col = d.glob_offset if d.n_glob_params else -1
 
+        self._plan: AprodPlan | None = None
+        if (gather_strategy == FUSED_GATHER
+                or scatter_strategy == SORTED_SEGMENT_SCATTER):
+            t0 = time.perf_counter()
+            self._plan = AprodPlan(system)
+            build_ms = (time.perf_counter() - t0) * 1e3
+            if telemetry is not None:
+                telemetry.gauge("aprod.plan_build_ms").set(build_ms)
+                telemetry.gauge("aprod.plan_workspace_bytes").set(
+                    float(self._plan.workspace_nbytes)
+                )
+
     # ------------------------------------------------------------------
     @property
     def shape(self) -> tuple[int, int]:
         """(rows including constraints, unknowns)."""
         return (self.system.n_rows, self.system.dims.n_params)
+
+    @property
+    def plan(self) -> AprodPlan | None:
+        """The compiled fused plan, if either strategy routes through one."""
+        return self._plan
 
     def _emit(self, name: str, rows: int, nnz: int) -> None:
         if self.kernel_hook is not None:
@@ -127,18 +180,24 @@ class AprodOperator:
                 f"out has shape {out.shape}, expected ({sysm.n_rows},)"
             )
         obs = out[: d.n_obs]
-        k_astro.aprod1_astro(sysm.astro_values, self._astro_cols, x, obs,
+        if self.gather_strategy == FUSED_GATHER:
+            plan = self._plan
+            assert plan is not None
+            plan.aprod1(x, obs)
+            self._emit("aprod1_fused", d.n_obs, d.n_obs * plan.k_total)
+        else:
+            k_astro.aprod1_astro(sysm.astro_values, self._astro_cols, x,
+                                 obs, strategy=self.gather_strategy)
+            self._emit("aprod1_astro", d.n_obs, d.n_obs * 5)
+            k_att.aprod1_att(sysm.att_values, self._att_cols, x, obs,
                              strategy=self.gather_strategy)
-        self._emit("aprod1_astro", d.n_obs, d.n_obs * 5)
-        k_att.aprod1_att(sysm.att_values, self._att_cols, x, obs,
-                         strategy=self.gather_strategy)
-        self._emit("aprod1_att", d.n_obs, d.n_obs * 12)
-        k_instr.aprod1_instr(sysm.instr_values, self._instr_cols, x, obs,
-                             strategy=self.gather_strategy)
-        self._emit("aprod1_instr", d.n_obs, d.n_obs * 6)
-        if d.n_glob_params:
-            k_glob.aprod1_glob(sysm.glob_values, self._glob_col, x, obs)
-            self._emit("aprod1_glob", d.n_obs, d.n_obs)
+            self._emit("aprod1_att", d.n_obs, d.n_obs * 12)
+            k_instr.aprod1_instr(sysm.instr_values, self._instr_cols, x,
+                                 obs, strategy=self.gather_strategy)
+            self._emit("aprod1_instr", d.n_obs, d.n_obs * 6)
+            if d.n_glob_params:
+                k_glob.aprod1_glob(sysm.glob_values, self._glob_col, x, obs)
+                self._emit("aprod1_glob", d.n_obs, d.n_obs)
         if sysm.constraints is not None and len(sysm.constraints):
             out[d.n_obs:] += sysm.constraints.apply_forward(x)
         return out
@@ -148,7 +207,10 @@ class AprodOperator:
         """``out += A.T @ y`` over observation and constraint rows.
 
         Returns the (n_params,) accumulator; allocates it when ``out``
-        is None.
+        is None.  With ``scatter_strategy="sorted_segment"`` the whole
+        observation block reduces in one deterministic pass whose
+        summation order is frozen at plan-build time, so repeated
+        applications are bitwise identical.
         """
         sysm = self.system
         d = sysm.dims
@@ -163,18 +225,27 @@ class AprodOperator:
                 f"out has shape {out.shape}, expected ({d.n_params},)"
             )
         obs_y = y[: d.n_obs]
-        k_astro.aprod2_astro(sysm.astro_values, self._astro_cols, obs_y, out,
-                             strategy=self.astro_scatter_strategy)
-        self._emit("aprod2_astro", d.n_obs, d.n_obs * 5)
-        k_att.aprod2_att(sysm.att_values, self._att_cols, obs_y, out,
-                         strategy=self.scatter_strategy)
-        self._emit("aprod2_att", d.n_obs, d.n_obs * 12)
-        k_instr.aprod2_instr(sysm.instr_values, self._instr_cols, obs_y, out,
+        if self.scatter_strategy == SORTED_SEGMENT_SCATTER:
+            plan = self._plan
+            assert plan is not None
+            plan.aprod2(obs_y, out)
+            self._emit("aprod2_fused", d.n_obs, d.n_obs * plan.k_total)
+        else:
+            k_astro.aprod2_astro(sysm.astro_values, self._astro_cols,
+                                 obs_y, out,
+                                 strategy=self.astro_scatter_strategy)
+            self._emit("aprod2_astro", d.n_obs, d.n_obs * 5)
+            k_att.aprod2_att(sysm.att_values, self._att_cols, obs_y, out,
                              strategy=self.scatter_strategy)
-        self._emit("aprod2_instr", d.n_obs, d.n_obs * 6)
-        if d.n_glob_params:
-            k_glob.aprod2_glob(sysm.glob_values, self._glob_col, obs_y, out)
-            self._emit("aprod2_glob", d.n_obs, d.n_obs)
+            self._emit("aprod2_att", d.n_obs, d.n_obs * 12)
+            k_instr.aprod2_instr(sysm.instr_values, self._instr_cols,
+                                 obs_y, out,
+                                 strategy=self.scatter_strategy)
+            self._emit("aprod2_instr", d.n_obs, d.n_obs * 6)
+            if d.n_glob_params:
+                k_glob.aprod2_glob(sysm.glob_values, self._glob_col,
+                                   obs_y, out)
+                self._emit("aprod2_glob", d.n_obs, d.n_obs)
         if sysm.constraints is not None and len(sysm.constraints):
             sysm.constraints.apply_transpose(y[d.n_obs:], out)
         return out
@@ -182,8 +253,6 @@ class AprodOperator:
     # ------------------------------------------------------------------
     def column_sq_norms(self) -> np.ndarray:
         """Squared column norms of ``A`` (observations + constraints)."""
-        from repro.core.kernels.gather_scatter import column_sq_norms
-
         sysm = self.system
         d = sysm.dims
         out = np.zeros(d.n_params)
@@ -191,10 +260,14 @@ class AprodOperator:
         column_sq_norms(sysm.att_values, self._att_cols, out)
         column_sq_norms(sysm.instr_values, self._instr_cols, out)
         if d.n_glob_params:
-            out[self._glob_col] += float(np.sum(sysm.glob_values[:, 0] ** 2))
+            column_sq_norms(
+                sysm.glob_values[:, :1],
+                np.full((d.n_obs, 1), self._glob_col, dtype=np.int64),
+                out,
+            )
         if sysm.constraints is not None:
             for r in sysm.constraints:
-                out[r.cols] += r.vals**2
+                column_sq_norms(r.vals[None, :], r.cols[None, :], out)
         return out
 
     def as_linear_operator(self):

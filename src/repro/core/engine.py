@@ -257,9 +257,25 @@ class LSQRStepEngine:
         self._dampsq = damp * damp
         n = op.shape[1]
         # Hot-loop workspaces, allocated once: the loop itself performs
-        # no array allocations.
+        # no array allocations.  The same guarantee extends into the
+        # kernels when `op` runs a fused AprodPlan (the "fused" /
+        # "sorted_segment" strategies), making the whole iteration
+        # allocation-free -- bench_aprod_plan.py pins this with a
+        # tracemalloc probe.
         self._dk = np.empty(n)
         self._tmp = np.empty(n)
+
+    @property
+    def workspace_bytes(self) -> int:
+        """Bytes preallocated for the hot loop (engine vectors plus the
+        operator's plan workspaces, when it exposes them)."""
+        total = self._dk.nbytes + self._tmp.nbytes
+        plan = getattr(self.op, "plan", None)
+        if plan is None:
+            plan = getattr(getattr(self.op, "op", None), "plan", None)
+        if plan is not None:
+            total += plan.workspace_nbytes
+        return total
 
     # ------------------------------------------------------------------
     def start(self, b_local: np.ndarray) -> EngineState:

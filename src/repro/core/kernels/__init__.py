@@ -16,14 +16,24 @@ This package mirrors that decomposition:
 
 Scatter strategies and their GPU analogues:
 
-=============  ========================================================
-``atomic``     ``np.add.at`` unordered scatter -- the analogue of the
-               GPU atomic read-modify-write path
-``bincount``   key-sorted reduction -- the analogue of a
-               collision-free reduction tree
-``sorted``     ``np.add.reduceat`` over pre-sorted keys (astro only)
-``loop``       pure-Python reference used to validate the others
-=============  ========================================================
+==================  ===================================================
+``atomic``          ``np.add.at`` unordered scatter -- the analogue of
+                    the GPU atomic read-modify-write path
+``bincount``        key-sorted reduction -- the analogue of a
+                    collision-free reduction tree
+``sorted``          ``np.add.reduceat`` over pre-sorted keys (astro
+                    only)
+``sorted_segment``  whole-matrix ``np.add.reduceat`` over a plan-built
+                    argsort permutation (:mod:`~repro.core.kernels.
+                    plan`) -- collision-free *and* bitwise
+                    deterministic
+``loop``            pure-Python reference used to validate the others
+==================  ===================================================
+
+:mod:`repro.core.kernels.plan` compiles a whole system into a fused
+execution plan (packed gather for ``aprod1``, the sort-segment scatter
+for ``aprod2``, preallocated workspaces) -- the tuned hot path the
+``"auto"`` strategy selection targets.
 """
 
 from repro.core.kernels.gather_scatter import (
@@ -32,6 +42,13 @@ from repro.core.kernels.gather_scatter import (
     gather_dot,
     scatter_add,
 )
+from repro.core.kernels.plan import (
+    AprodPlan,
+    SortedSegmentScatter,
+    StrategySelection,
+    fused_gather_dot,
+    select_strategies,
+)
 from repro.core.kernels import astro, att, glob, instr
 
 __all__ = [
@@ -39,6 +56,11 @@ __all__ = [
     "SCATTER_STRATEGIES",
     "gather_dot",
     "scatter_add",
+    "AprodPlan",
+    "SortedSegmentScatter",
+    "StrategySelection",
+    "fused_gather_dot",
+    "select_strategies",
     "astro",
     "att",
     "instr",

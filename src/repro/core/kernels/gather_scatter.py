@@ -57,8 +57,10 @@ def gather_dot(
     out:
         ``(m,)`` accumulator (observation space), updated in place.
     strategy:
-        ``"vectorized"`` (fancy-index gather + einsum) or ``"loop"``
-        (pure-Python reference).
+        ``"vectorized"`` (fancy-index gather + einsum), ``"chunked"``
+        (the same gather in :data:`CHUNK_ROWS` row blocks, keeping the
+        working set cache-resident) or ``"loop"`` (pure-Python
+        reference).
     """
     _check_pair(values, cols)
     if out.shape != (values.shape[0],):
@@ -102,8 +104,9 @@ def scatter_add(
         Unknown-space accumulator, updated in place.
     strategy:
         ``"atomic"`` (``np.add.at``, the RMW-atomic analogue),
-        ``"bincount"`` (keyed reduction, collision-free) or ``"loop"``
-        (pure-Python reference).
+        ``"bincount"`` (keyed reduction, collision-free), ``"chunked"``
+        (the bincount reduction in :data:`CHUNK_ROWS` row blocks) or
+        ``"loop"`` (pure-Python reference).
     """
     _check_pair(values, cols)
     if y.shape != (values.shape[0],):

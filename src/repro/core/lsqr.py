@@ -113,9 +113,9 @@ def lsqr_solve(
     precondition: bool = True,
     calc_var: bool = True,
     x0: np.ndarray | None = None,
-    gather_strategy: str = "vectorized",
-    scatter_strategy: str = "bincount",
-    astro_scatter_strategy: str = "bincount",
+    gather_strategy: str = "auto",
+    scatter_strategy: str = "auto",
+    astro_scatter_strategy: str = "auto",
     callback: IterationCallback | None = None,
     clock: Callable[[], float] = time.perf_counter,
     telemetry: Telemetry | None = None,
@@ -154,7 +154,13 @@ def lsqr_solve(
         applies to the correction, not to ``x0`` itself.
     gather_strategy, scatter_strategy, astro_scatter_strategy:
         Kernel strategies, forwarded to the operator (GaiaSystem input
-        only).
+        only).  The default ``"auto"`` resolves by system shape
+        (:func:`~repro.core.kernels.plan.select_strategies`):
+        production-scale systems compile a fused
+        :class:`~repro.core.kernels.plan.AprodPlan` (packed gather +
+        deterministic sorted-segment scatter, zero per-iteration
+        kernel allocations), tiny ones keep the classic four-kernel
+        reference path.
     callback:
         Invoked after every iteration with
         ``(itn, x_physical, r2norm)``.

@@ -66,6 +66,12 @@ class PreconditionedAprod:
     The wrapped products are what the LSQR bidiagonalization sees;
     callers convert the converged ``z`` back with
     :meth:`ColumnScaling.to_physical`.
+
+    Both directions run through two preallocated unknown-space
+    workspaces (the scaled input of ``aprod1``, the unscaled transpose
+    product of ``aprod2``), so wrapping an allocation-free operator --
+    e.g. one running a fused :class:`~repro.core.kernels.plan.
+    AprodPlan` -- keeps the LSQR hot loop allocation-free end to end.
     """
 
     def __init__(self, op: AprodOperator, scaling: ColumnScaling) -> None:
@@ -76,6 +82,9 @@ class PreconditionedAprod:
             )
         self.op = op
         self.scaling = scaling
+        n = op.shape[1]
+        self._zws = np.empty(n)
+        self._tws = np.empty(n)
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -84,14 +93,17 @@ class PreconditionedAprod:
     def aprod1(self, z: np.ndarray, out: np.ndarray | None = None
                ) -> np.ndarray:
         """``out += (A D) z``."""
-        return self.op.aprod1(z * self.scaling.scale, out=out)
+        np.multiply(z, self.scaling.scale, out=self._zws)
+        return self.op.aprod1(self._zws, out=out)
 
     def aprod2(self, y: np.ndarray, out: np.ndarray | None = None
                ) -> np.ndarray:
         """``out += (A D).T y``."""
-        tmp = self.op.aprod2(y)
+        tmp = self._tws
+        tmp[:] = 0.0
+        self.op.aprod2(y, out=tmp)
         tmp *= self.scaling.scale
         if out is None:
-            return tmp
+            return tmp.copy()
         out += tmp
         return out
