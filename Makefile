@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-obs telemetry-smoke bench-engine bench-aprod bench-aprod-smoke
+.PHONY: test test-obs telemetry-smoke chaos-smoke bench-engine bench-aprod bench-aprod-smoke
 
 # The full tier-1 suite (ROADMAP.md's verify command).
 test:
@@ -21,6 +21,13 @@ telemetry-smoke:
 	$(PYTHON) -m repro.cli telemetry --size tiny --iterations 15 \
 	    --export chrome --output telemetry_trace.json
 	$(PYTHON) -c "import json; json.load(open('telemetry_trace.json')); print('telemetry_trace.json: valid JSON')"
+
+# Fault-injection smoke matrix: solve under comm drops, payload
+# corruption (detected and silent) and a mid-iteration rank death on 4
+# simulated ranks; nonzero exit unless every scenario recovers to the
+# fault-free solution (see docs/resilience.md).
+chaos-smoke:
+	$(PYTHON) -m repro.cli chaos --size-gb 0.005 --ranks 4
 
 # Hot-path baseline for the shared LSQR step engine: iterations/sec
 # and loop allocations, engine vs the pre-refactor loop body.

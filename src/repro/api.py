@@ -1,0 +1,373 @@
+"""The single public entry point: ``repro.api.solve``.
+
+Every way of running the AVU-GSR solve -- serial, distributed over
+simulated MPI ranks, or chaos-hardened with fault injection and
+recovery -- is one call::
+
+    from repro.api import SolveRequest, solve
+
+    report = solve(SolveRequest(system=system, ranks=4))
+
+The :class:`SolveRequest` names the *what* (system, rank count, kernel
+strategy preset, stopping parameters, optional
+:class:`ResilienceConfig`); :func:`solve` picks the driver and returns
+a uniform :class:`SolveReport`.  The CLI ``solve``/``chaos``
+subcommands and the pipeline's
+:class:`~repro.pipeline.solver_module.SolverModule` are thin adapters
+over this module.
+
+Reproducibility contract: ``SolveRequest.seed`` is the *only* seed.
+The fault plan and the retry-jitter RNG each derive their own stream
+from it (distinct fixed stream tags, hashed through
+``numpy.random.default_rng``), so two runs of the same request --
+including every injected fault, every backoff delay, every recovery
+decision -- are bit-identical, and changing the one seed reshuffles
+all of them coherently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.engine import StopReason
+from repro.core.lsqr import IterationCallback, LSQRResult, lsqr_solve
+from repro.dist.runner import DistributedLSQR, DistributedResult
+from repro.obs.telemetry import Telemetry
+from repro.resilience import (
+    FaultPlan,
+    ResilienceReport,
+    ResilientDistributedLSQR,
+    RetryPolicy,
+)
+from repro.system.sparse import GaiaSystem
+
+#: ``SolveRequest.strategy`` presets mapped to the kernel strategy
+#: pair ``(gather, scatter)`` of :class:`~repro.core.aprod.
+#: AprodOperator`.  ``fused`` is the packed-plan fast path (one fused
+#: gather kernel, deterministic sorted-segment scatter); ``classic``
+#: is the four-kernel production-style path.
+STRATEGY_PRESETS: dict[str, tuple[str, str]] = {
+    "auto": ("auto", "auto"),
+    "fused": ("fused", "sorted_segment"),
+    "classic": ("vectorized", "bincount"),
+}
+
+#: Fixed stream tags for deriving independent sub-seeds from the one
+#: request seed (never reuse a tag for a new stream).
+_STREAM_FAULTS = 1
+_STREAM_RETRY = 2
+
+
+def derive_seed(seed: int, stream: int) -> int:
+    """An independent sub-seed for one named random stream.
+
+    Hashing ``(seed, stream)`` through the PCG64 seeding machinery
+    decorrelates the streams while keeping each a pure function of the
+    request seed.
+    """
+    return int(np.random.default_rng((seed, stream)).integers(2**63))
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Chaos and recovery knobs for a resilient solve.
+
+    Holds *rates and budgets*, not RNG state: :func:`solve` derives
+    the fault-plan and retry-jitter seeds from the request's single
+    ``seed``, so a config is reusable across requests and the whole
+    chaos schedule follows the one seed.  Field semantics match
+    :class:`~repro.resilience.FaultPlan`,
+    :class:`~repro.resilience.RetryPolicy` and
+    :class:`~repro.resilience.ResilientDistributedLSQR`.
+    """
+
+    # fault plan
+    comm_drop_rate: float = 0.0
+    comm_timeout_rate: float = 0.0
+    stall_rate: float = 0.0
+    payload_nan_rate: float = 0.0
+    payload_inf_rate: float = 0.0
+    silent_nan_rate: float = 0.0
+    stall_duration_s: float = 0.002
+    rank_deaths: tuple[tuple[int, int], ...] = field(default_factory=tuple)
+    # retry policy
+    max_retries: int = 3
+    backoff_base_s: float = 0.001
+    backoff_factor: float = 2.0
+    jitter: float = 0.25
+    epoch_timeout_s: float | None = None
+    # recovery driver
+    checkpoint_every: int = 10
+    max_restarts: int = 3
+    min_ranks: int = 1
+    allow_degraded: bool = True
+    norm_explosion_factor: float = 1.5
+
+    def make_plan(self, seed: int) -> FaultPlan:
+        """The fault plan for stream-derived seed ``seed``."""
+        return FaultPlan(
+            seed=seed,
+            comm_drop_rate=self.comm_drop_rate,
+            comm_timeout_rate=self.comm_timeout_rate,
+            stall_rate=self.stall_rate,
+            payload_nan_rate=self.payload_nan_rate,
+            payload_inf_rate=self.payload_inf_rate,
+            silent_nan_rate=self.silent_nan_rate,
+            stall_duration_s=self.stall_duration_s,
+            rank_deaths=self.rank_deaths,
+        )
+
+    def make_retry(self, seed: int) -> RetryPolicy:
+        """The retry policy for stream-derived seed ``seed``."""
+        return RetryPolicy(
+            max_retries=self.max_retries,
+            backoff_base_s=self.backoff_base_s,
+            backoff_factor=self.backoff_factor,
+            jitter=self.jitter,
+            epoch_timeout_s=self.epoch_timeout_s,
+            seed=seed,
+        )
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """Everything one solve needs, in one immutable value.
+
+    ``ranks=1`` runs the serial solver; ``ranks>1`` the simulated-MPI
+    distributed driver; a non-None ``resilience`` config always runs
+    the recovery driver (any rank count).  ``strategy`` selects a
+    kernel preset (see :data:`STRATEGY_PRESETS`).  ``damp`` and ``x0``
+    are serial-only (the distributed engine matches production, which
+    has neither).
+    """
+
+    system: GaiaSystem
+    ranks: int = 1
+    atol: float = 1e-10
+    btol: float | None = None
+    conlim: float = 1e8
+    iter_lim: int | None = None
+    damp: float = 0.0
+    precondition: bool = True
+    calc_var: bool = True
+    strategy: str = "auto"
+    seed: int = 0
+    x0: np.ndarray | None = None
+    resilience: ResilienceConfig | None = None
+    checkpoint_every: int | None = None
+    checkpoint_path: str | Path | None = None
+    callback: IterationCallback | None = None
+    telemetry: Telemetry | None = None
+
+    def __post_init__(self) -> None:
+        if self.ranks < 1:
+            raise ValueError(f"ranks must be >= 1, got {self.ranks}")
+        if self.strategy not in STRATEGY_PRESETS:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; expected one of "
+                f"{tuple(STRATEGY_PRESETS)}"
+            )
+        if self.seed < 0:
+            raise ValueError(f"seed must be >= 0, got {self.seed}")
+        distributed = self.ranks > 1 or self.resilience is not None
+        if distributed and self.damp != 0.0:
+            raise ValueError(
+                "damp is serial-only: the distributed engine mirrors "
+                "the production solver, which runs undamped"
+            )
+        if distributed and self.x0 is not None:
+            raise ValueError("x0 warm starts are serial-only")
+
+    @property
+    def strategies(self) -> tuple[str, str]:
+        """The preset's ``(gather, scatter)`` kernel strategy pair."""
+        return STRATEGY_PRESETS[self.strategy]
+
+    @property
+    def fault_plan(self) -> FaultPlan | None:
+        """The derived fault plan (None without a resilience config)."""
+        if self.resilience is None:
+            return None
+        return self.resilience.make_plan(
+            derive_seed(self.seed, _STREAM_FAULTS))
+
+    @property
+    def retry_policy(self) -> RetryPolicy | None:
+        """The derived retry policy (None without a resilience config)."""
+        if self.resilience is None:
+            return None
+        return self.resilience.make_retry(
+            derive_seed(self.seed, _STREAM_RETRY))
+
+
+@dataclass
+class SolveReport:
+    """Uniform outcome of :func:`solve`, whichever driver ran.
+
+    ``raw`` keeps the driver-specific result
+    (:class:`~repro.core.lsqr.LSQRResult` or
+    :class:`~repro.dist.runner.DistributedResult`) for callers that
+    need its extras; ``resilience`` is the chaos-run record when the
+    recovery driver ran.
+    """
+
+    x: np.ndarray
+    stop: StopReason
+    itn: int
+    r2norm: float
+    ranks: int
+    m: int
+    n: int
+    var: np.ndarray | None = None
+    acond: float | None = None
+    mean_iteration_time: float = 0.0
+    resilience: ResilienceReport | None = None
+    raw: LSQRResult | DistributedResult | None = None
+
+    _CONVERGED = (
+        StopReason.X_ZERO,
+        StopReason.ATOL_BTOL,
+        StopReason.LSQ_ATOL,
+        StopReason.ATOL_EPS,
+        StopReason.LSQ_EPS,
+    )
+
+    @property
+    def converged(self) -> bool:
+        """True when the solve met a convergence test -- including a
+        degraded solve whose surviving ranks converged."""
+        if self.stop in self._CONVERGED:
+            return True
+        return (self.stop is StopReason.DEGRADED
+                and self.resilience is not None
+                and self.resilience.engine_stop in self._CONVERGED)
+
+    def standard_errors(self) -> np.ndarray:
+        """Least-squares standard errors from the ``var`` estimate."""
+        if self.var is None:
+            raise ValueError("solve ran with calc_var=False")
+        dof = self.m - self.n
+        if dof <= 0:
+            raise ValueError("system is not overdetermined")
+        s2 = self.r2norm**2 / dof
+        return np.sqrt(np.maximum(self.var, 0.0) * s2)
+
+    def summary(self) -> str:
+        """Human-readable report (the CLI's solve output)."""
+        lines = [
+            f"istop={self.stop.name} itn={self.itn} "
+            f"r2norm={self.r2norm:.3e}"
+            + (f" acond={self.acond:.3e}" if self.acond is not None
+               else "")
+            + (f" ranks={self.ranks}" if self.ranks > 1
+               or self.resilience is not None else "")
+        ]
+        if self.mean_iteration_time > 0:
+            lines.append(f"mean iteration time: "
+                         f"{self.mean_iteration_time * 1e3:.3f} ms")
+        if self.resilience is not None:
+            lines.append(self.resilience.summary())
+        return "\n".join(lines)
+
+
+def solve(request: SolveRequest) -> SolveReport:
+    """Run the solve the request describes; the one public entry point.
+
+    Dispatch:
+
+    - ``resilience`` set -> :class:`~repro.resilience.
+      ResilientDistributedLSQR` (fault injection + recovery, any
+      rank count);
+    - ``ranks > 1``      -> :class:`~repro.dist.runner.DistributedLSQR`;
+    - otherwise          -> serial :func:`~repro.core.lsqr.lsqr_solve`.
+    """
+    gather, scatter = request.strategies
+    if request.resilience is not None:
+        return _solve_resilient(request, gather, scatter)
+    if request.ranks > 1:
+        return _solve_distributed(request, gather, scatter)
+    return _solve_serial(request, gather, scatter)
+
+
+def _solve_serial(request: SolveRequest, gather: str,
+                  scatter: str) -> SolveReport:
+    btol = request.btol if request.btol is not None else request.atol
+    result = lsqr_solve(
+        request.system,
+        damp=request.damp,
+        atol=request.atol, btol=btol, conlim=request.conlim,
+        iter_lim=request.iter_lim,
+        precondition=request.precondition,
+        calc_var=request.calc_var,
+        x0=request.x0,
+        gather_strategy=gather, scatter_strategy=scatter,
+        callback=request.callback,
+        telemetry=request.telemetry,
+        checkpoint_every=request.checkpoint_every,
+        checkpoint_path=request.checkpoint_path,
+    )
+    return SolveReport(
+        x=result.x, stop=result.istop, itn=result.itn,
+        r2norm=result.r2norm, ranks=1, m=result.m, n=result.n,
+        var=result.var, acond=result.acond,
+        mean_iteration_time=result.mean_iteration_time,
+        raw=result,
+    )
+
+
+def _solve_distributed(request: SolveRequest, gather: str,
+                       scatter: str) -> SolveReport:
+    driver = DistributedLSQR(
+        request.system, request.ranks,
+        precondition=request.precondition,
+        calc_var=request.calc_var,
+        gather_strategy=gather, scatter_strategy=scatter,
+        telemetry=request.telemetry,
+    )
+    result = driver.solve(
+        atol=request.atol, btol=request.btol, conlim=request.conlim,
+        iter_lim=request.iter_lim, callback=request.callback,
+        checkpoint_every=request.checkpoint_every,
+        checkpoint_path=request.checkpoint_path,
+    )
+    return SolveReport(
+        x=result.x, stop=result.stop, itn=result.itn,
+        r2norm=result.r2norm, ranks=result.n_ranks,
+        m=result.m, n=result.n, var=result.var,
+        mean_iteration_time=result.mean_iteration_time,
+        raw=result,
+    )
+
+
+def _solve_resilient(request: SolveRequest, gather: str,
+                     scatter: str) -> SolveReport:
+    config = request.resilience
+    assert config is not None
+    driver = ResilientDistributedLSQR(
+        request.system, request.ranks,
+        plan=request.fault_plan, retry=request.retry_policy,
+        precondition=request.precondition,
+        calc_var=request.calc_var,
+        gather_strategy=gather, scatter_strategy=scatter,
+        checkpoint_every=config.checkpoint_every,
+        checkpoint_path=request.checkpoint_path,
+        max_restarts=config.max_restarts,
+        min_ranks=config.min_ranks,
+        allow_degraded=config.allow_degraded,
+        norm_explosion_factor=config.norm_explosion_factor,
+        telemetry=request.telemetry,
+    )
+    result, report = driver.solve(
+        atol=request.atol, btol=request.btol, conlim=request.conlim,
+        iter_lim=request.iter_lim, callback=request.callback,
+    )
+    return SolveReport(
+        x=result.x, stop=result.stop, itn=result.itn,
+        r2norm=result.r2norm, ranks=result.n_ranks,
+        m=result.m, n=result.n, var=result.var,
+        mean_iteration_time=result.mean_iteration_time,
+        resilience=report, raw=result,
+    )

@@ -4,7 +4,11 @@ Subcommands mirror the artifact's workflows:
 
 - ``generate`` -- write a synthetic dataset of a given size;
 - ``solve``    -- run the preconditioned LSQR on a dataset (or a
-  freshly generated one) and print the solve report;
+  freshly generated one) and print the solve report; a thin adapter
+  over :func:`repro.api.solve`;
+- ``chaos``    -- run the fault-injection smoke matrix (comm drops,
+  payload corruption, rank death) and verify recovery against the
+  fault-free reference;
 - ``study``    -- run the §V-B portability study on the modeled GPU
   substrate and print the Fig. 3/4/5 tables;
 - ``validate`` -- run the §V-C correctness validation;
@@ -36,7 +40,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
-    from repro.core import lsqr_solve, standard_errors
+    # Thin adapter over the one public entry point, repro.api.solve:
+    # the CLI only loads/generates the system and formats the report.
+    from repro.api import SolveRequest, solve
     from repro.core.variance import to_microarcsec
     from repro.system import load_system, make_system, dims_from_gb
 
@@ -45,41 +51,63 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     else:
         system = make_system(dims_from_gb(args.size_gb), seed=args.seed,
                              noise_sigma=args.noise)
-    if args.ranks > 1:
-        # The distributed driver runs the same step engine, so it
-        # reports the same stopping codes as the serial solve.
-        from repro.dist import distributed_lsqr_solve
-
-        dres = distributed_lsqr_solve(system, args.ranks,
-                                      atol=args.atol, btol=args.atol,
-                                      iter_lim=args.iterations)
-        print(f"ranks={dres.n_ranks} istop={dres.stop.name} "
-              f"itn={dres.itn} r2norm={dres.r2norm:.3e}")
-        print(f"mean iteration time (max over ranks): "
-              f"{dres.mean_iteration_time * 1e3:.3f} ms")
-        se = dres.standard_errors()
-        astro = system.dims.section_slices()["astrometric"]
-        print(f"median astrometric standard error: "
-              f"{np.median(to_microarcsec(se[astro])):.4f} uas")
-        return 0
-    from repro.core.kernels.plan import select_strategies
-
-    selection = select_strategies(system.dims)
-    print(f"kernel strategies: gather={args.gather_strategy} "
-          f"scatter={args.scatter_strategy} (auto -> {selection.gather}"
-          f"/{selection.scatter}: {selection.reason})")
-    res = lsqr_solve(system, atol=args.atol, btol=args.atol,
-                     iter_lim=args.iterations,
-                     gather_strategy=args.gather_strategy,
-                     scatter_strategy=args.scatter_strategy)
-    print(f"istop={res.istop.name} itn={res.itn} "
-          f"r2norm={res.r2norm:.3e} acond={res.acond:.3e}")
-    print(f"mean iteration time: {res.mean_iteration_time * 1e3:.3f} ms")
-    se = standard_errors(res)
+    report = solve(SolveRequest(
+        system=system,
+        ranks=args.ranks,
+        atol=args.atol,
+        iter_lim=args.iterations,
+        strategy=args.strategy,
+        seed=args.seed,
+    ))
+    print(report.summary())
+    se = report.standard_errors()
     astro = system.dims.section_slices()["astrometric"]
     print(f"median astrometric standard error: "
           f"{np.median(to_microarcsec(se[astro])):.4f} uas")
     return 0
+
+
+#: ``chaos`` scenarios: named fault mixes for the smoke matrix.
+CHAOS_SCENARIOS: dict[str, dict] = {
+    "comm_drop": {"comm_drop_rate": 0.05},
+    "nan": {"payload_nan_rate": 0.05},
+    # Silent corruption needs a rollback per strike; the restart budget
+    # must cover several redraws of the schedule before a clean run.
+    "silent_nan": {"silent_nan_rate": 0.03, "checkpoint_every": 5,
+                   "max_restarts": 10},
+    "rank_death": {"rank_deaths": ((1, 7),), "checkpoint_every": 5},
+}
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.api import ResilienceConfig, SolveRequest, solve
+    from repro.system import make_system, dims_from_gb
+
+    system = make_system(dims_from_gb(args.size_gb), seed=args.seed,
+                         noise_sigma=args.noise)
+    reference = solve(SolveRequest(system=system, ranks=args.ranks,
+                                   atol=args.atol,
+                                   iter_lim=args.iterations,
+                                   seed=args.seed))
+    print(f"fault-free reference: {reference.stop.name} "
+          f"itn={reference.itn} r2norm={reference.r2norm:.3e}")
+    scenarios = args.scenarios or list(CHAOS_SCENARIOS)
+    failures = 0
+    for name in scenarios:
+        report = solve(SolveRequest(
+            system=system, ranks=args.ranks, atol=args.atol,
+            iter_lim=args.iterations, seed=args.seed,
+            resilience=ResilienceConfig(**CHAOS_SCENARIOS[name]),
+        ))
+        assert report.resilience is not None
+        recovered = report.converged and np.allclose(
+            report.x, reference.x, rtol=1e-10, atol=1e-12)
+        verdict = "recovered" if recovered else "MISMATCH"
+        if not recovered:
+            failures += 1
+        print(f"\n--- scenario {name}: {verdict} ---")
+        print(report.summary())
+    return 1 if failures else 0
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
@@ -366,22 +394,33 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--noise", type=float, default=1e-9)
     s.add_argument("--atol", type=float, default=1e-10)
     s.add_argument("--iterations", type=int, default=None)
-    s.add_argument("--gather-strategy", default="auto",
-                   choices=("auto", "fused", "vectorized", "chunked",
-                            "loop"),
-                   help="aprod1 kernel strategy (auto = shape "
-                        "heuristic; fused = packed plan gather)")
-    s.add_argument("--scatter-strategy", default="auto",
-                   choices=("auto", "sorted_segment", "bincount",
-                            "atomic", "chunked", "loop"),
-                   help="aprod2 kernel strategy (auto = shape "
-                        "heuristic; sorted_segment = deterministic "
-                        "plan reduction)")
+    s.add_argument("--strategy", default="auto",
+                   choices=("auto", "fused", "classic"),
+                   help="kernel strategy preset (auto = shape "
+                        "heuristic; fused = packed-plan gather + "
+                        "sorted-segment scatter; classic = four-kernel "
+                        "production-style path)")
     s.add_argument("--ranks", type=int, default=1,
                    help="run the distributed driver on N simulated "
                         "MPI ranks (same step engine, same stopping "
                         "rules)")
     s.set_defaults(fn=_cmd_solve)
+
+    ch = sub.add_parser(
+        "chaos",
+        help="fault-injection smoke matrix: solve under chaos and "
+             "check recovery against the fault-free reference",
+    )
+    ch.add_argument("--scenarios", nargs="*", default=None,
+                    choices=tuple(CHAOS_SCENARIOS),
+                    help="scenarios to run (default: all)")
+    ch.add_argument("--size-gb", type=float, default=0.005)
+    ch.add_argument("--ranks", type=int, default=4)
+    ch.add_argument("--seed", type=int, default=0)
+    ch.add_argument("--noise", type=float, default=1e-9)
+    ch.add_argument("--atol", type=float, default=1e-10)
+    ch.add_argument("--iterations", type=int, default=None)
+    ch.set_defaults(fn=_cmd_chaos)
 
     st = sub.add_parser("study", help="run the SS V-B portability study")
     st.add_argument("--sizes", type=float, nargs="+",

@@ -79,6 +79,38 @@ class ConvergenceHistory:
         return None
 
 
+@dataclass
+class NormExplosionGuard:
+    """Detects a residual norm that LSQR cannot legitimately produce.
+
+    LSQR's residual norm is non-increasing by construction, so a
+    residual that *grows* beyond floating-point slack over the best
+    value seen signals silent state corruption (a flipped bit, a
+    poisoned reduction payload), not slow convergence.  The resilience
+    layer (:mod:`repro.resilience`) feeds every iteration's ``r2norm``
+    through this guard and rolls back to the last good checkpoint when
+    it trips.  ``factor`` is the tolerated growth over the running
+    minimum (generous: genuine rounding wiggle is orders of magnitude
+    smaller).
+    """
+
+    factor: float = 1.5
+    _best: float = field(default=float("inf"), repr=False)
+
+    def check(self, r2norm: float) -> bool:
+        """Record one residual; True when it betrays corruption."""
+        if not np.isfinite(r2norm):
+            return True
+        if r2norm < self._best:
+            self._best = r2norm
+            return False
+        return self._best > 0.0 and r2norm > self.factor * self._best
+
+    def reset(self, r2norm: float | None = None) -> None:
+        """Forget history (after a rollback re-seeds the iteration)."""
+        self._best = float("inf") if r2norm is None else r2norm
+
+
 def lsqr_solve_reorthogonalized(
     system: GaiaSystem,
     *,

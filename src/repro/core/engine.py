@@ -65,6 +65,10 @@ class StopReason(enum.IntEnum):
     LSQ_EPS = 5         #: least-squares solved to machine precision.
     CONLIM_EPS = 6      #: cond(Abar) beyond machine precision.
     ITERATION_LIMIT = 7  #: iteration limit reached before convergence.
+    # Recovery-path codes (repro.resilience): not produced by the
+    # engine itself, reported by drivers that survive injected faults.
+    DEGRADED = 8        #: finished after losing ranks (degraded mode).
+    ABORTED_FAULTS = 9  #: resilience budget exhausted; solve aborted.
 
 
 class ReductionBackend(Protocol):
@@ -163,6 +167,31 @@ class EngineState:
     _SCALARS = ("alfa", "beta", "rhobar", "phibar", "anorm", "acond",
                 "ddnorm", "res2", "xnorm", "xxnorm", "z", "cs2", "sn2",
                 "bnorm", "rnorm", "r1norm", "r2norm", "arnorm")
+
+    def validate(self) -> list[str]:
+        """NaN/Inf guard over the full iteration state.
+
+        Returns the list of corrupted fields (empty when the state is
+        clean).  A transient bit-flip or a corrupted reduction payload
+        that slipped past the per-epoch checks poisons one of these
+        within an iteration, so the resilience layer runs this guard at
+        every checkpoint boundary and rolls back when it reports
+        anything.
+        """
+        bad = [f for f in self._SCALARS
+               if not np.isfinite(getattr(self, f))]
+        for name in ("x", "u", "v", "w"):
+            vec = getattr(self, name)
+            if not np.all(np.isfinite(vec)):
+                bad.append(name)
+        if self.var is not None and not np.all(np.isfinite(self.var)):
+            bad.append("var")
+        return bad
+
+    @property
+    def is_finite(self) -> bool:
+        """True when no state field holds a NaN/Inf."""
+        return not self.validate()
 
     def save(self, path: str | Path) -> Path:
         """Serialize the state to ``.npz``."""

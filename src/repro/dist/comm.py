@@ -95,8 +95,13 @@ class CollectiveBus:
     def run(self, fn: Callable[..., Any], *args: Any) -> list[Any]:
         """Execute ``fn(comm, *args)`` on every rank; return results.
 
-        The first exception raised by any rank is re-raised after all
-        threads finish (aborting the barrier so nobody deadlocks).
+        The first *causal* exception raised by any rank is re-raised
+        after all threads finish (aborting the barrier so nobody
+        deadlocks).  When one rank fails mid-collective, every other
+        rank observes a ``BrokenBarrierError``; those are secondary
+        damage, so the original fault -- e.g. an injected
+        :class:`~repro.resilience.faults.RankDied` -- is reported in
+        preference to them.
         """
         results: list[Any] = [None] * self.size
         errors: list[BaseException] = []
@@ -117,6 +122,9 @@ class CollectiveBus:
         for t in threads:
             t.join()
         if errors:
+            for exc in errors:
+                if not isinstance(exc, threading.BrokenBarrierError):
+                    raise exc
             raise errors[0]
         return results
 

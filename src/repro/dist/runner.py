@@ -151,13 +151,28 @@ class DistributedLSQR:
     def __init__(self, system: GaiaSystem, n_ranks: int,
                  *, precondition: bool = True,
                  calc_var: bool = True,
+                 gather_strategy: str = "auto",
+                 scatter_strategy: str = "auto",
+                 astro_scatter_strategy: str = "auto",
                  telemetry: Telemetry | None = None) -> None:
         self.system = system
         self.n_ranks = n_ranks
         self.precondition = precondition
         self.calc_var = calc_var
+        self.gather_strategy = gather_strategy
+        self.scatter_strategy = scatter_strategy
+        self.astro_scatter_strategy = astro_scatter_strategy
         self.telemetry = telemetry
         self.blocks = partition_by_rows(system, n_ranks)
+
+    def _local_operator(self, block) -> AprodOperator:
+        """One rank's kernel operator with the driver's strategies."""
+        return AprodOperator(
+            slice_system(self.system, block),
+            gather_strategy=self.gather_strategy,
+            scatter_strategy=self.scatter_strategy,
+            astro_scatter_strategy=self.astro_scatter_strategy,
+        )
 
     def solve(self, *, atol: float = 1e-10, btol: float | None = None,
               conlim: float = 1e8, iter_lim: int | None = None,
@@ -229,8 +244,9 @@ class DistributedLSQR:
     ) -> tuple[np.ndarray, int, float, list[float],
                np.ndarray | None, StopReason]:
         block = self.blocks[comm.rank]
-        local = slice_system(self.system, block)
-        op = PreconditionedAprod(AprodOperator(local), scaling)
+        local_op = self._local_operator(block)
+        local = local_op.system
+        op = PreconditionedAprod(local_op, scaling)
         tel = self.telemetry
         backend = CommReduction(comm, telemetry=tel)
         engine = LSQRStepEngine(
@@ -284,11 +300,14 @@ def distributed_lsqr_solve(
     atol: float = 1e-10,
     btol: float | None = None,
     iter_lim: int | None = None,
+    gather_strategy: str = "auto",
+    scatter_strategy: str = "auto",
     telemetry: Telemetry | None = None,
     callback: IterationCallback | None = None,
 ) -> DistributedResult:
     """Convenience wrapper around :class:`DistributedLSQR`."""
     return DistributedLSQR(
         system, n_ranks, precondition=precondition, calc_var=calc_var,
+        gather_strategy=gather_strategy, scatter_strategy=scatter_strategy,
         telemetry=telemetry,
     ).solve(atol=atol, btol=btol, iter_lim=iter_lim, callback=callback)

@@ -33,9 +33,11 @@ from repro.frameworks.registry import (
     CLUSTER_GPU_TABLE,
     COMPILE_FLAGS_AMD,
     COMPILE_FLAGS_NVIDIA,
+    PORT_CONFIGS,
     PORTS_BY_KEY,
     SOFTWARE_VERSIONS_NVIDIA,
     port_by_key,
+    port_from_config,
 )
 from repro.frameworks.executor import (
     IterationModel,
@@ -72,8 +74,10 @@ __all__ = [
     "Port",
     "UnsupportedPlatform",
     "ALL_PORTS",
+    "PORT_CONFIGS",
     "PORTS_BY_KEY",
     "port_by_key",
+    "port_from_config",
     "SOFTWARE_VERSIONS_NVIDIA",
     "COMPILE_FLAGS_NVIDIA",
     "COMPILE_FLAGS_AMD",

@@ -23,7 +23,9 @@ performance-deciding:
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 from repro.gpu.atomics import AtomicMode
 from repro.gpu.device import DeviceSpec, Vendor
@@ -33,6 +35,46 @@ from repro.gpu.kernel import (
     grid_for,
     tuned_geometry,
 )
+
+#: Legacy config-key spellings accepted (with a DeprecationWarning) by
+#: the ``from_config`` constructors, mapped to their canonical names.
+#: These are the per-framework constructor kwargs that diverged before
+#: construction was unified behind ``frameworks.registry``; the shims
+#: WILL BE REMOVED in the next major revision -- migrate configs to
+#: the canonical spellings.
+_LEGACY_SUPPORT_KEYS: dict[str, str] = {
+    "toolchain": "compiler",
+    "atomic_rmw": "rmw_atomics",
+    "abstraction_overhead": "overhead",
+    "unsafe_atomics": "unsafe_fp_atomics_flag",
+}
+_LEGACY_PORT_KEYS: dict[str, str] = {
+    "name": "key",
+    "stream_overlap": "uses_streams",
+    "memory_pressure_sensitivity": "pressure_sensitivity",
+}
+
+
+def _canonicalize(config: Mapping[str, Any],
+                  legacy: Mapping[str, str],
+                  owner: str) -> dict[str, Any]:
+    """Translate legacy key spellings, warning on each use."""
+    out: dict[str, Any] = {}
+    for key, value in config.items():
+        canonical = legacy.get(key, key)
+        if canonical != key:
+            warnings.warn(
+                f"{owner} config key {key!r} is deprecated and will be "
+                f"removed; use {canonical!r}",
+                DeprecationWarning, stacklevel=3,
+            )
+        if canonical in out:
+            raise ValueError(
+                f"{owner} config sets {canonical!r} twice "
+                f"(directly and via legacy {key!r})"
+            )
+        out[canonical] = value
+    return out
 
 
 class UnsupportedPlatform(RuntimeError):
@@ -61,6 +103,36 @@ class VendorSupport:
         if self.overhead < 1.0:
             raise ValueError(f"overhead must be >= 1, got {self.overhead}")
 
+    @classmethod
+    def from_config(cls, *, config: Mapping[str, Any]) -> "VendorSupport":
+        """Build from a plain-data config mapping.
+
+        The unified constructor signature every framework module uses:
+        keyword-only ``config`` with canonical keys (``compiler``,
+        ``geometry`` -- a :class:`GeometryPolicy` or its string value,
+        ``rmw_atomics``, ``overhead``, ``unsafe_fp_atomics_flag``).
+        Legacy per-framework spellings are accepted with a
+        :class:`DeprecationWarning` (see ``_LEGACY_SUPPORT_KEYS``).
+        """
+        kwargs = _canonicalize(config, _LEGACY_SUPPORT_KEYS,
+                               "VendorSupport")
+        geometry = kwargs.get("geometry")
+        if isinstance(geometry, str):
+            kwargs["geometry"] = GeometryPolicy(geometry)
+        return cls(**kwargs)
+
+    def to_config(self) -> dict[str, Any]:
+        """The canonical plain-data form (round-trips from_config)."""
+        config: dict[str, Any] = {
+            "compiler": self.compiler,
+            "geometry": self.geometry.value,
+            "rmw_atomics": self.rmw_atomics,
+            "overhead": self.overhead,
+        }
+        if self.unsafe_fp_atomics_flag:
+            config["unsafe_fp_atomics_flag"] = True
+        return config
+
 
 @dataclass(frozen=True)
 class Port:
@@ -83,6 +155,50 @@ class Port:
         for factor in self.residuals.values():
             if factor <= 0:
                 raise ValueError("residual factors must be positive")
+
+    @classmethod
+    def from_config(cls, *, config: Mapping[str, Any]) -> "Port":
+        """Build a port from a plain-data config mapping.
+
+        The one construction path every framework module routes
+        through.  Canonical keys: ``key``, ``framework``, ``support``
+        (vendor name -> :meth:`VendorSupport.from_config` mapping),
+        ``uses_streams``, ``pressure_sensitivity``, ``residuals`` (a
+        list of ``[device, size_gb_or_None, factor]`` triples).
+        Legacy spellings (``name``, ``stream_overlap``,
+        ``memory_pressure_sensitivity``) are accepted with a
+        :class:`DeprecationWarning` and will be removed.
+        """
+        kwargs = _canonicalize(config, _LEGACY_PORT_KEYS, "Port")
+        support = {
+            (vendor if isinstance(vendor, Vendor) else Vendor(vendor)):
+            (vs if isinstance(vs, VendorSupport)
+             else VendorSupport.from_config(config=vs))
+            for vendor, vs in kwargs.pop("support", {}).items()
+        }
+        residuals_cfg = kwargs.pop("residuals", [])
+        if isinstance(residuals_cfg, Mapping):
+            residuals = dict(residuals_cfg)
+        else:
+            residuals = {
+                (device, None if size is None else int(size)): factor
+                for device, size, factor in residuals_cfg
+            }
+        return cls(support=support, residuals=residuals, **kwargs)
+
+    def to_config(self) -> dict[str, Any]:
+        """The canonical plain-data form (round-trips from_config)."""
+        return {
+            "key": self.key,
+            "framework": self.framework,
+            "support": {vendor.value: vs.to_config()
+                        for vendor, vs in self.support.items()},
+            "uses_streams": self.uses_streams,
+            "pressure_sensitivity": self.pressure_sensitivity,
+            "residuals": [[device, size, factor]
+                          for (device, size), factor
+                          in self.residuals.items()],
+        }
 
     # ------------------------------------------------------------------
     def supports(self, device: DeviceSpec) -> bool:

@@ -18,21 +18,25 @@ overlap, no atomic-region grid capping).
 
 from __future__ import annotations
 
-from repro.frameworks.base import GeometryPolicy, Port, VendorSupport
-from repro.gpu.device import Vendor
+from repro.frameworks.base import Port
 
-CUDA = Port(
-    key="CUDA",
-    framework="CUDA",
-    support={
-        Vendor.NVIDIA: VendorSupport(
-            compiler="nvcc",
-            geometry=GeometryPolicy.TUNED,
-            rmw_atomics=True,
-            overhead=1.0,
-        ),
+#: Declarative port description; construction is unified behind
+#: :meth:`~repro.frameworks.base.Port.from_config` for every
+#: framework module (see ``frameworks.registry.PORT_CONFIGS``).
+CUDA_CONFIG = {
+    "key": "CUDA",
+    "framework": "CUDA",
+    "support": {
+        "NVIDIA": {
+            "compiler": "nvcc",
+            "geometry": "tuned",
+            "rmw_atomics": True,
+            "overhead": 1.0,
+        },
     },
-    uses_streams=True,
-    pressure_sensitivity=0.5,
-    residuals={},
-)
+    "uses_streams": True,
+    "pressure_sensitivity": 0.5,
+    "residuals": [],
+}
+
+CUDA = Port.from_config(config=CUDA_CONFIG)

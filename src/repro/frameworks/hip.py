@@ -23,33 +23,34 @@ Residual calibration (each entry encodes a §V-B observation):
 
 from __future__ import annotations
 
-from repro.frameworks.base import GeometryPolicy, Port, VendorSupport
-from repro.gpu.device import Vendor
+from repro.frameworks.base import Port
 
-HIP = Port(
-    key="HIP",
-    framework="HIP",
-    support={
-        Vendor.NVIDIA: VendorSupport(
-            compiler="hipcc",
-            geometry=GeometryPolicy.TUNED,
-            rmw_atomics=True,
-            overhead=1.015,
-        ),
-        Vendor.AMD: VendorSupport(
-            compiler="hipcc",
-            geometry=GeometryPolicy.TUNED,
-            rmw_atomics=True,
-            overhead=1.02,
-            unsafe_fp_atomics_flag=True,
-        ),
+HIP_CONFIG = {
+    "key": "HIP",
+    "framework": "HIP",
+    "support": {
+        "NVIDIA": {
+            "compiler": "hipcc",
+            "geometry": "tuned",
+            "rmw_atomics": True,
+            "overhead": 1.015,
+        },
+        "AMD": {
+            "compiler": "hipcc",
+            "geometry": "tuned",
+            "rmw_atomics": True,
+            "overhead": 1.02,
+            "unsafe_fp_atomics_flag": True,
+        },
     },
-    uses_streams=True,
-    pressure_sensitivity=0.5,
-    residuals={
-        ("H100", 10): 0.93,
-        ("V100", 30): 0.93,
-        ("H100", 30): 0.95,
-        ("A100", 30): 1.55,
-    },
-)
+    "uses_streams": True,
+    "pressure_sensitivity": 0.5,
+    "residuals": [
+        ["H100", 10, 0.93],
+        ["V100", 30, 0.93],
+        ["H100", 30, 0.95],
+        ["A100", 30, 1.55],
+    ],
+}
+
+HIP = Port.from_config(config=HIP_CONFIG)

@@ -26,53 +26,57 @@ performance".
 
 from __future__ import annotations
 
-from repro.frameworks.base import GeometryPolicy, Port, VendorSupport
-from repro.gpu.device import Vendor
+from repro.frameworks.base import Port
 
-OMP_VENDOR = Port(
-    key="OMP+V",
-    framework="OpenMP",
-    support={
-        Vendor.NVIDIA: VendorSupport(
-            compiler="nvc++",
-            geometry=GeometryPolicy.COMPILER_DEFAULT,
-            rmw_atomics=True,
-            overhead=1.04,
-        ),
-        Vendor.AMD: VendorSupport(
-            compiler="amdclang++",
-            geometry=GeometryPolicy.TUNED,
-            rmw_atomics=True,
-            overhead=1.0,
-            unsafe_fp_atomics_flag=True,
-        ),
+OMP_VENDOR_CONFIG = {
+    "key": "OMP+V",
+    "framework": "OpenMP",
+    "support": {
+        "NVIDIA": {
+            "compiler": "nvc++",
+            "geometry": "default",
+            "rmw_atomics": True,
+            "overhead": 1.04,
+        },
+        "AMD": {
+            "compiler": "amdclang++",
+            "geometry": "tuned",
+            "rmw_atomics": True,
+            "overhead": 1.0,
+            "unsafe_fp_atomics_flag": True,
+        },
     },
-    uses_streams=False,  # pragma model: no explicit stream management
-    pressure_sensitivity=0.5,
-    residuals={
-        ("T4", None): 1.15,
-        ("A100", None): 1.12,
-    },
-)
+    # pragma model: no explicit stream management
+    "uses_streams": False,
+    "pressure_sensitivity": 0.5,
+    "residuals": [
+        ["T4", None, 1.15],
+        ["A100", None, 1.12],
+    ],
+}
 
-OMP_LLVM = Port(
-    key="OMP+LLVM",
-    framework="OpenMP",
-    support={
-        Vendor.NVIDIA: VendorSupport(
-            compiler="clang++",
-            geometry=GeometryPolicy.COMPILER_DEFAULT,
-            rmw_atomics=True,
-            overhead=1.13,
-        ),
-        Vendor.AMD: VendorSupport(
-            compiler="clang++",
-            geometry=GeometryPolicy.TUNED,
-            rmw_atomics=False,  # CAS loop: no -munsafe-fp-atomics
-            overhead=1.06,
-        ),
+OMP_LLVM_CONFIG = {
+    "key": "OMP+LLVM",
+    "framework": "OpenMP",
+    "support": {
+        "NVIDIA": {
+            "compiler": "clang++",
+            "geometry": "default",
+            "rmw_atomics": True,
+            "overhead": 1.13,
+        },
+        "AMD": {
+            "compiler": "clang++",
+            "geometry": "tuned",
+            # CAS loop: no -munsafe-fp-atomics
+            "rmw_atomics": False,
+            "overhead": 1.06,
+        },
     },
-    uses_streams=False,
-    pressure_sensitivity=0.5,
-    residuals={},
-)
+    "uses_streams": False,
+    "pressure_sensitivity": 0.5,
+    "residuals": [],
+}
+
+OMP_VENDOR = Port.from_config(config=OMP_VENDOR_CONFIG)
+OMP_LLVM = Port.from_config(config=OMP_LLVM_CONFIG)

@@ -23,57 +23,61 @@ slightly lower with ACPP) that both PSTL rows show in Fig. 3c.
 
 from __future__ import annotations
 
-from repro.frameworks.base import GeometryPolicy, Port, VendorSupport
-from repro.gpu.device import Vendor
+from repro.frameworks.base import Port
 
-PSTL_ACPP = Port(
-    key="PSTL+ACPP",
-    framework="PSTL",
-    support={
-        Vendor.NVIDIA: VendorSupport(
-            compiler="acpp",
-            geometry=GeometryPolicy.FIXED_256,
-            rmw_atomics=True,
-            overhead=1.05,
-        ),
-        Vendor.AMD: VendorSupport(
-            compiler="acpp",
-            geometry=GeometryPolicy.FIXED_256,
-            rmw_atomics=True,
-            overhead=1.08,
-            unsafe_fp_atomics_flag=True,
-        ),
+PSTL_ACPP_CONFIG = {
+    "key": "PSTL+ACPP",
+    "framework": "PSTL",
+    "support": {
+        "NVIDIA": {
+            "compiler": "acpp",
+            "geometry": "fixed-256",
+            "rmw_atomics": True,
+            "overhead": 1.05,
+        },
+        "AMD": {
+            "compiler": "acpp",
+            "geometry": "fixed-256",
+            "rmw_atomics": True,
+            "overhead": 1.08,
+            "unsafe_fp_atomics_flag": True,
+        },
     },
-    uses_streams=False,  # algorithms execute on one implicit queue
-    pressure_sensitivity=1.2,
-    residuals={
-        ("MI250X", None): 1.15,
-        ("H100", 60): 1.17,
-    },
-)
+    # algorithms execute on one implicit queue
+    "uses_streams": False,
+    "pressure_sensitivity": 1.2,
+    "residuals": [
+        ["MI250X", None, 1.15],
+        ["H100", 60, 1.17],
+    ],
+}
 
-PSTL_VENDOR = Port(
-    key="PSTL+V",
-    framework="PSTL",
-    support={
-        Vendor.NVIDIA: VendorSupport(
-            compiler="nvc++",
-            geometry=GeometryPolicy.FIXED_256,
-            rmw_atomics=True,
-            overhead=1.07,
-        ),
-        Vendor.AMD: VendorSupport(
-            compiler="clang++ --hipstdpar",
-            geometry=GeometryPolicy.FIXED_256,
-            rmw_atomics=True,
-            overhead=1.12,
-            unsafe_fp_atomics_flag=True,
-        ),
+PSTL_VENDOR_CONFIG = {
+    "key": "PSTL+V",
+    "framework": "PSTL",
+    "support": {
+        "NVIDIA": {
+            "compiler": "nvc++",
+            "geometry": "fixed-256",
+            "rmw_atomics": True,
+            "overhead": 1.07,
+        },
+        "AMD": {
+            "compiler": "clang++ --hipstdpar",
+            "geometry": "fixed-256",
+            "rmw_atomics": True,
+            "overhead": 1.12,
+            "unsafe_fp_atomics_flag": True,
+        },
     },
-    uses_streams=False,
-    pressure_sensitivity=1.6,  # nvc++ -stdpar leans on system USM
-    residuals={
-        ("MI250X", None): 1.22,
-        ("H100", 60): 1.14,
-    },
-)
+    "uses_streams": False,
+    # nvc++ -stdpar leans on system USM
+    "pressure_sensitivity": 1.6,
+    "residuals": [
+        ["MI250X", None, 1.22],
+        ["H100", 60, 1.14],
+    ],
+}
+
+PSTL_ACPP = Port.from_config(config=PSTL_ACPP_CONFIG)
+PSTL_VENDOR = Port.from_config(config=PSTL_VENDOR_CONFIG)

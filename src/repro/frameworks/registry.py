@@ -7,12 +7,29 @@ benchmark harness can regenerate them (experiments E1-E4 of
 
 from __future__ import annotations
 
+from typing import Any, Mapping
+
 from repro.frameworks.base import Port
-from repro.frameworks.cuda import CUDA
-from repro.frameworks.hip import HIP
-from repro.frameworks.openmp import OMP_LLVM, OMP_VENDOR
-from repro.frameworks.pstl import PSTL_ACPP, PSTL_VENDOR
-from repro.frameworks.sycl import SYCL_ACPP, SYCL_DPCPP
+from repro.frameworks.cuda import CUDA, CUDA_CONFIG
+from repro.frameworks.hip import HIP, HIP_CONFIG
+from repro.frameworks.openmp import (
+    OMP_LLVM,
+    OMP_LLVM_CONFIG,
+    OMP_VENDOR,
+    OMP_VENDOR_CONFIG,
+)
+from repro.frameworks.pstl import (
+    PSTL_ACPP,
+    PSTL_ACPP_CONFIG,
+    PSTL_VENDOR,
+    PSTL_VENDOR_CONFIG,
+)
+from repro.frameworks.sycl import (
+    SYCL_ACPP,
+    SYCL_ACPP_CONFIG,
+    SYCL_DPCPP,
+    SYCL_DPCPP_CONFIG,
+)
 
 #: Every port of the study, in the paper's presentation order.
 ALL_PORTS: tuple[Port, ...] = (
@@ -29,6 +46,26 @@ ALL_PORTS: tuple[Port, ...] = (
 #: Lookup by port key.
 PORTS_BY_KEY: dict[str, Port] = {p.key: p for p in ALL_PORTS}
 
+#: The declarative configs every port is constructed from, keyed like
+#: :data:`PORTS_BY_KEY`.  All framework modules build their ports via
+#: ``Port.from_config(config=...)`` -- one unified constructor
+#: signature instead of the divergent per-framework kwargs of earlier
+#: revisions (legacy spellings still parse with a DeprecationWarning;
+#: see :mod:`repro.frameworks.base`).
+PORT_CONFIGS: dict[str, dict[str, Any]] = {
+    config["key"]: config
+    for config in (
+        CUDA_CONFIG,
+        HIP_CONFIG,
+        OMP_LLVM_CONFIG,
+        OMP_VENDOR_CONFIG,
+        PSTL_ACPP_CONFIG,
+        PSTL_VENDOR_CONFIG,
+        SYCL_ACPP_CONFIG,
+        SYCL_DPCPP_CONFIG,
+    )
+}
+
 
 def port_by_key(key: str) -> Port:
     """Look a port up by key, with a helpful error."""
@@ -38,6 +75,17 @@ def port_by_key(key: str) -> Port:
         raise KeyError(
             f"unknown port {key!r}; expected one of {sorted(PORTS_BY_KEY)}"
         ) from None
+
+
+def port_from_config(config: Mapping[str, Any]) -> Port:
+    """Construct a port (custom or roster) from a plain-data config.
+
+    The registry-level factory for user-defined ports: the same
+    unified construction path the roster uses, so ad-hoc what-if ports
+    (a hypothetical toolchain, a tweaked overhead) go through the same
+    validation and legacy-key shims.
+    """
+    return Port.from_config(config=config)
 
 
 #: Table I -- software versions on the NVIDIA architectures.

@@ -21,52 +21,55 @@ kernel geometry.  Two compilers are evaluated:
 
 from __future__ import annotations
 
-from repro.frameworks.base import GeometryPolicy, Port, VendorSupport
-from repro.gpu.device import Vendor
+from repro.frameworks.base import Port
 
-SYCL_ACPP = Port(
-    key="SYCL+ACPP",
-    framework="SYCL",
-    support={
-        Vendor.NVIDIA: VendorSupport(
-            compiler="acpp",
-            geometry=GeometryPolicy.TUNED,
-            rmw_atomics=True,
-            overhead=1.07,
-        ),
-        Vendor.AMD: VendorSupport(
-            compiler="acpp",
-            geometry=GeometryPolicy.TUNED,
-            rmw_atomics=True,
-            overhead=1.04,
-            unsafe_fp_atomics_flag=True,
-        ),
+SYCL_ACPP_CONFIG = {
+    "key": "SYCL+ACPP",
+    "framework": "SYCL",
+    "support": {
+        "NVIDIA": {
+            "compiler": "acpp",
+            "geometry": "tuned",
+            "rmw_atomics": True,
+            "overhead": 1.07,
+        },
+        "AMD": {
+            "compiler": "acpp",
+            "geometry": "tuned",
+            "rmw_atomics": True,
+            "overhead": 1.04,
+            "unsafe_fp_atomics_flag": True,
+        },
     },
-    uses_streams=True,
-    pressure_sensitivity=0.5,
-    residuals={},
-)
+    "uses_streams": True,
+    "pressure_sensitivity": 0.5,
+    "residuals": [],
+}
 
-SYCL_DPCPP = Port(
-    key="SYCL+DPCPP",
-    framework="SYCL",
-    support={
-        Vendor.NVIDIA: VendorSupport(
-            compiler="dpc++",
-            geometry=GeometryPolicy.TUNED,
-            rmw_atomics=True,
-            overhead=1.28,
-        ),
-        Vendor.AMD: VendorSupport(
-            compiler="dpc++",
-            geometry=GeometryPolicy.TUNED,
-            rmw_atomics=False,  # CAS loop: no -munsafe-fp-atomics
-            overhead=1.12,
-        ),
+SYCL_DPCPP_CONFIG = {
+    "key": "SYCL+DPCPP",
+    "framework": "SYCL",
+    "support": {
+        "NVIDIA": {
+            "compiler": "dpc++",
+            "geometry": "tuned",
+            "rmw_atomics": True,
+            "overhead": 1.28,
+        },
+        "AMD": {
+            "compiler": "dpc++",
+            "geometry": "tuned",
+            # CAS loop: no -munsafe-fp-atomics
+            "rmw_atomics": False,
+            "overhead": 1.12,
+        },
     },
-    uses_streams=True,
-    pressure_sensitivity=1.0,
-    residuals={
-        ("T4", None): 0.86,
-    },
-)
+    "uses_streams": True,
+    "pressure_sensitivity": 1.0,
+    "residuals": [
+        ["T4", None, 0.86],
+    ],
+}
+
+SYCL_ACPP = Port.from_config(config=SYCL_ACPP_CONFIG)
+SYCL_DPCPP = Port.from_config(config=SYCL_DPCPP_CONFIG)

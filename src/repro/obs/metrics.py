@@ -97,8 +97,12 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        """Mean observation (0.0 when empty)."""
-        return self.sum / self.count if self._values else 0.0
+        """Mean observation (0.0 when empty), clamped to
+        ``[min, max]`` — summation rounding can otherwise push the
+        mean of identical samples just past the extremes."""
+        if not self._values:
+            return 0.0
+        return min(max(self.sum / self.count, self.min), self.max)
 
     @property
     def min(self) -> float:

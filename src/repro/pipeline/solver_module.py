@@ -1,11 +1,11 @@
 """The Solver box of Fig. 1.
 
-Wraps the preconditioned LSQR -- a thin driver over the shared
-:class:`~repro.core.engine.LSQRStepEngine` -- with the pipeline
-conveniences the production module has: an iteration budget per
-pipeline cycle, periodic checkpoints of the running solution,
-optional engine-state dumps for batch-queue crash recovery, and the
-iteration-timing record the performance studies consume.
+A thin adapter over the one public entry point,
+:func:`repro.api.solve`, adding the pipeline conveniences the
+production module has: an iteration budget per pipeline cycle,
+periodic checkpoints of the running solution, optional engine-state
+dumps for batch-queue crash recovery, and the iteration-timing record
+the performance studies consume.
 """
 
 from __future__ import annotations
@@ -15,7 +15,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.lsqr import LSQRResult, lsqr_solve
+from repro.api import SolveRequest, solve
+from repro.core.lsqr import LSQRResult
 from repro.core.variance import standard_errors
 from repro.obs.telemetry import Telemetry
 from repro.system.solution import SolutionSections, split_solution
@@ -87,8 +88,8 @@ class SolverModule:
         iter_lim = self.iter_lim
         if iter_lim is None:
             iter_lim = 6 * system.dims.n_params
-        result = lsqr_solve(
-            system,
+        report = solve(SolveRequest(
+            system=system,
             atol=self.atol,
             btol=self.btol,
             iter_lim=iter_lim,
@@ -101,7 +102,9 @@ class SolverModule:
                               if self.state_checkpoint_path is not None
                               else None),
             checkpoint_path=self.state_checkpoint_path,
-        )
+        ))
+        result = report.raw
+        assert isinstance(result, LSQRResult)
         return SolverOutput(
             result=result,
             sections=split_solution(result.x, system.dims),

@@ -1,0 +1,240 @@
+"""Fault taxonomy and the deterministic, seed-driven fault plan.
+
+Production AVU-GSR campaigns run LSQR for days across many GPU nodes;
+node loss, link hiccups and silent payload corruption are operating
+conditions, not exceptions.  This module defines the faults the
+reproduction can inject into its simulated MPI layer and the
+:class:`FaultPlan` that decides *when* they strike.
+
+The plan is a pure function of ``(seed, iteration, phase, attempt)``:
+every rank evaluates the same plan and therefore observes the same
+fault at the same communication epoch, which keeps the lockstep
+collectives of :class:`~repro.dist.comm.CollectiveBus` coherent while
+a fault is being injected and retried -- the in-process analogue of an
+MPI failure being agreed on by all survivors (as in ULFM).  Because
+epochs are keyed by ``(iteration, phase)`` rather than a wall-clock
+counter, a chaos run replays identically across checkpoint restarts
+and re-decompositions.
+
+Fault kinds (see ``docs/resilience.md`` for the full state machine):
+
+==================  =================================================
+kind                models
+==================  =================================================
+``COMM_DROP``       a lost collective; every rank retries the epoch
+``COMM_TIMEOUT``    a hung collective that tripped the epoch timeout
+``RANK_STALL``      a straggler rank sleeping before the collective
+``PAYLOAD_NAN``     reduction payload corrupted to NaN (detected at
+                    the epoch boundary and retried)
+``PAYLOAD_INF``     reduction payload corrupted to +/-Inf (detected)
+``SILENT_NAN``      corruption that evades the epoch check: caught
+                    later by state validation, rolled back
+``RANK_DEATH``      permanent loss of one rank mid-iteration
+==================  =================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+
+class FaultError(RuntimeError):
+    """Base class of every injected or detected fault condition."""
+
+
+class TransientCommFault(FaultError):
+    """A communication epoch failed in a retryable way."""
+
+
+class CommDropped(TransientCommFault):
+    """The collective's payload was lost; the epoch must be retried."""
+
+
+class CommTimeout(TransientCommFault):
+    """The collective exceeded the per-epoch timeout."""
+
+
+class PayloadCorrupted(TransientCommFault):
+    """The reduced payload failed the finite check at the epoch edge."""
+
+
+class CorruptionDetected(FaultError):
+    """Engine state failed validation: roll back to the last good
+    checkpoint (the corruption already escaped the epoch checks)."""
+
+
+class RankDied(FaultError):
+    """One rank left the computation permanently.
+
+    ``rank`` indexes the communicator that was alive when the death
+    fired; ``itn`` is the iteration it interrupted.
+    """
+
+    def __init__(self, rank: int, itn: int) -> None:
+        super().__init__(f"rank {rank} died at iteration {itn}")
+        self.rank = rank
+        self.itn = itn
+
+
+class UnrecoverableFault(FaultError):
+    """The retry/restart budget is exhausted; the solve is aborted."""
+
+
+class FaultKind(enum.Enum):
+    """The injectable fault taxonomy."""
+
+    COMM_DROP = "comm_drop"
+    COMM_TIMEOUT = "comm_timeout"
+    RANK_STALL = "rank_stall"
+    PAYLOAD_NAN = "payload_nan"
+    PAYLOAD_INF = "payload_inf"
+    SILENT_NAN = "silent_nan"
+    RANK_DEATH = "rank_death"
+
+
+#: Communication-epoch phases within one iteration, used as the
+#: restart-stable half of the RNG key.  ``init`` epochs belong to
+#: iteration 0 (the bidiagonalization setup).
+PH_INIT_NORM = 0   #: ``norm_sq`` of the initial right-hand side.
+PH_INIT_ATU = 1    #: initial ``A^T u`` accumulation.
+PH_NORMALIZE = 2   #: per-iteration ``u`` normalization reduce.
+PH_APROD2 = 3      #: per-iteration dense ``A^T u`` reduce.
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault the plan scheduled (and the injector executed)."""
+
+    kind: FaultKind
+    itn: int
+    phase: int
+    attempt: int = 0
+    rank: int | None = None  #: target rank; None = hits the collective
+
+    def describe(self) -> str:
+        """Human-readable one-liner for logs and reports."""
+        where = f"itn={self.itn} phase={self.phase} attempt={self.attempt}"
+        who = "" if self.rank is None else f" rank={self.rank}"
+        return f"{self.kind.value}@{where}{who}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic schedule of injected faults for one chaos run.
+
+    Transient faults are drawn per communication epoch from a hashed
+    counter-based RNG keyed by ``(seed, itn, phase, attempt)``: at most
+    one fault per epoch attempt, chosen by walking the cumulative rate
+    thresholds in a fixed order.  Retrying an epoch redraws with the
+    incremented ``attempt``, so bounded retries almost always clear a
+    transient fault; a pathological seed that re-draws faults past the
+    retry budget surfaces as :class:`UnrecoverableFault`.
+
+    ``rank_deaths`` schedules permanent losses: ``(rank, itn)`` kills
+    ``rank`` (in the communicator alive at that time) at the normalize
+    epoch of iteration ``itn`` -- mid-iteration, after ``aprod1`` ran.
+    The recovery driver consumes a death with :meth:`without_death`
+    before re-spawning the surviving ranks.
+    """
+
+    seed: int = 0
+    comm_drop_rate: float = 0.0
+    comm_timeout_rate: float = 0.0
+    stall_rate: float = 0.0
+    payload_nan_rate: float = 0.0
+    payload_inf_rate: float = 0.0
+    silent_nan_rate: float = 0.0
+    stall_duration_s: float = 0.002
+    rank_deaths: tuple[tuple[int, int], ...] = field(default_factory=tuple)
+
+    #: Draw order of the transient kinds (fixed for determinism).
+    _TRANSIENT_KINDS = (
+        (FaultKind.COMM_DROP, "comm_drop_rate"),
+        (FaultKind.COMM_TIMEOUT, "comm_timeout_rate"),
+        (FaultKind.RANK_STALL, "stall_rate"),
+        (FaultKind.PAYLOAD_NAN, "payload_nan_rate"),
+        (FaultKind.PAYLOAD_INF, "payload_inf_rate"),
+        (FaultKind.SILENT_NAN, "silent_nan_rate"),
+    )
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ValueError(f"seed must be >= 0, got {self.seed}")
+        total = 0.0
+        for _, rate_name in self._TRANSIENT_KINDS:
+            rate = getattr(self, rate_name)
+            if rate < 0 or rate > 1:
+                raise ValueError(f"{rate_name} must be in [0, 1]")
+            total += rate
+        if total > 1.0:
+            raise ValueError(
+                f"transient fault rates sum to {total:.3f} > 1"
+            )
+        if self.stall_duration_s < 0:
+            raise ValueError("stall_duration_s must be >= 0")
+        for rank, itn in self.rank_deaths:
+            if rank < 0 or itn < 1:
+                raise ValueError(
+                    f"rank_deaths entries need rank >= 0 and itn >= 1, "
+                    f"got ({rank}, {itn})"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """True when the plan injects anything at all."""
+        return bool(self.rank_deaths) or any(
+            getattr(self, rate_name) > 0
+            for _, rate_name in self._TRANSIENT_KINDS
+        )
+
+    def fault_for(self, itn: int, phase: int, attempt: int,
+                  n_ranks: int, *, generation: int = 0
+                  ) -> FaultEvent | None:
+        """The transient fault striking this epoch attempt, if any.
+
+        Pure and rank-independent: every rank computes the same answer
+        for the same epoch, which is what keeps the injected failure
+        (and its retries) lockstep across the collective.
+        ``generation`` counts checkpoint restarts: a replayed epoch
+        redraws, so a deterministic silent corruption cannot re-strike
+        the identical spot after every rollback and livelock the
+        recovery loop.  The whole chaos run stays reproducible because
+        the restart count is itself deterministic.
+        """
+        rng = np.random.default_rng(
+            (self.seed, itn, phase, attempt, generation)
+        )
+        draw = float(rng.random())
+        threshold = 0.0
+        for kind, rate_name in self._TRANSIENT_KINDS:
+            threshold += getattr(self, rate_name)
+            if draw < threshold:
+                rank = (int(rng.integers(n_ranks))
+                        if kind is FaultKind.RANK_STALL else None)
+                return FaultEvent(kind=kind, itn=itn, phase=phase,
+                                  attempt=attempt, rank=rank)
+        return None
+
+    def dies_here(self, rank: int, itn: int, phase: int) -> bool:
+        """True when ``rank`` is scheduled to die at this epoch."""
+        return phase == PH_NORMALIZE and (rank, itn) in self.rank_deaths
+
+    def without_death(self, rank: int, itn: int) -> "FaultPlan":
+        """The plan with one (consumed) death event removed."""
+        remaining = tuple(d for d in self.rank_deaths if d != (rank, itn))
+        return replace(self, rank_deaths=remaining)
+
+    def describe(self) -> str:
+        """Summary line for reports."""
+        parts = [f"seed={self.seed}"]
+        for _, rate_name in self._TRANSIENT_KINDS:
+            rate = getattr(self, rate_name)
+            if rate > 0:
+                parts.append(f"{rate_name}={rate:g}")
+        for rank, itn in self.rank_deaths:
+            parts.append(f"death=(rank {rank}, itn {itn})")
+        return "FaultPlan(" + ", ".join(parts) + ")"

@@ -1,0 +1,210 @@
+"""Fault injection and retry around the solver's reduction backend.
+
+:class:`ResilientCommReduction` extends the distributed solver's
+:class:`~repro.dist.runner.CommReduction` so that every communication
+epoch consults a :class:`~repro.resilience.faults.FaultPlan` and is
+wrapped by a :class:`~repro.resilience.policy.RetryPolicy`:
+
+- scheduled transient faults (comm drops, timeouts, payload
+  corruption) are injected, detected, and the epoch retried with
+  exponential backoff -- all ranks observe the same plan, so the
+  lockstep collectives stay coherent through injection and retry;
+- every reduced payload passes a finite check on the way out, so NaN
+  corruption is caught at the epoch boundary (except the ``SILENT``
+  variant, which deliberately evades it to exercise the state-level
+  rollback path);
+- a scheduled rank death raises
+  :class:`~repro.resilience.faults.RankDied` on the victim before it
+  enters the collective; the survivors observe the broken barrier and
+  the recovery driver re-spawns them.
+
+All injected faults and retries are counted in telemetry
+(``resilience.faults_injected`` by kind, ``resilience.retries``), so a
+chaos run is fully traceable next to the ordinary ``dist.comm_epoch``
+spans.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dist.comm import SimComm
+from repro.dist.runner import CommReduction
+from repro.obs.telemetry import Telemetry
+from repro.resilience.faults import (
+    PH_APROD2,
+    PH_INIT_ATU,
+    PH_INIT_NORM,
+    PH_NORMALIZE,
+    CommDropped,
+    CommTimeout,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    PayloadCorrupted,
+    RankDied,
+    TransientCommFault,
+)
+from repro.resilience.policy import RetryPolicy
+
+
+@dataclass
+class ChaosStats:
+    """Shared retry accounting across the SPMD rank threads.
+
+    Retries happen in lockstep on every rank, so only rank 0's are
+    counted; the lock keeps the shared counter clean across threads.
+    """
+
+    retries: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+
+    def count_retry(self, rank: int) -> None:
+        """Record one retried epoch (deduplicated to rank 0)."""
+        if rank == 0:
+            with self._lock:
+                self.retries += 1
+
+
+def _is_finite(value) -> bool:
+    if isinstance(value, np.ndarray):
+        return bool(np.all(np.isfinite(value)))
+    return bool(np.isfinite(value))
+
+
+def _corrupt(value, kind: FaultKind, rng: np.random.Generator):
+    """Poison a reduced payload in place (scalar or array)."""
+    poison = np.nan if kind in (FaultKind.PAYLOAD_NAN,
+                                FaultKind.SILENT_NAN) else np.inf
+    if isinstance(value, np.ndarray):
+        value[int(rng.integers(value.size))] = poison
+        return value
+    return float(poison)
+
+
+class ResilientCommReduction(CommReduction):
+    """A :class:`CommReduction` with fault injection and bounded retry.
+
+    Epochs are identified by ``(iteration, phase)`` -- reconstructed
+    from the engine's epoch labels -- so the plan's decisions are
+    stable across checkpoint restarts (``base_itn`` tells a resumed
+    backend where it re-enters the schedule).  Fault events this rank
+    is responsible for reporting (global events on rank 0, targeted
+    events on the target) are appended to ``sink``.
+    """
+
+    def __init__(self, comm: SimComm, plan: FaultPlan,
+                 retry: RetryPolicy, *, base_itn: int = 0,
+                 generation: int = 0,
+                 sink: list[FaultEvent] | None = None,
+                 stats: ChaosStats | None = None,
+                 telemetry: Telemetry | None = None) -> None:
+        super().__init__(comm, telemetry=telemetry)
+        self.plan = plan
+        self.retry = retry
+        self.generation = generation
+        self.sink = sink if sink is not None else []
+        self.stats = stats if stats is not None else ChaosStats()
+        self._itn = base_itn
+        self._init_calls = 0
+        self._jitter_rng = retry.make_rng(comm.rank)
+
+    # ------------------------------------------------------------------
+    def _record(self, event: FaultEvent) -> None:
+        """Count the event; report it once across the communicator."""
+        self._tel.counter("resilience.faults_injected",
+                          kind=event.kind.value, rank=self._rank).inc()
+        owner = 0 if event.rank is None else event.rank
+        if self.comm.rank == owner:
+            self.sink.append(event)
+
+    def _phase_of(self, epoch: str) -> int:
+        if epoch == "normalize":
+            self._itn += 1
+            return PH_NORMALIZE
+        if epoch == "aprod2":
+            return PH_APROD2
+        phase = PH_INIT_NORM if self._init_calls == 0 else PH_INIT_ATU
+        self._init_calls += 1
+        return phase
+
+    # ------------------------------------------------------------------
+    def _reduced(self, value, *, epoch: str, op_name: str = "sum"):
+        phase = self._phase_of(epoch)
+        itn = self._itn
+
+        if self.plan.dies_here(self.comm.rank, itn, phase):
+            event = FaultEvent(kind=FaultKind.RANK_DEATH, itn=itn,
+                               phase=phase, rank=self.comm.rank)
+            self._record(event)
+            raise RankDied(self.comm.rank, itn)
+
+        attempt = 0
+        while True:
+            fault = self.plan.fault_for(itn, phase, attempt,
+                                        self.comm.size,
+                                        generation=self.generation)
+            if (fault is not None
+                    and fault.kind is FaultKind.RANK_STALL
+                    and fault.rank == self.comm.rank
+                    and self.plan.stall_duration_s > 0):
+                time.sleep(self.plan.stall_duration_s)
+
+            t0 = time.perf_counter()
+            out = super()._reduced(value, epoch=epoch, op_name=op_name)
+            elapsed = time.perf_counter() - t0
+
+            try:
+                skip_finite_check = False
+                if fault is not None:
+                    self._record(fault)
+                    if fault.kind is FaultKind.COMM_DROP:
+                        raise CommDropped(
+                            f"collective dropped at itn={itn} "
+                            f"phase={phase}"
+                        )
+                    if fault.kind is FaultKind.COMM_TIMEOUT:
+                        raise CommTimeout(
+                            f"injected timeout at itn={itn} "
+                            f"phase={phase}"
+                        )
+                    if fault.kind in (FaultKind.PAYLOAD_NAN,
+                                      FaultKind.PAYLOAD_INF,
+                                      FaultKind.SILENT_NAN):
+                        rng = np.random.default_rng(
+                            (self.plan.seed, itn, phase, attempt,
+                             self.generation, 1)
+                        )
+                        out = _corrupt(out, fault.kind, rng)
+                        skip_finite_check = (
+                            fault.kind is FaultKind.SILENT_NAN
+                        )
+                if self.retry.epoch_timeout_s is not None:
+                    # Ranks time the barrier-synced exchange slightly
+                    # differently; agree on the max before comparing,
+                    # or some ranks would retry while others return.
+                    elapsed = self.comm.allreduce(elapsed, op="max")
+                    if elapsed > self.retry.epoch_timeout_s:
+                        raise CommTimeout(
+                            f"epoch took {elapsed:.3f}s > "
+                            f"{self.retry.epoch_timeout_s:.3f}s at "
+                            f"itn={itn} phase={phase}"
+                        )
+                if not skip_finite_check and not _is_finite(out):
+                    raise PayloadCorrupted(
+                        f"non-finite reduction payload at itn={itn} "
+                        f"phase={phase}"
+                    )
+                return out
+            except TransientCommFault as exc:
+                attempt += 1
+                self._tel.counter("resilience.retries",
+                                  rank=self._rank).inc()
+                self.stats.count_retry(self.comm.rank)
+                self.retry.escalate(attempt, exc, epoch=epoch)
+                self.retry.sleep_before_retry(attempt, self._jitter_rng)

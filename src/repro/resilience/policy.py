@@ -1,0 +1,94 @@
+"""Retry policy wrapping each communication epoch.
+
+One :class:`RetryPolicy` bounds how hard the solver fights a transient
+communication fault before escalating: a fixed number of retries per
+epoch, exponential backoff with deterministic (seeded) jitter between
+attempts, and an optional wall-clock timeout that converts a slow
+collective into a :class:`~repro.resilience.faults.CommTimeout` even
+without an injected fault.  Escalation raises
+:class:`~repro.resilience.faults.UnrecoverableFault`, which the
+recovery driver translates into a checkpoint restart or an abort.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.resilience.faults import TransientCommFault, UnrecoverableFault
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, backoff-with-jitter retry of one communication epoch.
+
+    Parameters
+    ----------
+    max_retries:
+        Retries allowed per epoch before the epoch is declared
+        unrecoverable (the first attempt is free: ``max_retries=3``
+        allows four total attempts).
+    backoff_base_s, backoff_factor:
+        Attempt ``k`` (1-based) sleeps
+        ``backoff_base_s * backoff_factor**(k-1)`` before retrying.
+        The default base is one millisecond: the simulated bus has no
+        real network to let recover, so backoff exists to exercise the
+        code path, not to burn test time.
+    jitter:
+        Fraction of the delay drawn uniformly at random and added, so
+        retry storms decorrelate.  The RNG is seeded (``seed``), so a
+        chaos run's timing decisions replay deterministically.
+    epoch_timeout_s:
+        When set, an epoch whose collective takes longer than this is
+        treated as timed out and retried -- the detection path a real
+        deployment pairs with a stalled network.
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = 0.001
+    backoff_factor: float = 2.0
+    jitter: float = 0.25
+    epoch_timeout_s: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_factor < 1.0:
+            raise ValueError(
+                "backoff_base_s must be >= 0 and backoff_factor >= 1"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.epoch_timeout_s is not None and self.epoch_timeout_s <= 0:
+            raise ValueError("epoch_timeout_s must be > 0")
+
+    def make_rng(self, rank: int = 0) -> np.random.Generator:
+        """Per-rank jitter RNG (deterministic given policy seed)."""
+        return np.random.default_rng((self.seed, rank))
+
+    def delay_s(self, attempt: int, rng: np.random.Generator) -> float:
+        """Backoff before retry ``attempt`` (1-based), jitter included."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        base = self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+        return base * (1.0 + self.jitter * float(rng.random()))
+
+    def sleep_before_retry(self, attempt: int,
+                           rng: np.random.Generator) -> float:
+        """Sleep the backoff delay; returns the seconds slept."""
+        delay = self.delay_s(attempt, rng)
+        if delay > 0:
+            time.sleep(delay)
+        return delay
+
+    def escalate(self, attempt: int, exc: TransientCommFault,
+                 *, epoch: str) -> None:
+        """Raise :class:`UnrecoverableFault` once retries are spent."""
+        if attempt > self.max_retries:
+            raise UnrecoverableFault(
+                f"epoch {epoch!r} still failing after "
+                f"{self.max_retries} retries: {exc}"
+            ) from exc

@@ -1,0 +1,116 @@
+"""Tests for the unified public solve API (repro.api)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    STRATEGY_PRESETS,
+    ResilienceConfig,
+    SolveRequest,
+    SolveReport,
+    derive_seed,
+    solve,
+)
+from repro.core.engine import StopReason
+from repro.core.lsqr import LSQRResult, lsqr_solve
+from repro.dist.runner import DistributedResult
+
+
+def test_serial_request_matches_direct_lsqr(small_system):
+    direct = lsqr_solve(small_system, iter_lim=60)
+    report = solve(SolveRequest(system=small_system, iter_lim=60))
+    assert isinstance(report.raw, LSQRResult)
+    assert report.stop is direct.istop
+    assert report.itn == direct.itn
+    assert report.acond == pytest.approx(direct.acond)
+    np.testing.assert_array_equal(report.x, direct.x)
+    se = report.standard_errors()
+    assert se.shape == direct.x.shape and np.all(se >= 0)
+
+
+def test_distributed_request_matches_serial(small_system):
+    serial = solve(SolveRequest(system=small_system, iter_lim=80))
+    dist = solve(SolveRequest(system=small_system, ranks=4, iter_lim=80))
+    assert isinstance(dist.raw, DistributedResult)
+    assert dist.ranks == 4
+    assert dist.stop is serial.stop
+    np.testing.assert_allclose(dist.x, serial.x, rtol=1e-8, atol=1e-10)
+
+
+def test_strategy_presets_agree(small_system):
+    runs = {name: solve(SolveRequest(system=small_system, iter_lim=40,
+                                     strategy=name))
+            for name in STRATEGY_PRESETS}
+    base = runs["auto"]
+    for name, report in runs.items():
+        np.testing.assert_allclose(report.x, base.x,
+                                   rtol=1e-9, atol=1e-11,
+                                   err_msg=f"strategy {name}")
+
+
+def test_request_validation(small_system):
+    with pytest.raises(ValueError, match="ranks"):
+        SolveRequest(system=small_system, ranks=0)
+    with pytest.raises(ValueError, match="strategy"):
+        SolveRequest(system=small_system, strategy="warp")
+    with pytest.raises(ValueError, match="seed"):
+        SolveRequest(system=small_system, seed=-1)
+    with pytest.raises(ValueError, match="damp"):
+        SolveRequest(system=small_system, ranks=2, damp=0.1)
+    with pytest.raises(ValueError, match="x0"):
+        SolveRequest(system=small_system, resilience=ResilienceConfig(),
+                     x0=np.zeros(small_system.dims.n_params))
+
+
+def test_single_seed_drives_derived_streams(small_system):
+    request = SolveRequest(system=small_system, seed=42,
+                           resilience=ResilienceConfig(
+                               comm_drop_rate=0.1))
+    plan, retry = request.fault_plan, request.retry_policy
+    assert plan is not None and retry is not None
+    # sub-seeds are deterministic, distinct per stream, and move with
+    # the one request seed
+    assert plan.seed == request.fault_plan.seed
+    assert plan.seed != retry.seed
+    other = SolveRequest(system=small_system, seed=43,
+                         resilience=ResilienceConfig(comm_drop_rate=0.1))
+    assert other.fault_plan.seed != plan.seed
+    assert derive_seed(42, 1) == derive_seed(42, 1)
+    assert derive_seed(42, 1) != derive_seed(42, 2)
+    # the config carries rates; the plan carries the derived seed
+    assert plan.comm_drop_rate == 0.1
+
+
+def test_report_summary_and_converged(small_system):
+    report = solve(SolveRequest(system=small_system, ranks=2,
+                                iter_lim=80))
+    text = report.summary()
+    assert "istop=" in text and "ranks=2" in text
+    assert report.converged
+    degraded = SolveReport(
+        x=report.x, stop=StopReason.DEGRADED, itn=report.itn,
+        r2norm=report.r2norm, ranks=1, m=report.m, n=report.n,
+    )
+    assert not degraded.converged  # no resilience record: unknown engine stop
+
+
+def test_resilient_request_runs_on_one_rank(small_system):
+    serial = solve(SolveRequest(system=small_system, iter_lim=60))
+    report = solve(SolveRequest(
+        system=small_system, iter_lim=60,
+        resilience=ResilienceConfig(),
+    ))
+    assert report.resilience is not None
+    assert report.stop is serial.stop
+    np.testing.assert_allclose(report.x, serial.x, rtol=1e-8, atol=1e-10)
+
+
+def test_cli_chaos_smoke(capsys):
+    from repro.cli import main
+
+    assert main(["chaos", "--size-gb", "0.002", "--ranks", "2",
+                 "--iterations", "60", "--scenarios", "nan"]) == 0
+    out = capsys.readouterr().out
+    assert "recovered" in out and "fault-free reference" in out
