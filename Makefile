@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-obs telemetry-smoke chaos-smoke bench-engine bench-aprod bench-aprod-smoke
+.PHONY: test test-obs telemetry-smoke chaos-smoke bench-engine bench-aprod bench-aprod-smoke serve-smoke serve-bench
 
 # The full tier-1 suite (ROADMAP.md's verify command).
 test:
@@ -43,3 +43,15 @@ bench-aprod:
 # kernel allocations (nonzero exit on violation).
 bench-aprod-smoke:
 	$(PYTHON) benchmarks/bench_aprod_plan.py --smoke --output BENCH_aprod_smoke.json
+
+# Serving-layer smoke (< 30 s): the example scenario end to end via
+# the CLI, then the CI-sized throughput bench with its invariants
+# (zero oversize admissions, bitwise cache-miss solutions, 2x bar).
+serve-smoke:
+	$(PYTHON) -m repro.cli serve --scenario examples/serve_scenario.json
+	$(PYTHON) benchmarks/bench_serve.py --smoke --output BENCH_serve_smoke.json
+
+# Full E35 acceptance run: 16-job mixed 10/30/60 GB workload on a
+# 4-device pool, >= 3x sequential throughput (see docs/serving.md).
+serve-bench:
+	$(PYTHON) benchmarks/bench_serve.py --output BENCH_serve.json

@@ -1,0 +1,172 @@
+"""Serving-layer throughput vs sequential solving (E35).
+
+The acceptance experiment for ``repro.serve``: a 16-job mixed
+10/30/60 GB-shaped workload on a 4-device pool (V100, A100, H100,
+MI250X per-GCD) must clear **3x** the throughput of sequentially
+calling :func:`repro.api.solve` on the same jobs, while
+
+- admitting **zero** jobs onto a device whose memory cannot hold the
+  job's nominal footprint (the paper's "60 GB fits only
+  H100/MI250X" constraint, checked against the placement log), and
+- returning solutions **bitwise identical** to solo solves for every
+  cache-miss job (the cache/coalescing layer must never change the
+  numerics).
+
+The speedup has two honest sources, reported separately: the result
+cache + request single-flight collapse repeated jobs into one solve
+each (the workload repeats itself, as serving traffic does), and the
+worker pool overlaps the distinct solves.  ``make serve-bench``
+writes ``BENCH_serve.json``; ``--smoke`` shrinks the workload for CI
+and asserts the same invariants at a 2x bar (tiny runs leave the
+speedup more exposed to scheduler overhead and machine noise).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import solve
+from repro.obs.telemetry import Telemetry
+from repro.serve import (
+    DevicePool,
+    LoadGenerator,
+    LoadSpec,
+    ResultCache,
+    Scheduler,
+)
+
+ROOT = Path(__file__).resolve().parent.parent
+
+POOL_DEVICES = ("V100", "A100", "H100", "MI250X")
+
+#: The acceptance workload: 16 jobs over 3 distinct (system, config)
+#: slots covering all three nominal sizes (seed 1 draws 6/5/5 jobs of
+#: 10/30/60 GB).
+BENCH_SPEC = LoadSpec(n_jobs=16, distinct_systems=3, scale=2e-4,
+                      iter_lim=60, seed=1)
+SMOKE_SPEC = LoadSpec(n_jobs=8, distinct_systems=2, scale=1e-4,
+                      iter_lim=40, seed=1)
+
+
+def run_bench(spec: LoadSpec, *, workers: int = 4,
+              min_speedup: float = 3.0) -> dict:
+    """One full comparison run; returns the BENCH document."""
+    jobs = LoadGenerator(spec).jobs()
+
+    # Solo reference solves, one per job: the sequential baseline and
+    # the bitwise reference for every cache-miss job.
+    t0 = time.perf_counter()
+    solo = {job.job_id: solve(job.request) for job in jobs}
+    sequential_s = time.perf_counter() - t0
+
+    tel = Telemetry()
+    pool = DevicePool(POOL_DEVICES, per_gcd=True, telemetry=tel)
+    scheduler = Scheduler(pool, workers=workers,
+                          cache=ResultCache(64, telemetry=tel),
+                          telemetry=tel)
+    report = scheduler.run(jobs)
+
+    # -- invariant 1: zero oversize admissions ------------------------
+    memory_of = {lane.lane_id: lane.spec.memory_gb
+                 for lane in pool.lanes}
+    oversize = [
+        p for p in report.placement_log
+        if p.footprint_gb > memory_of[p.device]
+    ]
+
+    # -- invariant 2: cache-miss solutions bitwise == solo solves -----
+    miss_ids = {p.job_id for p in report.placement_log
+                if not p.cache_hit}
+    bitwise_failures = []
+    outcomes = {o.job.job_id: o for o in report.completed}
+    for job_id in sorted(miss_ids):
+        served = outcomes[job_id].report
+        if not np.array_equal(served.x, solo[job_id].x):
+            bitwise_failures.append(job_id)
+
+    speedup = sequential_s / report.wall_s if report.wall_s else 0.0
+    doc = {
+        "workload": {
+            "n_jobs": spec.n_jobs,
+            "distinct_systems": spec.distinct_systems,
+            "nominal_mix_gb": sorted({j.nominal_gb for j in jobs}),
+            "scale": spec.scale,
+            "seed": spec.seed,
+            "pool": list(POOL_DEVICES),
+            "per_gcd": True,
+            "workers": workers,
+        },
+        "sequential_s": sequential_s,
+        "serve_wall_s": report.wall_s,
+        "speedup": speedup,
+        "min_speedup": min_speedup,
+        "throughput_jobs_per_s": report.throughput_jobs_per_s,
+        "queue_wait_p50_s": report.wait_percentile(50),
+        "queue_wait_p99_s": report.wait_percentile(99),
+        "device_utilization": report.utilization,
+        "cache": report.cache_stats,
+        "coalesced": int(tel.counter("serve.coalesced").value),
+        "distinct_solves": len(miss_ids),
+        "oversize_admissions": len(oversize),
+        "bitwise_mismatches": bitwise_failures,
+        "placements": [
+            {"job_id": p.job_id, "nominal_gb": p.nominal_gb,
+             "device": p.device, "port": p.port_key,
+             "cache_hit": p.cache_hit}
+            for p in report.placement_log
+        ],
+    }
+    doc["passed"] = (speedup >= min_speedup and not oversize
+                     and not bitwise_failures
+                     and len(report.completed) == spec.n_jobs)
+    return doc
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_serve.json")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized workload with a 2x bar")
+    args = parser.parse_args(argv)
+
+    spec = SMOKE_SPEC if args.smoke else BENCH_SPEC
+    min_speedup = 2.0 if args.smoke else 3.0
+    doc = run_bench(spec, workers=args.workers,
+                    min_speedup=min_speedup)
+
+    with open(args.output, "w") as fh:
+        json.dump(doc, fh, indent=2)
+    print(f"sequential {doc['sequential_s']:.2f} s -> serve "
+          f"{doc['serve_wall_s']:.2f} s "
+          f"({doc['speedup']:.2f}x, bar {min_speedup:g}x); "
+          f"{doc['distinct_solves']} distinct solves, "
+          f"{doc['cache']['hits']} cache hits, "
+          f"{doc['coalesced']} coalesced")
+    print(f"oversize admissions: {doc['oversize_admissions']}; "
+          f"bitwise mismatches: {doc['bitwise_mismatches'] or 'none'}")
+    print(f"wrote {args.output}")
+    if not doc["passed"]:
+        print("FAILED: serving acceptance criteria not met",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def test_serve_throughput_smoke(results_dir):
+    """Pytest-harness entry: smoke workload, invariants only."""
+    doc = run_bench(SMOKE_SPEC, workers=2, min_speedup=1.0)
+    assert doc["oversize_admissions"] == 0
+    assert not doc["bitwise_mismatches"]
+    (results_dir / "serve_smoke.json").write_text(
+        json.dumps(doc, indent=2))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

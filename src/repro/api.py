@@ -142,6 +142,14 @@ class SolveRequest:
     kernel preset (see :data:`STRATEGY_PRESETS`).  ``damp`` and ``x0``
     are serial-only (the distributed engine matches production, which
     has neither).
+
+    ``job_id``, ``framework`` and ``device`` are serving-layer hints
+    consumed by :mod:`repro.serve`: the id is threaded through to
+    :attr:`SolveReport.job_id`, ``framework`` pins the placement cost
+    model to one port key, ``device`` pins the job to one platform.
+    They are validated eagerly here -- a typo'd port or platform name
+    fails at request construction with the offending field named, not
+    deep inside the scheduler.
     """
 
     system: GaiaSystem
@@ -161,6 +169,9 @@ class SolveRequest:
     checkpoint_path: str | Path | None = None
     callback: IterationCallback | None = None
     telemetry: Telemetry | None = None
+    job_id: str | None = None
+    framework: str | None = None
+    device: str | None = None
 
     def __post_init__(self) -> None:
         if self.ranks < 1:
@@ -172,6 +183,40 @@ class SolveRequest:
             )
         if self.seed < 0:
             raise ValueError(f"seed must be >= 0, got {self.seed}")
+        if self.atol < 0:
+            raise ValueError(f"atol must be >= 0, got {self.atol}")
+        if self.btol is not None and self.btol < 0:
+            raise ValueError(f"btol must be >= 0, got {self.btol}")
+        if self.conlim <= 0:
+            raise ValueError(f"conlim must be > 0, got {self.conlim}")
+        if self.iter_lim is not None and self.iter_lim < 1:
+            raise ValueError(
+                f"iter_lim must be >= 1, got {self.iter_lim}")
+        if self.damp < 0:
+            raise ValueError(f"damp must be >= 0, got {self.damp}")
+        if (self.checkpoint_every is not None
+                and self.checkpoint_every < 1):
+            raise ValueError(
+                f"checkpoint_every must be >= 1, "
+                f"got {self.checkpoint_every}")
+        if self.framework is not None:
+            from repro.frameworks.executors_future import PSTL_EXECUTORS
+            from repro.frameworks.registry import PORTS_BY_KEY
+
+            known = tuple(PORTS_BY_KEY) + (PSTL_EXECUTORS.key,)
+            if self.framework not in known:
+                raise ValueError(
+                    f"unknown framework {self.framework!r}; expected "
+                    f"one of {known}"
+                )
+        if self.device is not None:
+            from repro.gpu.platforms import DEVICES_BY_NAME
+
+            if self.device not in DEVICES_BY_NAME:
+                raise ValueError(
+                    f"unknown device {self.device!r}; expected one of "
+                    f"{sorted(DEVICES_BY_NAME)}"
+                )
         distributed = self.ranks > 1 or self.resilience is not None
         if distributed and self.damp != 0.0:
             raise ValueError(
@@ -203,6 +248,31 @@ class SolveRequest:
             derive_seed(self.seed, _STREAM_RETRY))
 
 
+@dataclass(frozen=True)
+class Placement:
+    """Where -- and how -- the serving layer ran one job.
+
+    Produced by :class:`repro.serve.Scheduler` and attached to the
+    :class:`SolveReport` it returns (defined here, below ``serve``, so
+    the report type needs no serving-layer import).  ``device`` is the
+    pool lane the job ran on (``attempt > 0`` after a re-placement;
+    ``previous_devices`` lists the lanes that produced a
+    DEGRADED/ABORTED result first); ``cache_hit`` marks a report
+    served from the result cache rather than a fresh solve.
+    """
+
+    job_id: str
+    device: str
+    nominal_gb: float
+    footprint_gb: float
+    queue_wait_s: float = 0.0
+    estimated_s: float | None = None
+    port_key: str | None = None
+    attempt: int = 0
+    previous_devices: tuple[str, ...] = ()
+    cache_hit: bool = False
+
+
 @dataclass
 class SolveReport:
     """Uniform outcome of :func:`solve`, whichever driver ran.
@@ -211,7 +281,9 @@ class SolveReport:
     (:class:`~repro.core.lsqr.LSQRResult` or
     :class:`~repro.dist.runner.DistributedResult`) for callers that
     need its extras; ``resilience`` is the chaos-run record when the
-    recovery driver ran.
+    recovery driver ran.  ``job_id`` echoes the request's id;
+    ``placement`` is filled by the :mod:`repro.serve` scheduler when
+    the solve went through the serving layer.
     """
 
     x: np.ndarray
@@ -226,6 +298,8 @@ class SolveReport:
     mean_iteration_time: float = 0.0
     resilience: ResilienceReport | None = None
     raw: LSQRResult | DistributedResult | None = None
+    job_id: str | None = None
+    placement: Placement | None = None
 
     _CONVERGED = (
         StopReason.X_ZERO,
@@ -314,7 +388,7 @@ def _solve_serial(request: SolveRequest, gather: str,
         r2norm=result.r2norm, ranks=1, m=result.m, n=result.n,
         var=result.var, acond=result.acond,
         mean_iteration_time=result.mean_iteration_time,
-        raw=result,
+        raw=result, job_id=request.job_id,
     )
 
 
@@ -338,7 +412,7 @@ def _solve_distributed(request: SolveRequest, gather: str,
         r2norm=result.r2norm, ranks=result.n_ranks,
         m=result.m, n=result.n, var=result.var,
         mean_iteration_time=result.mean_iteration_time,
-        raw=result,
+        raw=result, job_id=request.job_id,
     )
 
 
@@ -369,5 +443,5 @@ def _solve_resilient(request: SolveRequest, gather: str,
         r2norm=result.r2norm, ranks=result.n_ranks,
         m=result.m, n=result.n, var=result.var,
         mean_iteration_time=result.mean_iteration_time,
-        resilience=report, raw=result,
+        resilience=report, raw=result, job_id=request.job_id,
     )

@@ -16,7 +16,11 @@ Subcommands mirror the artifact's workflows:
 - ``tables``   -- print Tables I-IV;
 - ``telemetry`` -- run an instrumented solve plus a modeled iteration
   and export the collected spans/metrics (Chrome trace, JSON,
-  markdown; see ``docs/observability.md``).
+  markdown; see ``docs/observability.md``);
+- ``serve``    -- run a multi-tenant serving scenario (scenario file
+  or the built-in smoke default) through the ``repro.serve``
+  scheduler and print throughput/latency/utilization (see
+  ``docs/serving.md``).
 """
 
 from __future__ import annotations
@@ -372,6 +376,54 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json as json_mod
+
+    from repro.obs.telemetry import Telemetry
+    from repro.serve import (
+        Scenario,
+        load_scenario,
+        run_scenario,
+    )
+
+    scenario = (load_scenario(args.scenario) if args.scenario
+                else Scenario())
+    if args.workers is not None:
+        scenario = dataclasses.replace(scenario, workers=args.workers)
+    tel = Telemetry()
+    report = run_scenario(scenario, telemetry=tel)
+    print(f"pool: {', '.join(scenario.devices)} "
+          f"(per_gcd={scenario.per_gcd}), "
+          f"{scenario.workers} workers")
+    print(report.summary())
+    if args.verbose:
+        print("\nplacement log:")
+        for p in report.placement_log:
+            tag = " cache-hit" if p.cache_hit else ""
+            retry = f" attempt={p.attempt}" if p.attempt else ""
+            print(f"  {p.job_id}: {p.nominal_gb:g} GB -> {p.device} "
+                  f"[{p.port_key}, est {p.estimated_s:.1f} s]"
+                  f"{tag}{retry}")
+    if args.json:
+        doc = {
+            "wall_s": report.wall_s,
+            "throughput_jobs_per_s": report.throughput_jobs_per_s,
+            "queue_wait_p50_s": report.wait_percentile(50),
+            "queue_wait_p99_s": report.wait_percentile(99),
+            "utilization": report.utilization,
+            "cache": report.cache_stats,
+            "completed": len(report.completed),
+            "rejected": len(report.rejected),
+            "placements": [dataclasses.asdict(p)
+                           for p in report.placement_log],
+        }
+        with open(args.json, "w") as fh:
+            json_mod.dump(doc, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0 if not report.rejected or args.allow_rejections else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro-gaia`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -502,6 +554,26 @@ def build_parser() -> argparse.ArgumentParser:
     te.add_argument("--output", default=None,
                     help="output path (defaults per export format)")
     te.set_defaults(fn=_cmd_telemetry)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run a multi-tenant serving scenario through the "
+             "repro.serve scheduler",
+    )
+    sv.add_argument("--scenario", default=None,
+                    help="scenario JSON file (default: built-in smoke "
+                         "scenario; see docs/serving.md for the "
+                         "format)")
+    sv.add_argument("--workers", type=int, default=None,
+                    help="override the scenario's worker count")
+    sv.add_argument("--verbose", action="store_true",
+                    help="print the per-job placement log")
+    sv.add_argument("--json", default=None,
+                    help="also write the run report as JSON here")
+    sv.add_argument("--allow-rejections", action="store_true",
+                    help="exit 0 even when admission control shed "
+                         "jobs")
+    sv.set_defaults(fn=_cmd_serve)
     return parser
 
 

@@ -11,6 +11,11 @@ that the executor interface grants per-device kernel geometry -- the
 single capability whose absence the paper blames for PSTL's 0.62.
 Comparing its projected P against the measured PSTL ports quantifies
 how much of the gap executors could close (experiment E19).
+
+Beyond the outlook study, the port is live machinery in the serving
+layer: ``PlacementCostModel(include_projected=True)`` (see
+:mod:`repro.serve.cost`) adds it to the placement roster, pricing a
+what-if pool where tuned PSTL changes which device wins a job.
 """
 
 from __future__ import annotations

@@ -1,0 +1,74 @@
+"""Multi-tenant serving layer over :func:`repro.api.solve`.
+
+The repo's first component where wall-clock concurrency, capacity and
+correctness interact: many concurrent solve jobs scheduled onto a
+heterogeneous pool of (simulated) GPUs, with the paper's central
+operational fact -- solves are gated by device memory; only
+H100-class boards and one MI250X GCD hold the 60 GB system -- turned
+into the placement policy.
+
+- :class:`DevicePool` / :class:`DeviceLane` -- platform entries from
+  :mod:`repro.gpu.platforms` with tracked free memory and per-device
+  FIFO work lanes (``per_gcd=True`` by default, so MI250X placement
+  uses the 64 GB a single solve can address);
+- :class:`Scheduler` -- priority-queue admission with memory-fit +
+  backpressure admission control, cheapest-feasible placement by the
+  :class:`PlacementCostModel` (the §V-B efficiency table as prices),
+  a thread pool of workers calling :func:`repro.api.solve`, and
+  re-placement of DEGRADED/ABORTED resilient solves on a different
+  device;
+- :class:`ResultCache` -- deterministic LRU keyed by (system digest,
+  config digest);
+- :class:`LoadGenerator` -- seeded open-loop streams of mixed
+  10/30/60 GB-shaped (scaled-down) jobs;
+- :func:`run_scenario` -- one JSON scenario file to a full
+  :class:`ServeReport` (the ``repro-gaia serve`` subcommand).
+
+See ``docs/serving.md`` for the architecture and the knobs.
+"""
+
+from repro.serve.cache import (
+    ResultCache,
+    config_digest,
+    request_key,
+    system_digest,
+)
+from repro.serve.cost import CostEstimate, PlacementCostModel
+from repro.serve.job import AdmissionDecision, ServeJob
+from repro.serve.loadgen import LoadGenerator, LoadSpec
+from repro.serve.pool import DeviceLane, DevicePool
+from repro.serve.scenario import (
+    Scenario,
+    build_scheduler,
+    load_scenario,
+    parse_scenario,
+    run_scenario,
+)
+from repro.serve.scheduler import (
+    JobOutcome,
+    Scheduler,
+    ServeReport,
+)
+
+__all__ = [
+    "AdmissionDecision",
+    "CostEstimate",
+    "DeviceLane",
+    "DevicePool",
+    "JobOutcome",
+    "LoadGenerator",
+    "LoadSpec",
+    "PlacementCostModel",
+    "ResultCache",
+    "Scenario",
+    "Scheduler",
+    "ServeJob",
+    "ServeReport",
+    "build_scheduler",
+    "config_digest",
+    "load_scenario",
+    "parse_scenario",
+    "request_key",
+    "run_scenario",
+    "system_digest",
+]

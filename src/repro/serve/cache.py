@@ -1,0 +1,128 @@
+"""Deterministic result cache for the serving layer.
+
+Two requests that name the same system content and the same solver
+configuration produce bit-identical solutions (the whole repo is built
+on that reproducibility contract), so the serving layer may answer the
+second one from memory.  The key is ``(system digest, config
+digest)``:
+
+- the *system digest* is a SHA-256 over the dimension tuple and the
+  raw bytes of every coefficient/index/known-term array -- content
+  addressed, so two separately generated but identical systems hit;
+- the *config digest* covers every request field that changes the
+  numerics (tolerances, limits, strategy, ranks, seed, resilience
+  rates...), and none that do not (telemetry, callbacks, job ids).
+
+Eviction is LRU with a fixed capacity; hits, misses and evictions tick
+``serve.cache.*`` counters.  All methods are thread-safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import replace
+
+from repro.api import SolveReport, SolveRequest
+from repro.obs.telemetry import Telemetry
+from repro.system.sparse import GaiaSystem
+
+CacheKey = tuple[str, str]
+
+
+def system_digest(system: GaiaSystem) -> str:
+    """Content hash of one system's dimension and coefficient data."""
+    h = hashlib.sha256()
+    d = system.dims
+    h.update(repr((d.n_stars, d.n_obs, d.n_deg_freedom_att,
+                   d.n_instr_params, d.n_glob_params)).encode())
+    for arr in (
+        system.astro_values, system.matrix_index_astro,
+        system.att_values, system.matrix_index_att,
+        system.instr_values, system.instr_col,
+        system.glob_values, system.known_terms,
+    ):
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def config_digest(request: SolveRequest) -> str:
+    """Hash of every request field that affects the solution."""
+    r = request
+    fields = (
+        r.ranks, r.atol, r.btol, r.conlim, r.iter_lim, r.damp,
+        r.precondition, r.calc_var, r.strategy, r.seed,
+        None if r.x0 is None else hashlib.sha256(r.x0.tobytes())
+        .hexdigest(),
+        None if r.resilience is None else r.resilience,
+    )
+    return hashlib.sha256(repr(fields).encode()).hexdigest()
+
+
+def request_key(request: SolveRequest) -> CacheKey:
+    """The cache key of one request."""
+    return (system_digest(request.system), config_digest(request))
+
+
+class ResultCache:
+    """Thread-safe LRU cache of :class:`~repro.api.SolveReport`."""
+
+    def __init__(self, capacity: int = 128,
+                 telemetry: Telemetry | None = None) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._tel = Telemetry.or_null(telemetry)
+        self._lock = threading.Lock()
+        self._store: OrderedDict[CacheKey, SolveReport] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def key(self, request: SolveRequest) -> CacheKey:
+        """Alias of :func:`request_key` for call-site symmetry."""
+        return request_key(request)
+
+    def get(self, key: CacheKey) -> SolveReport | None:
+        """The cached report (marked most recently used), or None.
+
+        The returned report is a fresh :class:`SolveReport` instance
+        sharing the (by-convention immutable) solution arrays, so the
+        caller may attach its own ``job_id``/``placement`` without
+        mutating the cached record.
+        """
+        with self._lock:
+            report = self._store.get(key)
+            if report is None:
+                self.misses += 1
+                self._tel.counter("serve.cache.miss").inc()
+                return None
+            self._store.move_to_end(key)
+            self.hits += 1
+            self._tel.counter("serve.cache.hit").inc()
+            return replace(report, job_id=None, placement=None)
+
+    def put(self, key: CacheKey, report: SolveReport) -> None:
+        """Insert (or refresh) one report, evicting the LRU entry."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._store[key] = replace(report, job_id=None,
+                                       placement=None)
+            self._store.move_to_end(key)
+            while len(self._store) > self.capacity:
+                self._store.popitem(last=False)
+                self.evictions += 1
+                self._tel.counter("serve.cache.eviction").inc()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counts plus the current size."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions,
+                    "size": len(self._store)}

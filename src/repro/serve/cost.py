@@ -1,0 +1,110 @@
+"""The placement cost model: estimated solve seconds per (job, device).
+
+"Cheapest feasible device" needs a price.  This module turns the
+portability study's efficiency machinery into one: for a job of
+nominal size ``g`` GB on device ``d``, the cost is the modeled setup
+plus ``n_iterations`` modeled LSQR iterations of the best supported
+port on ``d`` -- exactly the §V-B per-cell measurement
+(:func:`~repro.frameworks.executor.model_iteration` /
+:func:`~repro.frameworks.executor.model_setup`), so the scheduler's
+ranking of devices reproduces the paper's efficiency table ordering
+(H100 fastest, MI250X next, the CAS-cliff ports penalized, ...).
+
+A job may pin ``framework`` to one port key; otherwise the model
+prices every port in the roster supported on the device and takes the
+fastest.  With ``include_projected=True`` the hypothetical
+C++26-executors port :data:`~repro.frameworks.executors_future.
+PSTL_EXECUTORS` joins the candidate roster -- this is where the
+"future outlook" port is wired into live machinery: a what-if pool
+where tuned PSTL closes the geometry gap and changes placement
+prices.
+
+Estimates are deterministic (the executor model is analytic) and
+memoized per ``(size, device, framework)``, so placement decisions are
+cheap and reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frameworks.base import Port, UnsupportedPlatform
+from repro.frameworks.executor import model_iteration, model_setup
+from repro.frameworks.executors_future import PSTL_EXECUTORS
+from repro.frameworks.registry import ALL_PORTS
+from repro.gpu.device import DeviceSpec
+from repro.gpu.memory import DeviceOutOfMemory
+from repro.system.sizing import dims_from_gb
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Price of one job on one device: seconds and the port that wins."""
+
+    seconds: float
+    port_key: str
+    device_name: str
+
+
+class PlacementCostModel:
+    """Deterministic (size, device) -> seconds estimator for placement."""
+
+    def __init__(
+        self,
+        *,
+        ports: tuple[Port, ...] = ALL_PORTS,
+        include_projected: bool = False,
+        n_iterations: int = 100,
+    ) -> None:
+        if include_projected:
+            ports = tuple(ports) + (PSTL_EXECUTORS,)
+        self.ports = tuple(ports)
+        self._by_key = {p.key: p for p in self.ports}
+        self.n_iterations = n_iterations
+        self._memo: dict[tuple[float, str, str | None],
+                         CostEstimate | None] = {}
+
+    def candidate_ports(self, framework: str | None) -> tuple[Port, ...]:
+        """The ports priced for a job (one when pinned, else all)."""
+        if framework is None:
+            return self.ports
+        port = self._by_key.get(framework)
+        if port is None:
+            raise KeyError(
+                f"framework {framework!r} not in the cost model roster "
+                f"{sorted(self._by_key)}"
+            )
+        return (port,)
+
+    def estimate(
+        self,
+        nominal_gb: float,
+        device: DeviceSpec,
+        *,
+        framework: str | None = None,
+    ) -> CostEstimate | None:
+        """Cheapest supported port's modeled solve time, or None.
+
+        None means the device cannot run the job at all -- no candidate
+        toolchain targets it or the nominal problem does not fit its
+        memory (the study's two exclusion modes).
+        """
+        key = (round(nominal_gb, 9), device.name, framework)
+        if key in self._memo:
+            return self._memo[key]
+        dims = dims_from_gb(nominal_gb)
+        best: CostEstimate | None = None
+        for port in self.candidate_ports(framework):
+            try:
+                iteration = model_iteration(
+                    port, device, dims, size_gb=nominal_gb)
+                seconds = (model_setup(port, device, dims)
+                           + self.n_iterations * iteration.total)
+            except (UnsupportedPlatform, DeviceOutOfMemory):
+                continue
+            if best is None or (seconds, port.key) < (best.seconds,
+                                                      best.port_key):
+                best = CostEstimate(seconds=seconds, port_key=port.key,
+                                    device_name=device.name)
+        self._memo[key] = best
+        return best

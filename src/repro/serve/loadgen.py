@@ -1,0 +1,115 @@
+"""Seeded open-loop request streams for the serving layer.
+
+A :class:`LoadGenerator` turns a :class:`LoadSpec` into a list of
+:class:`~repro.serve.job.ServeJob`: a mix of 10/30/60 GB-*shaped*
+jobs (nominal sizes drive admission and placement against the real
+device memories) whose actually-solved systems are scaled-down
+replicas (``nominal_gb * scale`` through the usual synthetic
+generator).  Jobs draw from a small pool of ``distinct_systems``
+(system, config) slots, which is what makes the stream cacheable --
+real serving traffic repeats itself -- and every draw comes from one
+seeded PCG64 stream, so the same spec always produces the same
+workload, arrival offsets and all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from repro.api import SolveRequest
+from repro.serve.job import ServeJob
+from repro.system.generator import make_system
+from repro.system.sizing import dims_from_gb
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """Shape of one synthetic request stream."""
+
+    n_jobs: int = 16
+    #: nominal GB -> mix weight (normalized internally).
+    mix: tuple[tuple[float, float], ...] = (
+        (10.0, 0.5), (30.0, 0.3), (60.0, 0.2))
+    #: Actually-allocated fraction of the nominal size.
+    scale: float = 2e-4
+    #: Number of distinct (system, config) slots jobs draw from.
+    distinct_systems: int = 4
+    seed: int = 0
+    iter_lim: int = 60
+    ranks: int = 1
+    #: Priorities drawn uniformly from this set.
+    priorities: tuple[int, ...] = (0,)
+    #: Mean arrivals per second (None = all jobs queued at t=0).
+    arrival_rate_hz: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        if self.distinct_systems < 1:
+            raise ValueError(
+                f"distinct_systems must be >= 1, "
+                f"got {self.distinct_systems}")
+        if not (0 < self.scale <= 1):
+            raise ValueError(
+                f"scale must be in (0, 1], got {self.scale}")
+        if not self.mix or any(w < 0 for _, w in self.mix):
+            raise ValueError(f"invalid mix {self.mix!r}")
+
+
+@lru_cache(maxsize=32)
+def _slot_system(nominal_gb: float, scale: float, seed: int):
+    """The (cached) scaled-down system of one workload slot."""
+    return make_system(dims_from_gb(nominal_gb * scale), seed=seed,
+                       noise_sigma=1e-9)
+
+
+@dataclass
+class LoadGenerator:
+    """Deterministic ServeJob stream from one :class:`LoadSpec`."""
+
+    spec: LoadSpec = field(default_factory=LoadSpec)
+
+    def jobs(self) -> list[ServeJob]:
+        """The full request stream, in arrival order."""
+        spec = self.spec
+        rng = np.random.default_rng(spec.seed)
+        sizes = np.array([s for s, _ in spec.mix])
+        weights = np.array([w for _, w in spec.mix], dtype=float)
+        weights = weights / weights.sum()
+
+        # Each slot is one (nominal size, system seed) identity; jobs
+        # sharing a slot share the system *and* the solver config, so
+        # repeats are cache hits.
+        slot_sizes = rng.choice(sizes, size=spec.distinct_systems,
+                                p=weights)
+        slot_seeds = rng.integers(0, 2**31, size=spec.distinct_systems)
+
+        arrival = 0.0
+        out: list[ServeJob] = []
+        for i in range(spec.n_jobs):
+            slot = int(rng.integers(spec.distinct_systems))
+            nominal = float(slot_sizes[slot])
+            seed = int(slot_seeds[slot])
+            priority = int(rng.choice(np.array(spec.priorities)))
+            if spec.arrival_rate_hz:
+                arrival += float(
+                    rng.exponential(1.0 / spec.arrival_rate_hz))
+            system = _slot_system(nominal, spec.scale, seed)
+            request = SolveRequest(
+                system=system,
+                ranks=spec.ranks,
+                iter_lim=spec.iter_lim,
+                seed=seed,
+                job_id=f"job-{i:03d}",
+            )
+            out.append(ServeJob(
+                request=request,
+                nominal_gb=nominal,
+                priority=priority,
+                arrival_s=arrival if spec.arrival_rate_hz else 0.0,
+                job_id=f"job-{i:03d}",
+            ))
+        return out

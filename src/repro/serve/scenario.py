@@ -1,0 +1,113 @@
+"""Scenario files: one JSON document describing a whole serving run.
+
+The ``repro-gaia serve`` subcommand (and ``make serve-smoke``) runs a
+scenario like::
+
+    {
+      "pool": {"devices": ["V100", "A100", "H100", "MI250X"],
+               "per_gcd": true},
+      "scheduler": {"workers": 4, "max_queue_depth": 32,
+                    "cache_capacity": 64, "max_replacements": 1,
+                    "include_projected": false},
+      "load": {"n_jobs": 16, "mix": {"10": 0.5, "30": 0.3, "60": 0.2},
+               "distinct_systems": 4, "scale": 2e-4, "seed": 0,
+               "iter_lim": 60, "ranks": 1, "priorities": [0],
+               "arrival_rate_hz": null}
+    }
+
+Every knob is optional; the defaults above are the smoke scenario.
+``mix`` maps nominal GB to weight; ``per_gcd`` resolves the MI250X to
+its 64 GB single-GCD entry for memory-fit decisions (see
+:mod:`repro.gpu.platforms`); ``include_projected`` adds the C++26
+:data:`~repro.frameworks.executors_future.PSTL_EXECUTORS` port to the
+placement cost model's roster.  See ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.telemetry import Telemetry
+from repro.serve.cache import ResultCache
+from repro.serve.cost import PlacementCostModel
+from repro.serve.loadgen import LoadGenerator, LoadSpec
+from repro.serve.pool import DevicePool
+from repro.serve.scheduler import Scheduler, ServeReport
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Parsed scenario document."""
+
+    devices: tuple[str, ...] = ("V100", "A100", "H100", "MI250X")
+    per_gcd: bool = True
+    workers: int = 4
+    max_queue_depth: int = 32
+    cache_capacity: int = 64
+    max_replacements: int = 1
+    include_projected: bool = False
+    load: LoadSpec = field(default_factory=LoadSpec)
+
+
+def parse_scenario(doc: dict) -> Scenario:
+    """Build a :class:`Scenario` from a decoded JSON document."""
+    pool = doc.get("pool", {})
+    sched = doc.get("scheduler", {})
+    load_doc = dict(doc.get("load", {}))
+    if "mix" in load_doc:
+        load_doc["mix"] = tuple(
+            (float(size), float(weight))
+            for size, weight in load_doc["mix"].items()
+        )
+    if "priorities" in load_doc:
+        load_doc["priorities"] = tuple(int(p)
+                                       for p in load_doc["priorities"])
+    return Scenario(
+        devices=tuple(pool.get("devices",
+                               Scenario.devices)),
+        per_gcd=bool(pool.get("per_gcd", Scenario.per_gcd)),
+        workers=int(sched.get("workers", Scenario.workers)),
+        max_queue_depth=int(sched.get("max_queue_depth",
+                                      Scenario.max_queue_depth)),
+        cache_capacity=int(sched.get("cache_capacity",
+                                     Scenario.cache_capacity)),
+        max_replacements=int(sched.get("max_replacements",
+                                       Scenario.max_replacements)),
+        include_projected=bool(sched.get("include_projected",
+                                         Scenario.include_projected)),
+        load=LoadSpec(**load_doc),
+    )
+
+
+def load_scenario(path: str | Path) -> Scenario:
+    """Read and parse one scenario file."""
+    return parse_scenario(json.loads(Path(path).read_text()))
+
+
+def build_scheduler(scenario: Scenario,
+                    telemetry: Telemetry | None = None) -> Scheduler:
+    """The scheduler a scenario describes (fresh pool and cache)."""
+    pool = DevicePool(scenario.devices, per_gcd=scenario.per_gcd,
+                      telemetry=telemetry)
+    cache = (ResultCache(scenario.cache_capacity, telemetry=telemetry)
+             if scenario.cache_capacity > 0 else None)
+    return Scheduler(
+        pool,
+        workers=scenario.workers,
+        cache=cache,
+        cost_model=PlacementCostModel(
+            include_projected=scenario.include_projected),
+        max_queue_depth=scenario.max_queue_depth,
+        max_replacements=scenario.max_replacements,
+        telemetry=telemetry,
+    )
+
+
+def run_scenario(scenario: Scenario,
+                 telemetry: Telemetry | None = None) -> ServeReport:
+    """Generate the scenario's load and run it to completion."""
+    scheduler = build_scheduler(scenario, telemetry=telemetry)
+    jobs = LoadGenerator(scenario.load).jobs()
+    return scheduler.run(jobs)

@@ -1,0 +1,480 @@
+"""The multi-tenant solve scheduler.
+
+One :class:`Scheduler` turns a stream of :class:`~repro.serve.job.
+ServeJob` submissions into completed :class:`~repro.api.SolveReport`
+instances by way of four mechanisms:
+
+- **admission control** -- a job whose nominal footprint fits no
+  device in the pool is rejected immediately (the paper's "60 GB fits
+  only H100/MI250X" constraint, enforced at the door), and a full
+  queue sheds load (``max_queue_depth`` backpressure bound);
+- **priority queue** -- admitted jobs wait in ascending
+  ``(priority, submission order)``;
+- **memory-aware placement** -- a worker takes the highest-priority
+  job whose footprint fits some lane's *current* free memory, and
+  among those lanes picks the cheapest by the
+  :class:`~repro.serve.cost.PlacementCostModel` (§V-B efficiency
+  ordering), reserving the footprint for the duration of the solve;
+- **execution** -- a thread pool of ``workers`` calls
+  :func:`repro.api.solve` (or an injected ``solve_fn``), consulting
+  the :class:`~repro.serve.cache.ResultCache` first, and re-placing a
+  DEGRADED/ABORTED resilient solve on a *different* device (the
+  re-placement path of ``docs/resilience.md``, lifted from ranks to
+  devices).
+
+Determinism: with ``workers=1`` the placement log and cache hit/miss
+sequence are a pure function of the submission sequence -- the queue
+order, the placement tie-breaks and the cost model are all
+deterministic -- which is what ``tests/test_serve.py`` locks down.
+Telemetry lands under ``serve.*`` (admission counters, queue-depth
+gauge, per-job spans, wait/exec histograms; see
+``docs/observability.md`` conventions).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+import numpy as np
+
+from repro.api import Placement, SolveReport, SolveRequest, derive_seed
+from repro.api import solve as api_solve
+from repro.core.engine import StopReason
+from repro.obs.telemetry import Telemetry
+from repro.serve.cache import ResultCache
+from repro.serve.cost import PlacementCostModel
+from repro.serve.job import AdmissionDecision, ServeJob
+from repro.serve.pool import DevicePool
+
+#: Stop reasons that trigger a re-placement attempt on another device.
+REPLACE_ON: tuple[StopReason, ...] = (StopReason.DEGRADED,
+                                     StopReason.ABORTED_FAULTS)
+
+#: Stream tag for deriving the fault-plan seed of a re-placed attempt
+#: (a different physical device sees a different fault realization).
+_STREAM_REPLACEMENT = 3
+
+
+@dataclass
+class _Flight:
+    """One in-progress solve other identical jobs can wait on."""
+
+    done: threading.Event = field(default_factory=threading.Event)
+    report: SolveReport | None = None
+
+
+@dataclass
+class JobOutcome:
+    """Terminal record of one submitted job."""
+
+    job: ServeJob
+    decision: AdmissionDecision
+    report: SolveReport | None = None
+    placements: tuple[Placement, ...] = ()
+    queue_wait_s: float = 0.0
+    exec_s: float = 0.0
+
+    @property
+    def placement(self) -> Placement | None:
+        """The placement that produced the final report."""
+        return self.placements[-1] if self.placements else None
+
+
+@dataclass
+class ServeReport:
+    """Aggregate statistics of one scheduler run."""
+
+    outcomes: list[JobOutcome]
+    wall_s: float
+    utilization: dict[str, float]
+    cache_stats: dict[str, int]
+    placement_log: list[Placement] = field(default_factory=list)
+
+    @property
+    def completed(self) -> list[JobOutcome]:
+        """Outcomes that produced a report."""
+        return [o for o in self.outcomes if o.report is not None]
+
+    @property
+    def rejected(self) -> list[JobOutcome]:
+        """Outcomes shed by admission control."""
+        return [o for o in self.outcomes
+                if o.decision is not AdmissionDecision.ADMITTED]
+
+    @property
+    def throughput_jobs_per_s(self) -> float:
+        """Completed jobs per wall-clock second."""
+        if self.wall_s <= 0:
+            return 0.0
+        return len(self.completed) / self.wall_s
+
+    def wait_percentile(self, q: float) -> float:
+        """Queue-latency percentile over completed jobs (seconds)."""
+        waits = [o.queue_wait_s for o in self.completed]
+        if not waits:
+            return 0.0
+        return float(np.percentile(np.asarray(waits), q))
+
+    def summary(self) -> str:
+        """Human-readable run report (the CLI's serve output)."""
+        done, rej = self.completed, self.rejected
+        hits = self.cache_stats.get("hits", 0)
+        misses = self.cache_stats.get("misses", 0)
+        lines = [
+            f"jobs: {len(done)} completed, {len(rej)} rejected "
+            f"in {self.wall_s:.3f} s "
+            f"({self.throughput_jobs_per_s:.2f} jobs/s)",
+            f"queue latency: p50={self.wait_percentile(50) * 1e3:.1f} ms "
+            f"p99={self.wait_percentile(99) * 1e3:.1f} ms",
+            f"cache: {hits} hits / {misses} misses"
+            + (f" ({hits / (hits + misses):.0%} hit rate)"
+               if hits + misses else ""),
+            "device utilization: " + ", ".join(
+                f"{dev}={u:.0%}" for dev, u in self.utilization.items()),
+        ]
+        replaced = [o for o in done if len(o.placements) > 1]
+        if replaced:
+            lines.append(
+                f"re-placed after degraded/aborted solve: "
+                f"{len(replaced)} job(s)")
+        return "\n".join(lines)
+
+
+class Scheduler:
+    """Admission control + placement + execution over a device pool."""
+
+    def __init__(
+        self,
+        pool: DevicePool,
+        *,
+        workers: int = 4,
+        cache: ResultCache | None = None,
+        cost_model: PlacementCostModel | None = None,
+        max_queue_depth: int = 64,
+        max_replacements: int = 1,
+        telemetry: Telemetry | None = None,
+        solve_fn: Callable[[SolveRequest], SolveReport] = api_solve,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        self.pool = pool
+        self.workers = workers
+        self.cache = cache
+        self.cost_model = cost_model or PlacementCostModel()
+        self.max_queue_depth = max_queue_depth
+        self.max_replacements = max_replacements
+        self.tel = Telemetry.or_null(telemetry)
+        self.solve_fn = solve_fn
+
+        self._cond = threading.Condition()
+        #: Single-flight table: cache key -> in-progress solve, so N
+        #: concurrent identical jobs cost one solve (the followers
+        #: wait and share the leader's report).
+        self._inflight: dict[object, _Flight] = {}
+        #: (sort_key, job, enqueue time) in arrival order; scanned in
+        #: priority order at dispatch.
+        self._queue: list[tuple[tuple[int, int], ServeJob, float]] = []
+        self._seq = 0
+        self._in_flight = 0
+        self._closed = False
+        self.outcomes: list[JobOutcome] = []
+        self.placement_log: list[Placement] = []
+
+    # -- admission ------------------------------------------------------
+    def submit(self, job: ServeJob) -> AdmissionDecision:
+        """Admit a job to the queue, or reject it at the door."""
+        feasible = self.pool.feasible(job.footprint_gb,
+                                      device=job.request.device)
+        priced = [
+            lane for lane in feasible
+            if self.cost_model.estimate(
+                job.nominal_gb, lane.spec,
+                framework=job.request.framework) is not None
+        ]
+        with self._cond:
+            if not priced:
+                decision = AdmissionDecision.REJECTED_TOO_LARGE
+            elif len(self._queue) >= self.max_queue_depth:
+                decision = AdmissionDecision.REJECTED_BACKPRESSURE
+            else:
+                decision = AdmissionDecision.ADMITTED
+            self.tel.counter("serve.admission",
+                             decision=decision.value).inc()
+            if decision is not AdmissionDecision.ADMITTED:
+                self.outcomes.append(JobOutcome(job=job,
+                                                decision=decision))
+                return decision
+            self._queue.append((job.sort_key(self._seq), job,
+                                time.perf_counter()))
+            self._seq += 1
+            self.tel.gauge("serve.queue_depth").set(len(self._queue))
+            self._cond.notify()
+            return decision
+
+    # -- execution ------------------------------------------------------
+    def run(self, jobs: list[ServeJob] | None = None) -> ServeReport:
+        """Drain the queue (plus ``jobs``) with the worker pool.
+
+        Jobs with a positive ``arrival_s`` are submitted open-loop at
+        their offsets; the rest are enqueued immediately.  Returns
+        when every admitted job has completed.
+        """
+        start = time.perf_counter()
+        pending = sorted(jobs or [], key=lambda j: j.arrival_s)
+        for job in (j for j in pending if j.arrival_s == 0.0):
+            self.submit(job)
+        arrivals = [j for j in pending if j.arrival_s > 0.0]
+
+        threads = [
+            threading.Thread(target=self._worker, name=f"serve-w{i}",
+                             daemon=True)
+            for i in range(self.workers)
+        ]
+        for t in threads:
+            t.start()
+        for job in arrivals:  # open-loop arrival process
+            delay = start + job.arrival_s - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            self.submit(job)
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - start
+        return ServeReport(
+            outcomes=list(self.outcomes),
+            wall_s=wall,
+            utilization=self.pool.utilization(wall),
+            cache_stats=(self.cache.stats() if self.cache is not None
+                         else {}),
+            placement_log=list(self.placement_log),
+        )
+
+    # -- internals ------------------------------------------------------
+    def _next_placeable(self):
+        """Highest-priority queued job that fits free memory somewhere.
+
+        Returns ``(index, job, enqueued_at, lane)`` or None.  Skipping
+        over a head job that does not currently fit lets small jobs
+        flow around a large one waiting for H100-class memory
+        (bounded head-of-line blocking); the skip order is still
+        deterministic because both the scan and the tie-breaks are.
+        """
+        order = sorted(range(len(self._queue)),
+                       key=lambda i: self._queue[i][0])
+        for idx in order:
+            _, job, enq = self._queue[idx]
+            lane = self._choose_lane(job)
+            if lane is not None:
+                return idx, job, enq, lane
+        return None
+
+    def _choose_lane(self, job: ServeJob, exclude: tuple[str, ...] = ()):
+        """Cheapest lane whose free memory holds the job, or None."""
+        lanes = self.pool.placeable(job.footprint_gb,
+                                    device=job.request.device,
+                                    exclude=exclude)
+        best = None
+        for lane in lanes:
+            est = self.cost_model.estimate(
+                job.nominal_gb, lane.spec,
+                framework=job.request.framework)
+            if est is None:
+                continue
+            # Queueing-aware price: a lane already running k jobs
+            # finishes a new one ~(k+1)x later, so a slower idle
+            # device can beat the fastest busy one.  Ties break by
+            # raw cost then lane id -- fully deterministic.
+            rank = (est.seconds * (1 + len(lane.lane)), est.seconds,
+                    lane.lane_id)
+            if best is None or rank < best[0]:
+                best = (rank, lane, est)
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                choice = self._next_placeable()
+                while choice is None:
+                    if self._closed and not self._queue \
+                            and self._in_flight == 0:
+                        return
+                    if (self._queue and self._in_flight == 0
+                            and self._closed):
+                        # Nothing running will ever free memory; the
+                        # queue head passed admission, so this cannot
+                        # happen unless a caller mutated the pool.
+                        raise RuntimeError(
+                            "queued jobs can never be placed: "
+                            + ", ".join(j.job_id for _, j, _
+                                        in self._queue))
+                    self._cond.wait()
+                    choice = self._next_placeable()
+                idx, job, enqueued_at, (lane, est) = choice
+                del self._queue[idx]
+                self.tel.gauge("serve.queue_depth").set(
+                    len(self._queue))
+                self._in_flight += 1
+                self.pool.reserve(lane.lane_id, job.footprint_gb,
+                                  job.job_id)
+            try:
+                self._execute(job, lane, est, enqueued_at)
+            finally:
+                with self._cond:
+                    self._in_flight -= 1
+                    self._cond.notify_all()
+
+    def _execute(self, job: ServeJob, lane, est, enqueued_at: float
+                 ) -> None:
+        wait_s = time.perf_counter() - enqueued_at
+        self.tel.histogram("serve.queue_wait_s").observe(wait_s)
+        placements: list[Placement] = []
+        t0 = time.perf_counter()
+        attempt = 0
+        previous: tuple[str, ...] = ()
+        current_lane, current_est = lane, est
+        try:
+            while True:
+                placement = Placement(
+                    job_id=job.job_id,
+                    device=current_lane.lane_id,
+                    nominal_gb=job.nominal_gb,
+                    footprint_gb=job.footprint_gb,
+                    queue_wait_s=wait_s,
+                    estimated_s=current_est.seconds,
+                    port_key=current_est.port_key,
+                    attempt=attempt,
+                    previous_devices=previous,
+                )
+                with self._cond:
+                    self.placement_log.append(placement)
+                placements.append(placement)
+                report = self._solve_once(job, placement)
+                if report.placement is not None:
+                    # A cache/coalescing hit re-marked the placement.
+                    placements[-1] = report.placement
+                if (report.stop in REPLACE_ON
+                        and attempt < self.max_replacements):
+                    retry = self._replace(job, placement)
+                    if retry is not None:
+                        previous = previous + (current_lane.lane_id,)
+                        attempt += 1
+                        current_lane, current_est = retry
+                        continue
+                break
+        finally:
+            busy = time.perf_counter() - t0
+            with self._cond:
+                self.pool.release(current_lane.lane_id,
+                                  job.footprint_gb, job.job_id,
+                                  busy_s=busy)
+        report = replace(report, job_id=job.job_id,
+                         placement=placements[-1])
+        self.tel.histogram("serve.exec_s").observe(busy)
+        with self._cond:
+            self.outcomes.append(JobOutcome(
+                job=job, decision=AdmissionDecision.ADMITTED,
+                report=report, placements=tuple(placements),
+                queue_wait_s=wait_s, exec_s=busy,
+            ))
+
+    def _solve_once(self, job: ServeJob, placement: Placement
+                    ) -> SolveReport:
+        """One attempt: cache and single-flight lookup, then solve."""
+        request = job.request
+        key = self.cache.key(request) if self.cache is not None else None
+        with self.tel.span("serve.job", job_id=job.job_id,
+                           device=placement.device,
+                           attempt=placement.attempt):
+            flight: _Flight | None = None
+            leader = True
+            if key is not None:
+                with self._cond:
+                    cached = self.cache.get(key)
+                    if cached is not None:
+                        return replace(cached,
+                                       placement=self._mark_hit(
+                                           placement))
+                    flight = self._inflight.get(key)
+                    if flight is None:
+                        flight = self._inflight[key] = _Flight()
+                    else:
+                        leader = False
+            if flight is not None and not leader:
+                # An identical job is solving right now: coalesce
+                # instead of recomputing (request single-flight).
+                self.tel.counter("serve.coalesced").inc()
+                flight.done.wait()
+                if flight.report is not None:
+                    return replace(flight.report,
+                                   placement=self._mark_hit(placement))
+                # Leader failed; fall through and solve ourselves.
+            if placement.attempt > 0 and request.resilience is not None:
+                # A re-placed attempt runs on different hardware: the
+                # injected-fault realization must not replay, so the
+                # fault/retry streams re-derive from (seed, attempt).
+                request = replace(
+                    request,
+                    seed=derive_seed(request.seed,
+                                     _STREAM_REPLACEMENT
+                                     + placement.attempt),
+                )
+            try:
+                report = self.solve_fn(request)
+            except BaseException:
+                if leader and flight is not None:
+                    with self._cond:
+                        self._inflight.pop(key, None)
+                    flight.done.set()
+                raise
+            # Only a clean first attempt is publishable: re-placed
+            # attempts ran under a redrawn fault seed, and degraded/
+            # aborted results must not be served to future twins.
+            publishable = (placement.attempt == 0
+                           and report.stop not in REPLACE_ON)
+            if leader and flight is not None:
+                with self._cond:
+                    self._inflight.pop(key, None)
+                if publishable:
+                    flight.report = replace(report, job_id=None,
+                                            placement=None)
+                flight.done.set()
+            if key is not None and publishable:
+                self.cache.put(key, report)
+            return report
+
+    def _mark_hit(self, placement: Placement) -> Placement:
+        """Flip the log entry for ``placement`` to a cache hit."""
+        with self._cond:
+            idx = self.placement_log.index(placement)
+            hit = replace(placement, cache_hit=True)
+            self.placement_log[idx] = hit
+        return hit
+
+    def _replace(self, job: ServeJob, placement: Placement):
+        """Pick a different lane for a degraded/aborted solve."""
+        self.tel.counter("serve.replacement",
+                         from_device=placement.device).inc()
+        with self._cond:
+            exclude = placement.previous_devices + (placement.device,)
+            choice = self._choose_lane(job, exclude=exclude)
+            if choice is None:
+                return None
+            new_lane, new_est = choice
+            # Move the reservation to the new lane.
+            self.pool.release(placement.device, job.footprint_gb,
+                              job.job_id)
+            self.pool.reserve(new_lane.lane_id, job.footprint_gb,
+                              job.job_id)
+            self._cond.notify_all()
+            return new_lane, new_est

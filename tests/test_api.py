@@ -64,6 +64,43 @@ def test_request_validation(small_system):
                      x0=np.zeros(small_system.dims.n_params))
 
 
+def test_request_validation_is_eager(small_system):
+    """Every bad numeric knob is rejected at construction, by name."""
+    with pytest.raises(ValueError, match="atol"):
+        SolveRequest(system=small_system, atol=-1e-9)
+    with pytest.raises(ValueError, match="btol"):
+        SolveRequest(system=small_system, btol=-1e-9)
+    with pytest.raises(ValueError, match="conlim"):
+        SolveRequest(system=small_system, conlim=0.0)
+    with pytest.raises(ValueError, match="iter_lim"):
+        SolveRequest(system=small_system, iter_lim=0)
+    with pytest.raises(ValueError, match="damp"):
+        SolveRequest(system=small_system, damp=-0.5)
+    with pytest.raises(ValueError, match="checkpoint_every"):
+        SolveRequest(system=small_system, checkpoint_every=0)
+
+
+def test_request_rejects_unknown_framework_and_device(small_system):
+    with pytest.raises(ValueError, match="framework 'FORTRAN'"):
+        SolveRequest(system=small_system, framework="FORTRAN")
+    with pytest.raises(ValueError, match="device 'K80'"):
+        SolveRequest(system=small_system, device="K80")
+    # The full roster (including the projected C++26 port) and every
+    # platform of the study are accepted.
+    ok = SolveRequest(system=small_system, framework="PSTL+EXEC",
+                      device="MI250X")
+    assert ok.framework == "PSTL+EXEC" and ok.device == "MI250X"
+
+
+def test_job_id_threads_through_to_the_report(small_system):
+    report = solve(SolveRequest(system=small_system, iter_lim=5,
+                                job_id="tenant-a/42"))
+    assert report.job_id == "tenant-a/42"
+    assert report.placement is None  # only the scheduler sets this
+    anonymous = solve(SolveRequest(system=small_system, iter_lim=5))
+    assert anonymous.job_id is None
+
+
 def test_single_seed_drives_derived_streams(small_system):
     request = SolveRequest(system=small_system, seed=42,
                            resilience=ResilienceConfig(
