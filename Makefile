@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-obs telemetry-smoke chaos-smoke bench-engine bench-aprod bench-aprod-smoke serve-smoke serve-bench
+.PHONY: test test-obs telemetry-smoke chaos-smoke bench-engine bench-aprod bench-aprod-smoke serve-smoke serve-bench bench-batch-smoke
 
 # The full tier-1 suite (ROADMAP.md's verify command).
 test:
@@ -51,7 +51,17 @@ serve-smoke:
 	$(PYTHON) -m repro.cli serve --scenario examples/serve_scenario.json
 	$(PYTHON) benchmarks/bench_serve.py --smoke --output BENCH_serve_smoke.json
 
-# Full E35 acceptance run: 16-job mixed 10/30/60 GB workload on a
-# 4-device pool, >= 3x sequential throughput (see docs/serving.md).
+# Request-fusion smoke (< 30 s): a K=4 same-matrix/different-rhs
+# stream through the scheduler, per-job vs fused.  Exits nonzero
+# unless fused beats per-job (>1x), demux is bitwise what a direct
+# solve_batch of the same members produces, and every member matches
+# its solo solve.
+bench-batch-smoke:
+	$(PYTHON) benchmarks/bench_serve.py --batch-smoke --output BENCH_batch_smoke.json
+
+# Full E35+E36 acceptance run: the 16-job mixed 10/30/60 GB workload
+# on a 4-device pool at >= 3x sequential throughput, then the K=8
+# request-fusion workload at >= 3x the per-job path (see
+# docs/serving.md).
 serve-bench:
 	$(PYTHON) benchmarks/bench_serve.py --output BENCH_serve.json

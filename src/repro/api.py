@@ -33,7 +33,12 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.engine import StopReason
-from repro.core.lsqr import IterationCallback, LSQRResult, lsqr_solve
+from repro.core.lsqr import (
+    IterationCallback,
+    LSQRResult,
+    lsqr_solve,
+    lsqr_solve_batch,
+)
 from repro.dist.runner import DistributedLSQR, DistributedResult
 from repro.obs.telemetry import Telemetry
 from repro.resilience import (
@@ -271,6 +276,10 @@ class Placement:
     attempt: int = 0
     previous_devices: tuple[str, ...] = ()
     cache_hit: bool = False
+    #: Identifier of the fused batch this job solved in (None when the
+    #: job ran alone) and how many members that batch carried.
+    batch_id: str | None = None
+    batch_size: int = 1
 
 
 @dataclass
@@ -364,6 +373,84 @@ def solve(request: SolveRequest) -> SolveReport:
     if request.ranks > 1:
         return _solve_distributed(request, gather, scatter)
     return _solve_serial(request, gather, scatter)
+
+
+def batch_incompatibility(requests: "list[SolveRequest] | tuple[SolveRequest, ...]"
+                          ) -> str | None:
+    """Why these requests cannot solve as one batch (None if they can).
+
+    Structural checks only -- the members must be plain serial solves
+    agreeing on every shared engine parameter.  *Matrix* equality is
+    the caller's contract: :mod:`repro.serve` fuses by matrix digest,
+    direct callers pass systems they know share coefficients.  Members
+    are free to differ in right-hand side (``system.known_terms``),
+    ``damp``, ``seed``, ``x0`` and ``job_id``.
+    """
+    if not requests:
+        return "empty request batch"
+    first = requests[0]
+    for i, r in enumerate(requests):
+        if r.ranks != 1:
+            return f"requests[{i}] is distributed (ranks={r.ranks})"
+        if r.resilience is not None:
+            return f"requests[{i}] runs the resilience driver"
+        if r.callback is not None:
+            return f"requests[{i}] has a per-iteration callback"
+        if r.checkpoint_every is not None or r.checkpoint_path is not None:
+            return f"requests[{i}] checkpoints mid-solve"
+        for f in ("atol", "btol", "conlim", "iter_lim", "precondition",
+                  "calc_var", "strategy"):
+            if getattr(r, f) != getattr(first, f):
+                return (f"requests[{i}].{f}={getattr(r, f)!r} differs "
+                        f"from requests[0].{f}={getattr(first, f)!r}")
+        if r.system.dims != first.system.dims:
+            return f"requests[{i}] has different system dims"
+    return None
+
+
+def solve_batch(requests: "list[SolveRequest] | tuple[SolveRequest, ...]"
+                ) -> list[SolveReport]:
+    """Solve K compatible serial requests as one fused batched sweep.
+
+    All members must share the matrix (same coefficients and
+    constraints -- the right-hand side may differ via
+    ``system.known_terms``) and every engine parameter checked by
+    :func:`batch_incompatibility`; they may differ in rhs, ``damp``,
+    ``seed``, ``x0`` and ``job_id``.  One
+    :class:`~repro.core.engine.BatchedLSQRStepEngine` then advances
+    all members per iteration, and each member's report matches the
+    report ``solve`` would have produced for it alone (bitwise on the
+    classic kernel path, rtol 1e-12 on the fused plan path), in
+    request order.
+    """
+    reason = batch_incompatibility(requests)
+    if reason is not None:
+        raise ValueError(f"requests cannot solve as one batch: {reason}")
+    first = requests[0]
+    gather, scatter = first.strategies
+    btol = first.btol if first.btol is not None else first.atol
+    B = np.stack([r.system.rhs().astype(np.float64) for r in requests])
+    results = lsqr_solve_batch(
+        first.system, B,
+        damps=[r.damp for r in requests],
+        atol=first.atol, btol=btol, conlim=first.conlim,
+        iter_lim=first.iter_lim,
+        precondition=first.precondition,
+        calc_var=first.calc_var,
+        x0s=[r.x0 for r in requests],
+        gather_strategy=gather, scatter_strategy=scatter,
+        telemetry=first.telemetry,
+    )
+    return [
+        SolveReport(
+            x=res.x, stop=res.istop, itn=res.itn,
+            r2norm=res.r2norm, ranks=1, m=res.m, n=res.n,
+            var=res.var, acond=res.acond,
+            mean_iteration_time=res.mean_iteration_time,
+            raw=res, job_id=req.job_id,
+        )
+        for req, res in zip(requests, results)
+    ]
 
 
 def _solve_serial(request: SolveRequest, gather: str,

@@ -391,6 +391,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 else Scenario())
     if args.workers is not None:
         scenario = dataclasses.replace(scenario, workers=args.workers)
+    if args.max_fuse is not None:
+        scenario = dataclasses.replace(scenario, max_fuse=args.max_fuse)
     tel = Telemetry()
     report = run_scenario(scenario, telemetry=tel)
     print(f"pool: {', '.join(scenario.devices)} "
@@ -402,9 +404,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for p in report.placement_log:
             tag = " cache-hit" if p.cache_hit else ""
             retry = f" attempt={p.attempt}" if p.attempt else ""
+            fuse = (f" fused[{p.batch_id} x{p.batch_size}]"
+                    if p.batch_id is not None else "")
             print(f"  {p.job_id}: {p.nominal_gb:g} GB -> {p.device} "
                   f"[{p.port_key}, est {p.estimated_s:.1f} s]"
-                  f"{tag}{retry}")
+                  f"{tag}{retry}{fuse}")
     if args.json:
         doc = {
             "wall_s": report.wall_s,
@@ -566,6 +570,11 @@ def build_parser() -> argparse.ArgumentParser:
                          "format)")
     sv.add_argument("--workers", type=int, default=None,
                     help="override the scenario's worker count")
+    sv.add_argument("--max-fuse", type=int, default=None,
+                    help="override the scenario's request-fusion "
+                         "width (1 = no fusion; K > 1 coalesces up "
+                         "to K compatible queued jobs into one "
+                         "batched many-RHS solve)")
     sv.add_argument("--verbose", action="store_true",
                     help="print the per-job placement log")
     sv.add_argument("--json", default=None,

@@ -36,6 +36,7 @@ from repro.core.kernels import instr as k_instr
 from repro.core.kernels.gather_scatter import column_sq_norms
 from repro.core.kernels.plan import (
     FUSED_GATHER,
+    FUSED_MIN_OBS,
     SORTED_SEGMENT_SCATTER,
     AprodPlan,
     select_strategies,
@@ -54,6 +55,15 @@ FUSED_KERNEL_NAMES = ("aprod1_fused", "aprod2_fused")
 
 #: Hook signature: (kernel_name, rows, nnz) -> None.
 KernelHook = Callable[[str, int, int], None]
+
+#: Minimum batch width at which ``batch_kernel="auto"`` switches the
+#: batched products to the CSR SpMM pass: below this the einsum plan
+#: kernels amortize enough, and the narrower the batch the less the
+#: shared matrix read buys.
+SPMM_MIN_BATCH = 4
+
+#: Valid ``batch_kernel`` settings.
+BATCH_KERNELS = ("auto", "spmm", "einsum")
 
 
 class AprodOperator:
@@ -80,6 +90,24 @@ class AprodOperator:
         collision-free ``bincount`` reduction and accepts the
         ``sorted`` fast path on star-sorted systems (unused when the
         scatter runs through the fused plan).
+    batch_hint:
+        Intended trailing batch width of the callers (1 = single
+        solve).  Only consulted by the ``"auto"`` strategy resolution:
+        the fused plan's per-member workspaces multiply by the batch
+        width, so a batched caller may resolve to the cache-blocked
+        kernels where a solo caller would fuse (see
+        :func:`~repro.core.kernels.plan.select_strategies`).
+    batch_kernel:
+        How :meth:`aprod1_batch` / :meth:`aprod2_batch` execute:
+        ``"auto"`` (default) routes batches of
+        :data:`SPMM_MIN_BATCH`-plus members on the fused path at
+        production-like sizes through one CSR SpMM pass -- the shared
+        matrix read is the whole point of a many-RHS sweep -- and
+        keeps the einsum plan kernels otherwise; ``"spmm"`` /
+        ``"einsum"`` force the choice.  SpMM summation order differs
+        from the plan kernels at the reassociation level, so it only
+        engages where the equivalence contract is already rtol-pinned
+        (never on the bitwise classic presets).
     kernel_hook:
         Optional callable invoked after each kernel with
         ``(name, rows, nnz)``.
@@ -99,13 +127,24 @@ class AprodOperator:
         gather_strategy: str = "auto",
         scatter_strategy: str = "auto",
         astro_scatter_strategy: str = "auto",
+        batch_hint: int = 1,
+        batch_kernel: str = "auto",
         kernel_hook: KernelHook | None = None,
         telemetry: Telemetry | None = None,
     ) -> None:
         self.system = system
+        if batch_hint < 1:
+            raise ValueError(f"batch_hint must be >= 1, got {batch_hint}")
+        if batch_kernel not in BATCH_KERNELS:
+            raise ValueError(
+                f"unknown batch_kernel {batch_kernel!r}; expected one "
+                f"of {BATCH_KERNELS}"
+            )
+        self.batch_hint = batch_hint
+        self.batch_kernel = batch_kernel
         if "auto" in (gather_strategy, scatter_strategy,
                       astro_scatter_strategy):
-            selection = select_strategies(system.dims)
+            selection = select_strategies(system.dims, batch=batch_hint)
             if gather_strategy == "auto":
                 gather_strategy = selection.gather
             if scatter_strategy == "auto":
@@ -129,6 +168,25 @@ class AprodOperator:
         self._instr_cols = k_instr.columns(system.instr_col, d.instr_offset)
         self._glob_col = d.glob_offset if d.n_glob_params else -1
 
+        # The SpMM decision is fixed per operator (by the *intended*
+        # batch width, not the per-call active count), so one batched
+        # solve runs the same kernel for its whole trajectory however
+        # convergence staggers.  ``"auto"`` takes the SpMM pass only on
+        # the fused (rtol-pinned) path: the classic presets keep their
+        # bitwise per-member guarantee at every size.
+        if batch_kernel == "spmm":
+            self._batch_spmm = True
+        elif batch_kernel == "einsum":
+            self._batch_spmm = False
+        else:
+            self._batch_spmm = (
+                (gather_strategy == FUSED_GATHER
+                 or scatter_strategy == SORTED_SEGMENT_SCATTER)
+                and batch_hint >= SPMM_MIN_BATCH
+                and system.dims.n_obs >= FUSED_MIN_OBS
+            )
+        self._csr = None  # lazy (A, A^T) pair for the SpMM pass
+
         self._plan: AprodPlan | None = None
         if (gather_strategy == FUSED_GATHER
                 or scatter_strategy == SORTED_SEGMENT_SCATTER):
@@ -151,6 +209,20 @@ class AprodOperator:
     def plan(self) -> AprodPlan | None:
         """The compiled fused plan, if either strategy routes through one."""
         return self._plan
+
+    def _spmm_csr(self):
+        """The lazily built ``(A, A^T)`` CSR pair of the SpMM pass.
+
+        One sparse matrix-times-multiple-vectors product reads the
+        coefficients once for the whole batch -- the block-Krylov
+        amortization a per-member loop (or a per-member einsum plane)
+        cannot get.  Constraint rows are part of the CSR, so the SpMM
+        branches skip the per-member constraint loops too.
+        """
+        if self._csr is None:
+            a = self.system.to_scipy_csr()
+            self._csr = (a, a.T.tocsr())
+        return self._csr
 
     def _emit(self, name: str, rows: int, nnz: int) -> None:
         if self.kernel_hook is not None:
@@ -248,6 +320,96 @@ class AprodOperator:
                 self._emit("aprod2_glob", d.n_obs, d.n_obs)
         if sysm.constraints is not None and len(sysm.constraints):
             sysm.constraints.apply_transpose(y[d.n_obs:], out)
+        return out
+
+    # -- trailing batch axis -------------------------------------------
+    def aprod1_batch(self, X: np.ndarray, out: np.ndarray | None = None
+                     ) -> np.ndarray:
+        """``out[j] += A @ X[j]`` for a stacked batch of unknown vectors.
+
+        ``X`` is ``(K, n_params)`` batch-major; returns the
+        ``(K, n_rows)`` accumulator (allocated when ``out`` is None).
+        On the SpMM path (see ``batch_kernel``) one CSR product reads
+        the matrix once for the whole batch; the fused plan advances
+        all members in one packed gather/einsum pass; any other
+        strategy falls back to a per-member loop through
+        :meth:`aprod1`, so member ``j`` is always exactly
+        ``aprod1(X[j])``.
+        """
+        sysm = self.system
+        d = sysm.dims
+        if X.ndim != 2 or X.shape[1] != d.n_params:
+            raise ValueError(
+                f"X has shape {X.shape}, expected (K, {d.n_params})"
+            )
+        k = X.shape[0]
+        if out is None:
+            out = np.zeros((k, sysm.n_rows))
+        elif out.shape != (k, sysm.n_rows):
+            raise ValueError(
+                f"out has shape {out.shape}, expected "
+                f"({k}, {sysm.n_rows})"
+            )
+        if self._batch_spmm:
+            a, _ = self._spmm_csr()
+            out += (a @ np.ascontiguousarray(X.T)).T
+            self._emit("aprod1_spmm", k * sysm.n_rows, k * a.nnz)
+        elif self.gather_strategy == FUSED_GATHER:
+            plan = self._plan
+            assert plan is not None
+            plan.aprod1_batch(X, out[:, : d.n_obs])
+            self._emit("aprod1_fused", k * d.n_obs,
+                       k * d.n_obs * plan.k_total)
+            if sysm.constraints is not None and len(sysm.constraints):
+                for j in range(k):
+                    out[j, d.n_obs:] += sysm.constraints.apply_forward(
+                        X[j])
+        else:
+            for j in range(k):
+                self.aprod1(X[j], out=out[j])
+        return out
+
+    def aprod2_batch(self, Y: np.ndarray, out: np.ndarray | None = None
+                     ) -> np.ndarray:
+        """``out[j] += A.T @ Y[j]`` for a stacked batch of row vectors.
+
+        ``Y`` is ``(K, n_rows)``; returns the ``(K, n_params)``
+        accumulator.  The sorted-segment plan reduces all members in
+        one batched ``reduceat`` pass with the build-time summation
+        order, so member ``j`` is bitwise ``aprod2(Y[j])``; other
+        strategies loop per member.
+        """
+        sysm = self.system
+        d = sysm.dims
+        if Y.ndim != 2 or Y.shape[1] != sysm.n_rows:
+            raise ValueError(
+                f"Y has shape {Y.shape}, expected (K, {sysm.n_rows})"
+            )
+        k = Y.shape[0]
+        if out is None:
+            out = np.zeros((k, d.n_params))
+        elif out.shape != (k, d.n_params):
+            raise ValueError(
+                f"out has shape {out.shape}, expected "
+                f"({k}, {d.n_params})"
+            )
+        if self._batch_spmm:
+            _, at = self._spmm_csr()
+            out += (at @ np.ascontiguousarray(Y.T)).T
+            self._emit("aprod2_spmm", k * d.n_params, k * at.nnz)
+        elif self.scatter_strategy == SORTED_SEGMENT_SCATTER:
+            plan = self._plan
+            assert plan is not None
+            plan.aprod2_batch(Y[:, : d.n_obs], out)
+            self._emit("aprod2_fused", k * d.n_obs,
+                       k * d.n_obs * plan.k_total)
+            if sysm.constraints is not None and len(sysm.constraints):
+                for j in range(k):
+                    sysm.constraints.apply_transpose(Y[j, d.n_obs:],
+                                                     out[j])
+        else:
+            for j in range(k):
+                self.aprod2(Y[j], out=out[j])
         return out
 
     # ------------------------------------------------------------------

@@ -22,6 +22,16 @@ sides, preconditioning, iteration budgets, timing and result types.
 The engine owns the numerics.  Its entire iteration state is the
 explicit, serializable :class:`EngineState`; per-iteration workspaces
 are preallocated once so the hot loop performs no array allocations.
+
+The batched variant (:class:`BatchedEngineState` /
+:class:`BatchedLSQRStepEngine`) stacks K compatible solves -- same
+matrix, different right-hand sides and damping -- along a leading
+batch axis, so one ``aprod1_batch`` / ``aprod2_batch`` pass advances
+every still-running member at once while converged members stay
+frozen bit-for-bit at their own stopping iteration.  The scalar
+recurrences run per member in exactly the serial order, so each
+member's trajectory is the serial trajectory (see
+``tests/test_engine_batch.py`` for the pinned equivalence contract).
 """
 
 from __future__ import annotations
@@ -460,4 +470,457 @@ class LSQRStepEngine:
             s.istop = StopReason.LSQ_ATOL
         elif test1 <= rtol:
             s.istop = StopReason.ATOL_BTOL
+        return s
+
+
+class BatchedAprod(Protocol):
+    """Operators additionally exposing stacked-batch products.
+
+    ``aprod1_batch`` / ``aprod2_batch`` apply ``A`` / ``A^T`` to every
+    row of a ``(K, n)`` / ``(K, m)`` stack in one pass, accumulating
+    into ``out`` exactly like the single-vector products.  Both
+    :class:`~repro.core.aprod.AprodOperator` and
+    :class:`~repro.core.precond.PreconditionedAprod` satisfy this.
+    """
+
+    @property
+    def shape(self) -> tuple[int, int]: ...
+
+    def aprod1(self, x: np.ndarray, out: np.ndarray | None = None
+               ) -> np.ndarray: ...
+
+    def aprod2(self, y: np.ndarray, out: np.ndarray | None = None
+               ) -> np.ndarray: ...
+
+    def aprod1_batch(self, X: np.ndarray, out: np.ndarray | None = None
+                     ) -> np.ndarray: ...
+
+    def aprod2_batch(self, Y: np.ndarray, out: np.ndarray | None = None
+                     ) -> np.ndarray: ...
+
+
+#: Sentinel in :attr:`BatchedEngineState.istop` for a running member.
+ISTOP_RUNNING = -1
+
+
+@dataclass
+class BatchedEngineState:
+    """The state of ``K`` stacked LSQR solves after per-member ``itn``.
+
+    The layout is batch-major C order: ``X``/``U``/``V``/``W`` hold one
+    member per *row*, so each member's vector is a contiguous view and
+    per-member norms (``np.dot`` on a row) are bitwise identical to the
+    serial engine's.  Every Paige & Saunders scalar becomes a ``(K,)``
+    array; ``istop`` is an int array with :data:`ISTOP_RUNNING` (-1)
+    marking members still iterating.  Converged members freeze at their
+    own ``itn`` -- subsequent steps never touch their rows.
+    """
+
+    itn: np.ndarray
+    X: np.ndarray
+    U: np.ndarray
+    V: np.ndarray
+    W: np.ndarray
+    alfa: np.ndarray
+    beta: np.ndarray
+    rhobar: np.ndarray
+    phibar: np.ndarray
+    anorm: np.ndarray
+    acond: np.ndarray
+    ddnorm: np.ndarray
+    res2: np.ndarray
+    xnorm: np.ndarray
+    xxnorm: np.ndarray
+    z: np.ndarray
+    cs2: np.ndarray
+    sn2: np.ndarray
+    bnorm: np.ndarray
+    rnorm: np.ndarray
+    r1norm: np.ndarray
+    r2norm: np.ndarray
+    arnorm: np.ndarray
+    var: np.ndarray | None
+    istop: np.ndarray
+
+    @property
+    def batch(self) -> int:
+        """Number of stacked members."""
+        return self.X.shape[0]
+
+    @property
+    def active(self) -> np.ndarray:
+        """Indices of members still iterating."""
+        return np.flatnonzero(self.istop == ISTOP_RUNNING)
+
+    @property
+    def done(self) -> bool:
+        """True once every member has a stopping reason."""
+        return bool(np.all(self.istop != ISTOP_RUNNING))
+
+    def stop_reason(self, j: int) -> StopReason | None:
+        """Member ``j``'s stopping reason, None while running."""
+        code = int(self.istop[j])
+        return None if code == ISTOP_RUNNING else StopReason(code)
+
+    def member(self, j: int) -> EngineState:
+        """A standalone :class:`EngineState` copy of member ``j``."""
+        scalars = {f: float(getattr(self, f)[j])
+                   for f in EngineState._SCALARS}
+        return EngineState(
+            itn=int(self.itn[j]), x=self.X[j].copy(), u=self.U[j].copy(),
+            v=self.V[j].copy(), w=self.W[j].copy(),
+            var=None if self.var is None else self.var[j].copy(),
+            istop=self.stop_reason(j), **scalars,
+        )
+
+    def abort_member(
+        self, j: int,
+        reason: StopReason = StopReason.ABORTED_FAULTS,
+    ) -> None:
+        """Freeze member ``j`` with ``reason`` (no-op if already done)."""
+        if int(self.istop[j]) == ISTOP_RUNNING:
+            self.istop[j] = int(reason)
+
+    def validate_member(self, j: int) -> list[str]:
+        """NaN/Inf guard over one member's state (see
+        :meth:`EngineState.validate`)."""
+        bad = [f for f in EngineState._SCALARS
+               if not np.isfinite(getattr(self, f)[j])]
+        for name in ("X", "U", "V", "W"):
+            if not np.all(np.isfinite(getattr(self, name)[j])):
+                bad.append(name.lower())
+        if self.var is not None and not np.all(np.isfinite(self.var[j])):
+            bad.append("var")
+        return bad
+
+
+class BatchedLSQRStepEngine:
+    """One LSQR iteration advancing every running member of a batch.
+
+    The iteration body is the serial :meth:`LSQRStepEngine.step` lifted
+    to a leading batch axis.  The heavy passes -- ``aprod1``, the
+    transpose accumulation and the ``x``/``w`` vector updates -- run
+    once over the compacted active set (``aprod1_batch`` /
+    ``aprod2_batch`` plus broadcast row scaling), while the scalar
+    recurrences and norms run per member in Python floats in exactly
+    the serial order, so each member reproduces the serial trajectory.
+    Row scaling by a per-member scalar and per-row ``np.dot`` norms are
+    elementwise-identical to their serial counterparts, which is what
+    makes the classic kernel path bitwise and the fused path
+    reassociation-only (rtol ~ 1e-15 observed, pinned at 1e-12).
+
+    Per-member stopping uses the same rules as the serial engine; a
+    member whose recurrence goes non-finite (e.g. a fault injected into
+    its rhs mid-batch) is frozen with :attr:`StopReason.ABORTED_FAULTS`
+    on that iteration while its siblings continue unharmed -- member
+    rows never mix in any batched pass, so corruption cannot leak
+    across the batch.
+
+    Parameters
+    ----------
+    op:
+        A :class:`BatchedAprod` (already preconditioned if desired).
+    batch:
+        Number of stacked members ``K``.
+    damps:
+        Per-member damping: a scalar or a ``(K,)`` array-like.
+    atol, btol, conlim, calc_var, telemetry:
+        As for :class:`LSQRStepEngine`; shared by all members (the
+        serve layer only fuses requests agreeing on these).
+    """
+
+    def __init__(
+        self,
+        op: BatchedAprod,
+        *,
+        batch: int,
+        damps: float | np.ndarray = 0.0,
+        atol: float = 1e-10,
+        btol: float = 1e-10,
+        conlim: float = 1e8,
+        calc_var: bool = True,
+        telemetry: Telemetry | None = None,
+        span_prefix: str = "lsqr_batch",
+        span_labels: dict[str, str] | None = None,
+    ) -> None:
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        damps = np.broadcast_to(
+            np.asarray(damps, dtype=np.float64), (batch,)
+        ).copy()
+        if np.any(damps < 0) or not np.all(np.isfinite(damps)):
+            raise ValueError("every damp must be finite and >= 0")
+        if atol < 0 or btol < 0:
+            raise ValueError("atol and btol must be >= 0")
+        self.op = op
+        self.batch = batch
+        self.damps = damps
+        self.atol = atol
+        self.btol = btol
+        self.conlim = conlim
+        self.calc_var = calc_var
+        self._tel = Telemetry.or_null(telemetry)
+        self._prefix = span_prefix
+        self._labels = dict(span_labels or {})
+        self._eps = float(np.finfo(np.float64).eps)
+        self._ctol = 1.0 / conlim if conlim > 0 else 0.0
+        self._dampsq = damps * damps
+        m, n = op.shape
+        # Full-width hot-loop workspaces: active members are compacted
+        # into the leading rows each step, so the loop allocates
+        # nothing regardless of how convergence staggers.
+        self._Uws = np.empty((batch, m))
+        self._Vws = np.empty((batch, n))
+        self._Xws = np.empty((batch, n))
+        self._Wws = np.empty((batch, n))
+        self._DKws = np.empty((batch, n))
+        self._TMPws = np.empty((batch, n))
+
+    @property
+    def workspace_bytes(self) -> int:
+        """Bytes preallocated for the batched hot loop (engine stacks
+        plus the operator's plan workspaces, when it exposes them)."""
+        total = (self._Uws.nbytes + self._Vws.nbytes + self._Xws.nbytes
+                 + self._Wws.nbytes + self._DKws.nbytes
+                 + self._TMPws.nbytes)
+        plan = getattr(self.op, "plan", None)
+        if plan is None:
+            plan = getattr(getattr(self.op, "op", None), "plan", None)
+        if plan is not None:
+            total += plan.workspace_nbytes
+        return total
+
+    # ------------------------------------------------------------------
+    def start(self, B: np.ndarray) -> BatchedEngineState:
+        """Initialize the batched bidiagonalization from stacked rhs.
+
+        ``B`` is ``(K, m)``; the engine copies it (the copy becomes
+        ``U``).  Degenerate members stop immediately with the serial
+        codes (:attr:`StopReason.X_ZERO` / :attr:`StopReason.LSQ_ATOL`)
+        while the rest start iterating.
+        """
+        K = self.batch
+        m, n = self.op.shape
+        B = np.asarray(B, dtype=np.float64)
+        if B.shape != (K, m):
+            raise ValueError(f"B must be ({K}, {m}), got {B.shape}")
+        U = np.ascontiguousarray(B, dtype=np.float64).copy()
+        beta = np.empty(K)
+        for j in range(K):
+            beta[j] = float(np.sqrt(np.dot(U[j], U[j])))
+        np.divide(U, beta[:, None], out=U, where=beta[:, None] > 0.0)
+        V = np.zeros((K, n))
+        self.op.aprod2_batch(U, out=V)
+        alfa = np.empty(K)
+        for j in range(K):
+            alfa[j] = float(np.sqrt(np.dot(V[j], V[j])))
+        np.divide(V, alfa[:, None], out=V, where=alfa[:, None] > 0.0)
+        istop = np.full(K, ISTOP_RUNNING, dtype=np.int64)
+        istop[(beta > 0.0) & (alfa == 0.0)] = int(StopReason.LSQ_ATOL)
+        istop[beta == 0.0] = int(StopReason.X_ZERO)
+        zeros = np.zeros(K)
+        return BatchedEngineState(
+            itn=np.zeros(K, dtype=np.int64),
+            X=np.zeros((K, n)), U=U, V=V, W=V.copy(),
+            alfa=alfa.copy(), beta=beta.copy(),
+            rhobar=alfa.copy(), phibar=beta.copy(),
+            anorm=zeros.copy(), acond=zeros.copy(),
+            ddnorm=zeros.copy(), res2=zeros.copy(),
+            xnorm=zeros.copy(), xxnorm=zeros.copy(),
+            z=zeros.copy(), cs2=np.full(K, -1.0), sn2=zeros.copy(),
+            bnorm=beta.copy(), rnorm=beta.copy(),
+            r1norm=beta.copy(), r2norm=beta.copy(),
+            arnorm=alfa * beta,
+            var=np.zeros((K, n)) if self.calc_var else None,
+            istop=istop,
+        )
+
+    # ------------------------------------------------------------------
+    def step(self, s: BatchedEngineState) -> BatchedEngineState:
+        """Advance every running member one iteration in place.
+
+        A no-op once all members are done.  Frozen members' rows and
+        scalars are never read or written.
+        """
+        idx = s.active
+        k = idx.size
+        if k == 0:
+            return s
+        s.itn[idx] += 1
+        with self._tel.span(f"{self._prefix}.iteration", **self._labels,
+                            itn=int(s.itn[idx].max()), active=k):
+            # With every member still running the state stacks ARE the
+            # compacted views -- operate on them in place and skip the
+            # gather/scatter copies entirely (the common case until the
+            # first member converges).
+            full = k == s.batch
+            DK, TMP = self._DKws[:k], self._TMPws[:k]
+            if full:
+                U, V, X, W = s.U, s.V, s.X, s.W
+            else:
+                U, V = self._Uws[:k], self._Vws[:k]
+                X, W = self._Xws[:k], self._Wws[:k]
+                np.take(s.U, idx, axis=0, out=U)
+                np.take(s.V, idx, axis=0, out=V)
+                np.take(s.X, idx, axis=0, out=X)
+                np.take(s.W, idx, axis=0, out=W)
+            old_alfa = s.alfa[idx].copy()
+            dampsq = self._dampsq[idx]
+
+            # Bidiagonalization: next beta, u, alfa, v -- one batched
+            # pass each way, per-row norms.
+            U *= -old_alfa[:, None]
+            self.op.aprod1_batch(V, out=U)
+            beta = np.empty(k)
+            for j in range(k):
+                beta[j] = float(np.sqrt(np.dot(U[j], U[j])))
+            np.divide(U, beta[:, None], out=U, where=beta[:, None] > 0.0)
+
+            new_alfa = old_alfa.copy()
+            if np.all(beta > 0.0):
+                V *= -beta[:, None]
+                self.op.aprod2_batch(U, out=V)
+                for j in range(k):
+                    new_alfa[j] = float(np.sqrt(np.dot(V[j], V[j])))
+                np.divide(V, new_alfa[:, None], out=V,
+                          where=new_alfa[:, None] > 0.0)
+            else:
+                # Exact-breakdown members (beta == 0) skip the
+                # transpose pass, matching the serial engine; run the
+                # rest individually through the single-vector product.
+                for j in np.flatnonzero(beta > 0.0):
+                    V[j] *= -beta[j]
+                    self.op.aprod2(U[j], out=V[j])
+                    a = float(np.sqrt(np.dot(V[j], V[j])))
+                    new_alfa[j] = a
+                    if a > 0.0:
+                        V[j] /= a
+
+            # Per-member scalar recurrences, phase one: damping
+            # elimination and the plane rotation (serial order, Python
+            # floats -- bitwise the serial scalars).
+            rho_a = np.empty(k)
+            t1_a = np.empty(k)
+            t2_a = np.empty(k)
+            phi_a = np.empty(k)
+            tau_a = np.empty(k)
+            psi_a = np.empty(k)
+            theta_a = np.empty(k)
+            for j in range(k):
+                g = int(idx[j])
+                beta_j = float(beta[j])
+                s.beta[g] = beta_j
+                if beta_j > 0.0:
+                    s.anorm[g] = float(np.sqrt(
+                        float(s.anorm[g])**2 + float(old_alfa[j])**2
+                        + beta_j**2 + float(dampsq[j])
+                    ))
+                s.alfa[g] = float(new_alfa[j])
+
+                rhobar1 = float(np.sqrt(
+                    float(s.rhobar[g])**2 + float(dampsq[j])
+                ))
+                cs1 = float(s.rhobar[g]) / rhobar1
+                sn1 = float(self.damps[g]) / rhobar1
+                psi_a[j] = sn1 * float(s.phibar[g])
+                s.phibar[g] = cs1 * float(s.phibar[g])
+
+                rho = float(np.sqrt(rhobar1**2 + beta_j**2))
+                cs = rhobar1 / rho
+                sn = beta_j / rho
+                theta_a[j] = sn * float(new_alfa[j])
+                s.rhobar[g] = -cs * float(new_alfa[j])
+                phi_a[j] = cs * float(s.phibar[g])
+                s.phibar[g] = sn * float(s.phibar[g])
+                tau_a[j] = sn * phi_a[j]
+                rho_a[j] = rho
+                t1_a[j] = phi_a[j] / rho
+                t2_a[j] = -theta_a[j] / rho
+
+            # Batched x / w update (broadcast row scaling: elementwise
+            # identical to the serial vector ops).
+            np.divide(W, rho_a[:, None], out=DK)
+            np.multiply(W, t1_a[:, None], out=TMP)
+            X += TMP
+            W *= t2_a[:, None]
+            W += V
+            if s.var is not None:
+                np.multiply(DK, DK, out=TMP)
+                if full:
+                    s.var += TMP
+                else:
+                    s.var[idx] += TMP
+
+            # Per-member scalar recurrences, phase two: norm estimates
+            # and the stopping tests.
+            eps = self._eps
+            for j in range(k):
+                g = int(idx[j])
+                s.ddnorm[g] = float(s.ddnorm[g]) + float(
+                    np.dot(DK[j], DK[j])
+                )
+                delta = float(s.sn2[g]) * rho_a[j]
+                gambar = -float(s.cs2[g]) * rho_a[j]
+                rhs = phi_a[j] - delta * float(s.z[g])
+                zbar = rhs / gambar
+                s.xnorm[g] = float(np.sqrt(float(s.xxnorm[g]) + zbar**2))
+                gamma = float(np.sqrt(gambar**2 + theta_a[j]**2))
+                s.cs2[g] = gambar / gamma
+                s.sn2[g] = theta_a[j] / gamma
+                s.z[g] = rhs / gamma
+                s.xxnorm[g] = float(s.xxnorm[g]) + float(s.z[g])**2
+
+                s.acond[g] = float(s.anorm[g]) * float(
+                    np.sqrt(float(s.ddnorm[g]))
+                )
+                res1 = float(s.phibar[g])**2
+                s.res2[g] = float(s.res2[g]) + psi_a[j]**2
+                s.rnorm[g] = float(np.sqrt(res1 + float(s.res2[g])))
+                s.arnorm[g] = float(s.alfa[g]) * abs(tau_a[j])
+
+                r1sq = (float(s.rnorm[g])**2
+                        - float(dampsq[j]) * float(s.xxnorm[g]))
+                r1 = float(np.sqrt(abs(r1sq)))
+                s.r1norm[g] = -r1 if r1sq < 0.0 else r1
+                s.r2norm[g] = float(s.rnorm[g])
+
+                test1 = float(s.rnorm[g]) / float(s.bnorm[g])
+                test2 = float(s.arnorm[g]) / (
+                    float(s.anorm[g]) * float(s.rnorm[g]) + eps
+                )
+                test3 = 1.0 / (float(s.acond[g]) + eps)
+                rtol = (self.btol + self.atol * float(s.anorm[g])
+                        * float(s.xnorm[g]) / float(s.bnorm[g]))
+                t1_test = test1 / (
+                    1.0 + float(s.anorm[g]) * float(s.xnorm[g])
+                    / float(s.bnorm[g])
+                )
+
+                if not (np.isfinite(test1) and np.isfinite(test2)
+                        and np.isfinite(float(s.xnorm[g]))):
+                    # A non-finite recurrence (injected fault, bit
+                    # flip) can never satisfy a stopping rule -- freeze
+                    # this member alone; member rows never mix in any
+                    # batched pass, so siblings are unaffected.
+                    s.istop[g] = int(StopReason.ABORTED_FAULTS)
+                elif 1.0 + test3 <= 1.0:
+                    s.istop[g] = int(StopReason.CONLIM_EPS)
+                elif 1.0 + test2 <= 1.0:
+                    s.istop[g] = int(StopReason.LSQ_EPS)
+                elif 1.0 + t1_test <= 1.0:
+                    s.istop[g] = int(StopReason.ATOL_EPS)
+                elif test3 <= self._ctol:
+                    s.istop[g] = int(StopReason.CONLIM_WARN)
+                elif test2 <= self.atol:
+                    s.istop[g] = int(StopReason.LSQ_ATOL)
+                elif test1 <= rtol:
+                    s.istop[g] = int(StopReason.ATOL_BTOL)
+
+            # Scatter the advanced rows back (in-place already when
+            # the whole batch was active).
+            if not full:
+                s.U[idx] = U
+                s.V[idx] = V
+                s.X[idx] = X
+                s.W[idx] = W
         return s

@@ -25,6 +25,18 @@ achievable efficiency.  This module is the tuned counterpart:
   allocate no arrays at all -- extending the guarantee
   :class:`~repro.core.engine.LSQRStepEngine` already makes for the
   solver vectors down into the kernels.
+- **Trailing batch axis**: both passes generalize to ``K`` stacked
+  solves sharing one coefficient matrix (:meth:`AprodPlan.
+  aprod1_batch` / :meth:`AprodPlan.aprod2_batch`, backing the
+  :class:`~repro.core.engine.BatchedLSQRStepEngine`): one
+  ``take``/``einsum``/``reduceat`` pass advances all ``K`` members at
+  once over batch-major ``(K, n)`` / ``(K, n_obs)`` operands.  The
+  contraction axes are unchanged, so each member's slice of a batched
+  pass reduces in the same order as the single-member pass.  Batched
+  workspaces are sized on demand per batch width
+  (:meth:`AprodPlan.ensure_batch`) and counted against the same
+  :data:`PLAN_BUDGET_BYTES` budget by :func:`select_strategies` via
+  its ``batch`` parameter.
 
 :func:`select_strategies` is the shape-based heuristic (re-exported
 through :mod:`repro.frameworks.tuning`) that decides when the plan
@@ -158,14 +170,37 @@ class SortedSegmentScatter:
         self._contrib = np.empty(self.nnz)
         self._seg_sums = np.empty(self.n_segments)
         self._col_ws = np.empty(self.n_segments)
+        # Batched (K, .) workspaces, allocated lazily by ensure_batch:
+        # one contribution plane and two segment planes per member.
+        self._contrib_b: np.ndarray | None = None
+        self._seg_sums_b: np.ndarray | None = None
+        self._col_ws_b: np.ndarray | None = None
 
     @property
     def workspace_nbytes(self) -> int:
         """Bytes held by the precomputed index/value/workspace arrays."""
-        return (self._sorted_values.nbytes + self._sorted_rows.nbytes
-                + self._seg_starts.nbytes + self.segment_cols.nbytes
-                + self._contrib.nbytes + self._seg_sums.nbytes
-                + self._col_ws.nbytes)
+        total = (self._sorted_values.nbytes + self._sorted_rows.nbytes
+                 + self._seg_starts.nbytes + self.segment_cols.nbytes
+                 + self._contrib.nbytes + self._seg_sums.nbytes
+                 + self._col_ws.nbytes)
+        for ws in (self._contrib_b, self._seg_sums_b, self._col_ws_b):
+            if ws is not None:
+                total += ws.nbytes
+        return total
+
+    def ensure_batch(self, k: int) -> None:
+        """Preallocate the batched workspaces for batch width ``k``.
+
+        Idempotent; growing the width reallocates, shrinking reuses the
+        leading slices, so a converging batch (fewer active members
+        each pass) never reallocates.
+        """
+        if k < 1:
+            raise ValueError(f"batch width must be >= 1, got {k}")
+        if self._contrib_b is None or self._contrib_b.shape[0] < k:
+            self._contrib_b = np.empty((k, self.nnz))
+            self._seg_sums_b = np.empty((k, self.n_segments))
+            self._col_ws_b = np.empty((k, self.n_segments))
 
     def add_into(self, y: np.ndarray, out: np.ndarray) -> None:
         """Accumulate the scatter of ``values * y[:, None]`` into ``out``."""
@@ -191,6 +226,42 @@ class SortedSegmentScatter:
         np.take(out, self.segment_cols, mode="clip", out=self._col_ws)
         self._col_ws += self._seg_sums
         out[self.segment_cols] = self._col_ws
+
+    def add_into_batch(self, Y: np.ndarray, out: np.ndarray) -> None:
+        """Batched :meth:`add_into`: ``K`` scatters in one reduceat pass.
+
+        ``Y`` is ``(K, m)`` batch-major, ``out`` is ``(K, n)``; member
+        ``j`` accumulates exactly ``add_into(Y[j], out[j])``.  The
+        segment reduction runs along the trailing axis with the same
+        frozen left-to-right order as the single-member pass, so each
+        member's result is bitwise the unbatched scatter.
+        """
+        if Y.ndim != 2 or Y.shape[1] != self.shape[0]:
+            raise ValueError(
+                f"Y has shape {Y.shape}, expected (K, {self.shape[0]})"
+            )
+        if out.shape[0] != Y.shape[0]:
+            raise ValueError(
+                f"out has {out.shape[0]} members, Y has {Y.shape[0]}"
+            )
+        if self.nnz == 0:
+            return
+        if int(self.segment_cols[-1]) >= out.shape[1]:
+            raise ValueError(
+                f"out has {out.shape[1]} entries but the scatter targets "
+                f"column {int(self.segment_cols[-1])}"
+            )
+        k = Y.shape[0]
+        self.ensure_batch(k)
+        contrib = self._contrib_b[:k]
+        seg_sums = self._seg_sums_b[:k]
+        col_ws = self._col_ws_b[:k]
+        np.take(Y, self._sorted_rows, axis=1, mode="clip", out=contrib)
+        np.multiply(contrib, self._sorted_values, out=contrib)
+        np.add.reduceat(contrib, self._seg_starts, axis=1, out=seg_sums)
+        np.take(out, self.segment_cols, axis=1, mode="clip", out=col_ws)
+        col_ws += seg_sums
+        out[:, self.segment_cols] = col_ws
 
 
 # ----------------------------------------------------------------------
@@ -237,15 +308,35 @@ class AprodPlan:
         self.packed_cols = cols
         self._gather_ws = np.empty((m, k_total))
         self._row_ws = np.empty(m)
+        self._gather_ws_b: np.ndarray | None = None
+        self._row_ws_b: np.ndarray | None = None
         self._scatter = SortedSegmentScatter(values, cols)
         self.build_seconds = time.perf_counter() - t0
 
     @property
     def workspace_nbytes(self) -> int:
         """Total bytes preallocated by the plan (packed + workspaces)."""
-        return (self.packed_values.nbytes + self.packed_cols.nbytes
-                + self._gather_ws.nbytes + self._row_ws.nbytes
-                + self._scatter.workspace_nbytes)
+        total = (self.packed_values.nbytes + self.packed_cols.nbytes
+                 + self._gather_ws.nbytes + self._row_ws.nbytes
+                 + self._scatter.workspace_nbytes)
+        for ws in (self._gather_ws_b, self._row_ws_b):
+            if ws is not None:
+                total += ws.nbytes
+        return total
+
+    def ensure_batch(self, k: int) -> None:
+        """Preallocate batched gather/scatter workspaces for width ``k``.
+
+        Idempotent per width; a shrinking active set reuses the leading
+        slices so the batched hot loop stays allocation-free once the
+        widest pass has run.
+        """
+        if k < 1:
+            raise ValueError(f"batch width must be >= 1, got {k}")
+        if self._gather_ws_b is None or self._gather_ws_b.shape[0] < k:
+            self._gather_ws_b = np.empty((k, self.n_obs, self.k_total))
+            self._row_ws_b = np.empty((k, self.n_obs))
+        self._scatter.ensure_batch(k)
 
     def aprod1(self, x: np.ndarray, obs_out: np.ndarray) -> None:
         """``obs_out += A_obs @ x`` as one packed gather-dot pass.
@@ -262,6 +353,32 @@ class AprodPlan:
     def aprod2(self, y_obs: np.ndarray, out: np.ndarray) -> None:
         """``out += A_obs.T @ y`` as one deterministic segment reduction."""
         self._scatter.add_into(y_obs, out)
+
+    # -- trailing batch axis -------------------------------------------
+    def aprod1_batch(self, X: np.ndarray, obs_out: np.ndarray) -> None:
+        """``obs_out[j] += A_obs @ X[j]`` for all ``K`` members at once.
+
+        ``X`` is ``(K, n_params)`` batch-major, ``obs_out`` is
+        ``(K, n_obs)``.  One gather and one fused multiply-reduce
+        advance every member; the contraction still runs over the
+        packed coefficient axis exactly as in :meth:`aprod1`, so each
+        member's slice matches the single-member pass.
+        """
+        if X.ndim != 2 or X.shape[1] != self.n_params:
+            raise ValueError(
+                f"X has shape {X.shape}, expected (K, {self.n_params})"
+            )
+        k = X.shape[0]
+        self.ensure_batch(k)
+        gather = self._gather_ws_b[:k]
+        rows = self._row_ws_b[:k]
+        np.take(X, self.packed_cols, axis=1, mode="clip", out=gather)
+        np.einsum("bij,ij->bi", gather, self.packed_values, out=rows)
+        obs_out += rows
+
+    def aprod2_batch(self, Y_obs: np.ndarray, out: np.ndarray) -> None:
+        """``out[j] += A_obs.T @ Y_obs[j]`` as one batched reduction."""
+        self._scatter.add_into_batch(Y_obs, out)
 
 
 # ----------------------------------------------------------------------
@@ -283,20 +400,31 @@ class StrategySelection:
                 or self.scatter == SORTED_SEGMENT_SCATTER)
 
 
-def plan_workspace_bytes(dims: SystemDims) -> int:
+def plan_workspace_bytes(dims: SystemDims, batch: int = 1) -> int:
     """Predicted workspace footprint of an :class:`AprodPlan`.
 
     Packed values + columns + gather workspace (``8 B`` each per nnz),
     plus the scatter's sorted values / rows / contribution streams and
-    the segment arrays (bounded by ``n_params``).
+    the segment arrays (bounded by ``n_params``).  With ``batch > 1``
+    the per-member workspaces -- the gather and contribution planes
+    (one nnz-sized plane each per member), the row reduction and the
+    two segment planes -- multiply by the batch width while the packed
+    coefficients and sorted index streams stay shared.
     """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
     k_total = (ASTRO_PARAMS_PER_STAR + ATT_PARAMS_PER_ROW
                + INSTR_PARAMS_PER_ROW + (1 if dims.n_glob_params else 0))
     nnz = dims.n_obs * k_total
-    return 6 * nnz * 8 + 4 * dims.n_params * 8
+    base = 6 * nnz * 8 + 4 * dims.n_params * 8
+    if batch > 1:
+        base += ((batch - 1)
+                 * (2 * nnz + dims.n_obs + 2 * dims.n_params) * 8)
+    return base
 
 
-def select_strategies(dims: SystemDims) -> StrategySelection:
+def select_strategies(dims: SystemDims, batch: int = 1
+                      ) -> StrategySelection:
     """Choose host kernel strategies from the system shape alone.
 
     Mirrors the paper's per-platform geometry tuning (§IV/§V-B) on the
@@ -311,7 +439,16 @@ def select_strategies(dims: SystemDims) -> StrategySelection:
       cache-blocked ``chunked`` kernels;
     - everything else: packed ``fused`` gather + deterministic
       ``sorted_segment`` scatter.
+
+    ``batch`` is the intended trailing batch width: a batched solve
+    multiplies the per-member workspaces
+    (:func:`plan_workspace_bytes`), so a system that compiles a fused
+    plan solo can exceed the budget once ``K`` members ride on it --
+    the heuristic then falls back to the cache-blocked kernels for the
+    whole batch.
     """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
     if dims.n_obs < FUSED_MIN_OBS:
         return StrategySelection(
             gather="vectorized", scatter="bincount",
@@ -319,17 +456,19 @@ def select_strategies(dims: SystemDims) -> StrategySelection:
             reason=(f"n_obs={dims.n_obs} < {FUSED_MIN_OBS}: plan build "
                     "would dominate; classic four-kernel path"),
         )
-    footprint = plan_workspace_bytes(dims)
+    footprint = plan_workspace_bytes(dims, batch)
     if footprint > PLAN_BUDGET_BYTES:
         return StrategySelection(
             gather="chunked", scatter="chunked",
             astro_scatter="bincount",
-            reason=(f"plan workspaces ({footprint / 2**30:.1f} GiB) "
-                    "exceed the budget; cache-blocked kernels"),
+            reason=(f"plan workspaces ({footprint / 2**30:.1f} GiB at "
+                    f"batch={batch}) exceed the budget; cache-blocked "
+                    "kernels"),
         )
     return StrategySelection(
         gather=FUSED_GATHER, scatter=SORTED_SEGMENT_SCATTER,
         astro_scatter="bincount",
         reason=(f"n_obs={dims.n_obs}: fused plan amortizes "
-                f"({footprint / 2**20:.0f} MiB workspaces)"),
+                f"({footprint / 2**20:.0f} MiB workspaces at "
+                f"batch={batch})"),
     )

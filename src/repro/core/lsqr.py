@@ -30,13 +30,15 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.core.aprod import AprodOperator
 from repro.core.engine import (
     Aprod,
+    BatchedAprod,
+    BatchedLSQRStepEngine,
     EngineState,
     LSQRStepEngine,
     SerialReduction,
@@ -52,6 +54,7 @@ __all__ = [
     "LSQRResult",
     "IterationCallback",
     "lsqr_solve",
+    "lsqr_solve_batch",
 ]
 
 
@@ -306,3 +309,156 @@ def _finish(
         arnorm=state.arnorm, xnorm=float(np.linalg.norm(x)), var=var,
         m=m, n=n, iteration_times=times,
     )
+
+
+def lsqr_solve_batch(
+    system: GaiaSystem | BatchedAprod,
+    B: np.ndarray | Sequence[np.ndarray],
+    *,
+    damps: float | Sequence[float] = 0.0,
+    atol: float = 1e-10,
+    btol: float = 1e-10,
+    conlim: float = 1e8,
+    iter_lim: int | None = None,
+    precondition: bool = True,
+    calc_var: bool = True,
+    x0s: Sequence[np.ndarray | None] | None = None,
+    gather_strategy: str = "auto",
+    scatter_strategy: str = "auto",
+    astro_scatter_strategy: str = "auto",
+    batch_kernel: str = "auto",
+    clock: Callable[[], float] = time.perf_counter,
+    telemetry: Telemetry | None = None,
+) -> list[LSQRResult]:
+    """Solve ``K`` many-RHS problems over one matrix in a single sweep.
+
+    The batched counterpart of :func:`lsqr_solve`: one
+    :class:`~repro.core.engine.BatchedLSQRStepEngine` advances every
+    member per iteration with one batched ``aprod`` pass each way, and
+    members that converge early freeze (their own ``itn``/``istop``)
+    while the rest keep iterating.  Member ``j``'s result matches
+    ``lsqr_solve(system_with_b_j, damp=damps[j], ...)`` to the pinned
+    equivalence contract of ``tests/test_engine_batch.py``: bitwise on
+    the classic kernel path, rtol 1e-12 on the fused plan path (where
+    the einsum contraction order may differ).
+
+    Parameters
+    ----------
+    system:
+        The shared matrix: a :class:`~repro.system.GaiaSystem` or any
+        :class:`~repro.core.engine.BatchedAprod` operator.  Unlike the
+        single-solve driver the stacked right-hand sides are always
+        explicit -- many RHS over one matrix is the whole point.
+    B:
+        ``(K, m)`` stacked right-hand sides (constraint rows included),
+        one member per row; e.g. ``np.stack([s.rhs() for s in members])``
+        for members built with ``dataclasses.replace(system,
+        known_terms=...)``.
+    damps:
+        Per-member damping: a scalar (shared) or one value per member.
+    atol, btol, conlim, iter_lim, precondition, calc_var:
+        As for :func:`lsqr_solve`; shared by all members.  These are
+        part of the serve layer's fusion compatibility key, so fused
+        requests agree on them by construction.
+    x0s:
+        Optional per-member warm starts (physical units), ``None``
+        entries meaning a cold start.
+    gather_strategy, scatter_strategy, astro_scatter_strategy:
+        Kernel strategies (GaiaSystem input only).  ``"auto"`` resolves
+        with ``batch_hint=K`` so the fused plan's batched workspaces
+        are counted against the plan budget (a batched caller may
+        resolve classic where a solo caller would fuse).
+    batch_kernel:
+        How the batched products run (GaiaSystem input only):
+        ``"auto"`` takes the shared-read CSR SpMM pass on the fused
+        path at ``K >= SPMM_MIN_BATCH`` and production-like sizes,
+        ``"spmm"`` / ``"einsum"`` force it on or off (see
+        :class:`~repro.core.aprod.AprodOperator`).
+    clock, telemetry:
+        As for :func:`lsqr_solve`.  Iteration telemetry lands under
+        ``lsqr_batch.*``; member ``j``'s ``iteration_times`` are the
+        batch sweep times of the iterations it was active in.
+    """
+    B = np.asarray(B, dtype=np.float64)
+    if B.ndim != 2:
+        raise ValueError(f"B must be 2-D (K, m), got shape {B.shape}")
+    K = B.shape[0]
+    if K < 1:
+        raise ValueError("B must stack at least one right-hand side")
+    if not np.all(np.isfinite(B)):
+        raise ValueError("B contains non-finite values")
+    damps_arr = np.broadcast_to(
+        np.asarray(damps, dtype=np.float64), (K,)
+    ).copy()
+
+    if isinstance(system, GaiaSystem):
+        op: BatchedAprod = AprodOperator(
+            system,
+            gather_strategy=gather_strategy,
+            scatter_strategy=scatter_strategy,
+            astro_scatter_strategy=astro_scatter_strategy,
+            batch_hint=K,
+            batch_kernel=batch_kernel,
+            telemetry=telemetry,
+        )
+    else:
+        op = system
+    if precondition:
+        if not isinstance(op, AprodOperator):
+            raise ValueError(
+                "precondition=True needs an AprodOperator or GaiaSystem "
+                "(raw operators cannot expose column norms)"
+            )
+        scaling = ColumnScaling.from_operator(op)
+        op = PreconditionedAprod(op, scaling)
+    else:
+        scaling = ColumnScaling.identity(op.shape[1])
+
+    m, n = op.shape
+    if B.shape[1] != m:
+        raise ValueError(f"B has {B.shape[1]} columns, expected {m}")
+    if iter_lim is None:
+        iter_lim = 2 * n
+    if iter_lim < 1:
+        raise ValueError(f"iter_lim must be >= 1, got {iter_lim}")
+
+    B = B.copy()
+    offsets = np.zeros((K, n))
+    if x0s is not None:
+        if len(x0s) != K:
+            raise ValueError(f"x0s has {len(x0s)} entries, expected {K}")
+        for j, x0 in enumerate(x0s):
+            if x0 is None:
+                continue
+            if x0.shape != (n,):
+                raise ValueError(
+                    f"x0s[{j}] has shape {x0.shape}, expected ({n},)"
+                )
+            if not np.all(np.isfinite(x0)):
+                raise ValueError(f"x0s[{j}] contains non-finite values")
+            offsets[j] = np.asarray(x0, dtype=np.float64)
+            B[j] -= op.aprod1(scaling.to_preconditioned(offsets[j]))
+
+    tel = Telemetry.or_null(telemetry)
+    engine = BatchedLSQRStepEngine(
+        op, batch=K, damps=damps_arr, atol=atol, btol=btol,
+        conlim=conlim, calc_var=calc_var, telemetry=telemetry,
+    )
+    state = engine.start(B)
+    times: list[float] = []
+    while state.active.size > 0 and len(times) < iter_lim:
+        t0 = clock()
+        active = int(state.active.size)
+        engine.step(state)
+        times.append(clock() - t0)
+        tel.counter("lsqr_batch.iterations").inc()
+        tel.counter("lsqr_batch.member_iterations").inc(active)
+        tel.histogram("lsqr_batch.iteration_time_s").observe(times[-1])
+
+    results: list[LSQRResult] = []
+    for j in range(K):
+        member = state.member(j)
+        results.append(_finish(
+            member, m, n, times[: member.itn], scaling, offsets[j],
+        ))
+    return results

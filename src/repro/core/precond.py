@@ -85,6 +85,8 @@ class PreconditionedAprod:
         n = op.shape[1]
         self._zws = np.empty(n)
         self._tws = np.empty(n)
+        self._zws_b: np.ndarray | None = None
+        self._tws_b: np.ndarray | None = None
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -106,4 +108,32 @@ class PreconditionedAprod:
         if out is None:
             return tmp.copy()
         out += tmp
+        return out
+
+    # -- trailing batch axis -------------------------------------------
+    def _batch_ws(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """The leading ``k`` rows of the batched workspaces."""
+        if self._zws_b is None or self._zws_b.shape[0] < k:
+            n = self.op.shape[1]
+            self._zws_b = np.empty((k, n))
+            self._tws_b = np.empty((k, n))
+        return self._zws_b[:k], self._tws_b[:k]
+
+    def aprod1_batch(self, Z: np.ndarray, out: np.ndarray | None = None
+                     ) -> np.ndarray:
+        """``out[j] += (A D) Z[j]`` over the stacked batch."""
+        zws, _ = self._batch_ws(Z.shape[0])
+        np.multiply(Z, self.scaling.scale, out=zws)
+        return self.op.aprod1_batch(zws, out=out)
+
+    def aprod2_batch(self, Y: np.ndarray, out: np.ndarray | None = None
+                     ) -> np.ndarray:
+        """``out[j] += (A D).T Y[j]`` over the stacked batch."""
+        _, tws = self._batch_ws(Y.shape[0])
+        tws[:] = 0.0
+        self.op.aprod2_batch(Y, out=tws)
+        tws *= self.scaling.scale
+        if out is None:
+            return tws.copy()
+        out += tws
         return out

@@ -16,9 +16,12 @@ into the placement policy.
   :class:`PlacementCostModel` (the §V-B efficiency table as prices),
   a thread pool of workers calling :func:`repro.api.solve`, and
   re-placement of DEGRADED/ABORTED resilient solves on a different
-  device;
+  device; with ``max_fuse > 1`` it also coalesces fusion-compatible
+  queued requests (equal :func:`fusion_key`: same matrix digest and
+  shared engine configuration) into one batched many-RHS
+  :func:`repro.api.solve_batch` sweep;
 - :class:`ResultCache` -- deterministic LRU keyed by (system digest,
-  config digest);
+  config digest); fused-batch members are cached individually;
 - :class:`LoadGenerator` -- seeded open-loop streams of mixed
   10/30/60 GB-shaped (scaled-down) jobs;
 - :func:`run_scenario` -- one JSON scenario file to a full
@@ -30,7 +33,10 @@ See ``docs/serving.md`` for the architecture and the knobs.
 from repro.serve.cache import (
     ResultCache,
     config_digest,
+    fusion_key,
+    matrix_digest,
     request_key,
+    shared_config_digest,
     system_digest,
 )
 from repro.serve.cost import CostEstimate, PlacementCostModel
@@ -66,9 +72,12 @@ __all__ = [
     "ServeReport",
     "build_scheduler",
     "config_digest",
+    "fusion_key",
     "load_scenario",
+    "matrix_digest",
     "parse_scenario",
     "request_key",
     "run_scenario",
+    "shared_config_digest",
     "system_digest",
 ]

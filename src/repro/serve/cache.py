@@ -7,11 +7,23 @@ second one from memory.  The key is ``(system digest, config
 digest)``:
 
 - the *system digest* is a SHA-256 over the dimension tuple and the
-  raw bytes of every coefficient/index/known-term array -- content
-  addressed, so two separately generated but identical systems hit;
+  raw bytes of every coefficient/index/known-term/constraint array --
+  content addressed, so two separately generated but identical systems
+  hit;
 - the *config digest* covers every request field that changes the
   numerics (tolerances, limits, strategy, ranks, seed, resilience
   rates...), and none that do not (telemetry, callbacks, job ids).
+
+Request *fusion* (batching compatible queued jobs into one
+many-RHS solve) needs a coarser pair of hashes: the
+:func:`matrix_digest` covers the matrix only -- coefficients, indices
+and constraint *rows*, excluding the right-hand side (``known_terms``
+and constraint rhs values) -- and the :func:`shared_config_digest`
+covers exactly the engine parameters every batch member must agree on
+(excluding the per-member ``damp``/``seed``/``x0``).  Two requests
+with equal :func:`fusion_key` may solve as one
+:func:`repro.api.solve_batch` batch; their full cache keys still
+differ, so each member caches individually.
 
 Eviction is LRU with a fixed capacity; hits, misses and evictions tick
 ``serve.cache.*`` counters.  All methods are thread-safe.
@@ -23,17 +35,24 @@ import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import replace
+from typing import Iterable
 
 from repro.api import SolveReport, SolveRequest
 from repro.obs.telemetry import Telemetry
 from repro.system.sparse import GaiaSystem
 
 CacheKey = tuple[str, str]
+FusionKey = tuple[str, str]
 
 
-def system_digest(system: GaiaSystem) -> str:
-    """Content hash of one system's dimension and coefficient data."""
-    h = hashlib.sha256()
+def _hash_matrix(h: "hashlib._Hash", system: GaiaSystem,
+                 include_rhs: bool) -> None:
+    """Feed the system's content into ``h``.
+
+    With ``include_rhs`` the hash also covers ``known_terms`` and the
+    constraint right-hand sides (the full content digest); without, it
+    covers the matrix alone (the fusion digest).
+    """
     d = system.dims
     h.update(repr((d.n_stars, d.n_obs, d.n_deg_freedom_att,
                    d.n_instr_params, d.n_glob_params)).encode())
@@ -41,9 +60,35 @@ def system_digest(system: GaiaSystem) -> str:
         system.astro_values, system.matrix_index_astro,
         system.att_values, system.matrix_index_att,
         system.instr_values, system.instr_col,
-        system.glob_values, system.known_terms,
+        system.glob_values,
     ):
         h.update(arr.tobytes())
+    if include_rhs:
+        h.update(system.known_terms.tobytes())
+    if system.constraints is not None:
+        for row in system.constraints:
+            h.update(row.cols.tobytes())
+            h.update(row.vals.tobytes())
+            if include_rhs:
+                h.update(repr(row.rhs).encode())
+
+
+def system_digest(system: GaiaSystem) -> str:
+    """Content hash of one system's dimension and coefficient data."""
+    h = hashlib.sha256()
+    _hash_matrix(h, system, include_rhs=True)
+    return h.hexdigest()
+
+
+def matrix_digest(system: GaiaSystem) -> str:
+    """Content hash of the matrix alone (rhs excluded).
+
+    Two systems with equal matrix digest differ at most in their
+    right-hand side (``known_terms`` / constraint rhs values) -- the
+    exact degree of freedom a fused many-RHS batch spans.
+    """
+    h = hashlib.sha256()
+    _hash_matrix(h, system, include_rhs=False)
     return h.hexdigest()
 
 
@@ -60,9 +105,32 @@ def config_digest(request: SolveRequest) -> str:
     return hashlib.sha256(repr(fields).encode()).hexdigest()
 
 
+def shared_config_digest(request: SolveRequest) -> str:
+    """Hash of the engine parameters all fused members must share.
+
+    Exactly the fields :func:`repro.api.batch_incompatibility` compares
+    -- ``damp``, ``seed`` and ``x0`` are per-member and deliberately
+    absent, so requests differing only in those still fuse.
+    """
+    r = request
+    fields = (r.ranks, r.atol, r.btol, r.conlim, r.iter_lim,
+              r.precondition, r.calc_var, r.strategy)
+    return hashlib.sha256(repr(fields).encode()).hexdigest()
+
+
 def request_key(request: SolveRequest) -> CacheKey:
     """The cache key of one request."""
     return (system_digest(request.system), config_digest(request))
+
+
+def fusion_key(request: SolveRequest) -> FusionKey:
+    """The compatibility key for many-RHS request fusion.
+
+    Requests with equal fusion keys solve the same matrix under the
+    same shared engine configuration and may be coalesced into one
+    batched solve; see ``docs/serving.md`` ("request fusion").
+    """
+    return (matrix_digest(request.system), shared_config_digest(request))
 
 
 class ResultCache:
@@ -115,6 +183,18 @@ class ResultCache:
                 self._store.popitem(last=False)
                 self.evictions += 1
                 self._tel.counter("serve.cache.eviction").inc()
+
+    def put_many(self, items: Iterable[tuple[CacheKey, SolveReport]]
+                 ) -> None:
+        """Insert every (key, report) pair.
+
+        Used by the fused-batch execution path so each member of a
+        batched solve is cached under its own full request key and a
+        later identical single request hits, even though the member
+        never solved alone.
+        """
+        for key, report in items:
+            self.put(key, report)
 
     def __len__(self) -> int:
         with self._lock:

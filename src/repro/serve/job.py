@@ -77,3 +77,42 @@ class ServeJob:
     def sort_key(self, seq: int) -> tuple[int, int]:
         """Deterministic queue order: priority, then submission seq."""
         return (self.priority, seq)
+
+    @property
+    def fusible(self) -> bool:
+        """Can this job ride in a fused many-RHS batch at all?
+
+        Only plain serial solves fuse: distributed runs, resilient
+        (fault-injected) runs, per-iteration callbacks, mid-solve
+        checkpointing and per-request telemetry sinks all need the
+        solo driver (their side effects cannot be demultiplexed from a
+        shared batched sweep).
+        """
+        r = self.request
+        return (r.ranks == 1
+                and r.resilience is None
+                and r.callback is None
+                and r.checkpoint_every is None
+                and r.checkpoint_path is None
+                and r.telemetry is None)
+
+    def fusion_key(self) -> tuple:
+        """The coalescing compatibility key (requires :attr:`fusible`).
+
+        Two queued jobs with equal keys solve the same matrix under
+        the same shared engine configuration, claim the same
+        footprint, and pin the same device/framework -- everything the
+        scheduler needs to run them as one batched solve on one lane.
+        Computed lazily (the digests hash the coefficient arrays) and
+        memoized per job.
+        """
+        cached = getattr(self, "_fusion_key", None)
+        if cached is None:
+            from repro.serve.cache import fusion_key as _fusion_key
+
+            cached = _fusion_key(self.request) + (
+                self.nominal_gb, self.footprint_gb,
+                self.request.device, self.request.framework,
+            )
+            self._fusion_key = cached
+        return cached

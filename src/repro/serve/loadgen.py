@@ -14,6 +14,7 @@ workload, arrival offsets and all.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from functools import lru_cache
 
@@ -37,6 +38,12 @@ class LoadSpec:
     scale: float = 2e-4
     #: Number of distinct (system, config) slots jobs draw from.
     distinct_systems: int = 4
+    #: Right-hand-side variants per slot: 1 keeps every repeat an
+    #: exact twin (pure cache traffic); > 1 draws each job one of this
+    #: many perturbed ``known_terms`` vectors over the slot's shared
+    #: matrix, the same-matrix/different-b shape that request fusion
+    #: (``Scheduler(max_fuse > 1)``) coalesces into batched solves.
+    rhs_variants: int = 1
     seed: int = 0
     iter_lim: int = 60
     ranks: int = 1
@@ -52,6 +59,9 @@ class LoadSpec:
             raise ValueError(
                 f"distinct_systems must be >= 1, "
                 f"got {self.distinct_systems}")
+        if self.rhs_variants < 1:
+            raise ValueError(
+                f"rhs_variants must be >= 1, got {self.rhs_variants}")
         if not (0 < self.scale <= 1):
             raise ValueError(
                 f"scale must be in (0, 1], got {self.scale}")
@@ -64,6 +74,26 @@ def _slot_system(nominal_gb: float, scale: float, seed: int):
     """The (cached) scaled-down system of one workload slot."""
     return make_system(dims_from_gb(nominal_gb * scale), seed=seed,
                        noise_sigma=1e-9)
+
+
+@lru_cache(maxsize=128)
+def _slot_variant(nominal_gb: float, scale: float, seed: int,
+                  variant: int):
+    """One rhs variant of a slot: same matrix, perturbed known terms.
+
+    Variant 0 is the slot system itself; variant ``v > 0`` replaces
+    ``known_terms`` with a deterministically perturbed copy (stream
+    seeded by ``(seed, v)``), so variants of one slot share the matrix
+    digest -- and therefore the fusion key -- while remaining distinct
+    cacheable identities.
+    """
+    base = _slot_system(nominal_gb, scale, seed)
+    if variant == 0:
+        return base
+    rng = np.random.default_rng((seed, variant))
+    perturbed = base.known_terms + rng.normal(
+        scale=1e-9, size=base.known_terms.shape)
+    return dataclasses.replace(base, known_terms=perturbed)
 
 
 @dataclass
@@ -94,10 +124,12 @@ class LoadGenerator:
             nominal = float(slot_sizes[slot])
             seed = int(slot_seeds[slot])
             priority = int(rng.choice(np.array(spec.priorities)))
+            variant = (int(rng.integers(spec.rhs_variants))
+                       if spec.rhs_variants > 1 else 0)
             if spec.arrival_rate_hz:
                 arrival += float(
                     rng.exponential(1.0 / spec.arrival_rate_hz))
-            system = _slot_system(nominal, spec.scale, seed)
+            system = _slot_variant(nominal, spec.scale, seed, variant)
             request = SolveRequest(
                 system=system,
                 ranks=spec.ranks,

@@ -8,9 +8,10 @@ scenario like::
                "per_gcd": true},
       "scheduler": {"workers": 4, "max_queue_depth": 32,
                     "cache_capacity": 64, "max_replacements": 1,
-                    "include_projected": false},
+                    "max_fuse": 1, "include_projected": false},
       "load": {"n_jobs": 16, "mix": {"10": 0.5, "30": 0.3, "60": 0.2},
-               "distinct_systems": 4, "scale": 2e-4, "seed": 0,
+               "distinct_systems": 4, "rhs_variants": 1,
+               "scale": 2e-4, "seed": 0,
                "iter_lim": 60, "ranks": 1, "priorities": [0],
                "arrival_rate_hz": null}
     }
@@ -20,7 +21,11 @@ Every knob is optional; the defaults above are the smoke scenario.
 its 64 GB single-GCD entry for memory-fit decisions (see
 :mod:`repro.gpu.platforms`); ``include_projected`` adds the C++26
 :data:`~repro.frameworks.executors_future.PSTL_EXECUTORS` port to the
-placement cost model's roster.  See ``docs/serving.md``.
+placement cost model's roster; ``max_fuse > 1`` turns on request
+fusion (compatible queued jobs coalesce into one batched many-RHS
+solve) and pairs with ``load.rhs_variants > 1``, which makes the
+stream emit same-matrix/different-b twins worth fusing.  See
+``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -47,6 +52,7 @@ class Scenario:
     max_queue_depth: int = 32
     cache_capacity: int = 64
     max_replacements: int = 1
+    max_fuse: int = 1
     include_projected: bool = False
     load: LoadSpec = field(default_factory=LoadSpec)
 
@@ -75,6 +81,7 @@ def parse_scenario(doc: dict) -> Scenario:
                                      Scenario.cache_capacity)),
         max_replacements=int(sched.get("max_replacements",
                                        Scenario.max_replacements)),
+        max_fuse=int(sched.get("max_fuse", Scenario.max_fuse)),
         include_projected=bool(sched.get("include_projected",
                                          Scenario.include_projected)),
         load=LoadSpec(**load_doc),
@@ -101,6 +108,7 @@ def build_scheduler(scenario: Scenario,
             include_projected=scenario.include_projected),
         max_queue_depth=scenario.max_queue_depth,
         max_replacements=scenario.max_replacements,
+        max_fuse=scenario.max_fuse,
         telemetry=telemetry,
     )
 

@@ -20,7 +20,16 @@ instances by way of four mechanisms:
   the :class:`~repro.serve.cache.ResultCache` first, and re-placing a
   DEGRADED/ABORTED resilient solve on a *different* device (the
   re-placement path of ``docs/resilience.md``, lifted from ranks to
-  devices).
+  devices);
+- **request fusion** (``max_fuse > 1``) -- when a worker dequeues a
+  fusible job it also pulls up to ``max_fuse - 1`` queued jobs with
+  the same :meth:`~repro.serve.job.ServeJob.fusion_key` (same matrix
+  digest and shared engine configuration; ``b``/``damp``/``seed``/
+  ``x0`` free to differ) onto the same lane and solves them as one
+  :func:`repro.api.solve_batch` many-RHS batch, demultiplexing one
+  report, placement and cache entry per member.  A member that aborts
+  mid-batch (injected fault tripping the engine's non-finite guard)
+  is retried alone; its siblings' results are untouched.
 
 Determinism: with ``workers=1`` the placement log and cache hit/miss
 sequence are a pure function of the submission sequence -- the queue
@@ -42,6 +51,7 @@ import numpy as np
 
 from repro.api import Placement, SolveReport, SolveRequest, derive_seed
 from repro.api import solve as api_solve
+from repro.api import solve_batch as api_solve_batch
 from repro.core.engine import StopReason
 from repro.obs.telemetry import Telemetry
 from repro.serve.cache import ResultCache
@@ -140,6 +150,13 @@ class ServeReport:
             lines.append(
                 f"re-placed after degraded/aborted solve: "
                 f"{len(replaced)} job(s)")
+        fused = [p for p in self.placement_log
+                 if p.batch_id is not None]
+        if fused:
+            batches = len({p.batch_id for p in fused})
+            lines.append(
+                f"request fusion: {len(fused)} job(s) solved in "
+                f"{batches} fused batch(es)")
         return "\n".join(lines)
 
 
@@ -155,22 +172,29 @@ class Scheduler:
         cost_model: PlacementCostModel | None = None,
         max_queue_depth: int = 64,
         max_replacements: int = 1,
+        max_fuse: int = 1,
         telemetry: Telemetry | None = None,
         solve_fn: Callable[[SolveRequest], SolveReport] = api_solve,
+        batch_solve_fn: Callable[[list[SolveRequest]],
+                                 list[SolveReport]] = api_solve_batch,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if max_queue_depth < 1:
             raise ValueError(
                 f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        if max_fuse < 1:
+            raise ValueError(f"max_fuse must be >= 1, got {max_fuse}")
         self.pool = pool
         self.workers = workers
         self.cache = cache
         self.cost_model = cost_model or PlacementCostModel()
         self.max_queue_depth = max_queue_depth
         self.max_replacements = max_replacements
+        self.max_fuse = max_fuse
         self.tel = Telemetry.or_null(telemetry)
         self.solve_fn = solve_fn
+        self.batch_solve_fn = batch_solve_fn
 
         self._cond = threading.Condition()
         #: Single-flight table: cache key -> in-progress solve, so N
@@ -322,17 +346,52 @@ class Scheduler:
                     choice = self._next_placeable()
                 idx, job, enqueued_at, (lane, est) = choice
                 del self._queue[idx]
-                self.tel.gauge("serve.queue_depth").set(
-                    len(self._queue))
                 self._in_flight += 1
                 self.pool.reserve(lane.lane_id, job.footprint_gb,
                                   job.job_id)
+                members = [(job, enqueued_at)]
+                if self.max_fuse > 1 and job.fusible:
+                    members += self._collect_siblings(job, lane)
+                self.tel.gauge("serve.queue_depth").set(
+                    len(self._queue))
             try:
-                self._execute(job, lane, est, enqueued_at)
+                if len(members) == 1:
+                    self._execute(job, lane, est, enqueued_at)
+                else:
+                    self._execute_batch(members, lane, est)
             finally:
                 with self._cond:
-                    self._in_flight -= 1
+                    self._in_flight -= len(members)
                     self._cond.notify_all()
+
+    def _collect_siblings(self, leader: ServeJob, lane
+                          ) -> list[tuple[ServeJob, float]]:
+        """Pull queued fusion-compatible jobs onto ``lane`` (locked).
+
+        Scans the queue in priority order, taking up to
+        ``max_fuse - 1`` jobs whose :meth:`~repro.serve.job.ServeJob.
+        fusion_key` matches the leader's and whose footprint still
+        fits the lane's free memory; each taken sibling is reserved on
+        the lane (its own footprint, its own later release) and
+        counted in flight.
+        """
+        key = leader.fusion_key()
+        picked: list[tuple[int, ServeJob, float]] = []
+        order = sorted(range(len(self._queue)),
+                       key=lambda i: self._queue[i][0])
+        for qi in order:
+            if len(picked) + 1 >= self.max_fuse:
+                break
+            _, cand, enq = self._queue[qi]
+            if (cand.fusible and cand.fusion_key() == key
+                    and lane.fits_now(cand.footprint_gb)):
+                self.pool.reserve(lane.lane_id, cand.footprint_gb,
+                                  cand.job_id)
+                self._in_flight += 1
+                picked.append((qi, cand, enq))
+        for qi in sorted((p[0] for p in picked), reverse=True):
+            del self._queue[qi]
+        return [(cand, enq) for _, cand, enq in picked]
 
     def _execute(self, job: ServeJob, lane, est, enqueued_at: float
                  ) -> None:
@@ -387,6 +446,137 @@ class Scheduler:
                 report=report, placements=tuple(placements),
                 queue_wait_s=wait_s, exec_s=busy,
             ))
+
+    def _execute_batch(self, members: list[tuple[ServeJob, float]],
+                       lane, est) -> None:
+        """Solve a fused batch on one lane and demultiplex the results.
+
+        Per member: a cache lookup first (hits leave the batch), then
+        exact-duplicate members share one solve, then the remaining
+        representatives run through ``batch_solve_fn`` as a single
+        many-RHS sweep.  Each member gets its own report (``job_id``
+        restored), its own placement (tagged with the shared
+        ``batch_id``) and its own cache entry.  A member stopping
+        DEGRADED/ABORTED -- or a batch-solve failure -- falls back to
+        individual ``solve_fn`` calls so one poisoned member never
+        takes its siblings down.
+        """
+        now = time.perf_counter()
+        batch_id = f"fuse-{members[0][0].job_id}"
+        size = len(members)
+        self.tel.counter("serve.fusion.batches").inc()
+        self.tel.counter("serve.fusion.members").inc(size)
+        placements: dict[str, Placement] = {}
+        waits: dict[str, float] = {}
+        for job, enqueued_at in members:
+            wait_s = now - enqueued_at
+            waits[job.job_id] = wait_s
+            self.tel.histogram("serve.queue_wait_s").observe(wait_s)
+            placement = Placement(
+                job_id=job.job_id,
+                device=lane.lane_id,
+                nominal_gb=job.nominal_gb,
+                footprint_gb=job.footprint_gb,
+                queue_wait_s=wait_s,
+                estimated_s=est.seconds,
+                port_key=est.port_key,
+                batch_id=batch_id,
+                batch_size=size,
+            )
+            placements[job.job_id] = placement
+            with self._cond:
+                self.placement_log.append(placement)
+
+        t0 = time.perf_counter()
+        reports: dict[str, SolveReport] = {}
+        try:
+            with self.tel.span("serve.batch", batch_id=batch_id,
+                               device=lane.lane_id, members=size):
+                # Cache hits leave the batch before it solves.
+                pending: list[ServeJob] = []
+                keys: dict[str, object] = {}
+                for job, _ in members:
+                    key = (self.cache.key(job.request)
+                           if self.cache is not None else None)
+                    keys[job.job_id] = key
+                    cached = (self.cache.get(key)
+                              if key is not None else None)
+                    if cached is not None:
+                        hit = self._mark_hit(placements[job.job_id])
+                        placements[job.job_id] = hit
+                        reports[job.job_id] = replace(
+                            cached, job_id=job.job_id, placement=hit)
+                    else:
+                        pending.append(job)
+
+                # Exact duplicates (equal full cache key) share one
+                # solve -- the batch-side analogue of single-flight.
+                groups: dict[object, list[ServeJob]] = {}
+                for job in pending:
+                    gkey = keys[job.job_id]
+                    if gkey is None:
+                        gkey = ("nocache", job.job_id)
+                    groups.setdefault(gkey, []).append(job)
+                reps = [jobs[0] for jobs in groups.values()]
+                dupes = sum(len(jobs) - 1 for jobs in groups.values())
+                if dupes:
+                    self.tel.counter("serve.coalesced").inc(dupes)
+
+                solved: list[SolveReport] = []
+                if len(reps) == 1:
+                    solved = [self.solve_fn(reps[0].request)]
+                elif reps:
+                    try:
+                        solved = self.batch_solve_fn(
+                            [j.request for j in reps])
+                    except Exception:
+                        # The fused sweep itself failed: de-fuse and
+                        # run every representative alone.
+                        self.tel.counter("serve.fusion.fallback").inc()
+                        solved = [self.solve_fn(j.request)
+                                  for j in reps]
+
+                publishable: list[tuple[object, SolveReport]] = []
+                for rep_job, report in zip(reps, solved):
+                    if report.stop in REPLACE_ON:
+                        # One member went bad inside the batch (e.g.
+                        # the engine's non-finite guard fired): retry
+                        # it alone, siblings keep their results.
+                        self.tel.counter(
+                            "serve.fusion.member_retry").inc()
+                        report = self.solve_fn(rep_job.request)
+                    key = keys[rep_job.job_id]
+                    if key is not None and report.stop not in REPLACE_ON:
+                        publishable.append((key, report))
+                    for job in groups[key if key is not None
+                                      else ("nocache", rep_job.job_id)]:
+                        with self.tel.span(
+                                "serve.job", job_id=job.job_id,
+                                device=lane.lane_id, attempt=0,
+                                batch_id=batch_id):
+                            reports[job.job_id] = replace(
+                                report, job_id=job.job_id,
+                                placement=placements[job.job_id])
+                if self.cache is not None and publishable:
+                    self.cache.put_many(publishable)
+        finally:
+            busy = time.perf_counter() - t0
+            with self._cond:
+                # Busy time is charged once -- the lane was occupied
+                # `busy` seconds total, however many members rode it.
+                for i, (job, _) in enumerate(members):
+                    self.pool.release(lane.lane_id, job.footprint_gb,
+                                      job.job_id,
+                                      busy_s=busy if i == 0 else 0.0)
+        self.tel.histogram("serve.exec_s").observe(busy)
+        with self._cond:
+            for job, _ in members:
+                self.outcomes.append(JobOutcome(
+                    job=job, decision=AdmissionDecision.ADMITTED,
+                    report=reports[job.job_id],
+                    placements=(placements[job.job_id],),
+                    queue_wait_s=waits[job.job_id], exec_s=busy,
+                ))
 
     def _solve_once(self, job: ServeJob, placement: Placement
                     ) -> SolveReport:

@@ -280,3 +280,96 @@ def test_checkpoint_path_writes_global_snapshots(small_system, tmp_path):
     ckpt = GlobalCheckpoint.load(path)
     assert ckpt.itn <= report.itn
     assert ckpt.u_obs.size == small_system.dims.n_obs
+
+
+# ---------------------------------------------------------------------------
+# Fault isolation inside batched many-RHS solves: one member going bad
+# must never contaminate its batch siblings (the fusion-safety
+# counterpart of the rank-death scenarios above)
+
+
+def _batched_engine(system, k):
+    from repro.core.aprod import AprodOperator
+    from repro.core.engine import BatchedLSQRStepEngine
+
+    op = AprodOperator(system, gather_strategy="vectorized",
+                       scatter_strategy="bincount", batch_hint=k)
+    return BatchedLSQRStepEngine(op, batch=k)
+
+
+def _member_rhs(system, k):
+    rng = np.random.default_rng(71)
+    base = system.rhs()
+    return np.stack(
+        [base] + [base + rng.normal(scale=1e-6, size=base.shape)
+                  for _ in range(k - 1)])
+
+
+def _run_engine(engine, B, *, fault_at=None, poison=None, cap=80):
+    state = engine.start(B)
+    for itn in range(cap):
+        if state.done:
+            break
+        if fault_at is not None and itn == fault_at:
+            poison(state)
+        engine.step(state)
+    return state
+
+
+def test_nan_poisoned_member_aborts_without_contagion(small_system):
+    """A NaN landing in one member's bidiagonalization vector (the
+    payload-corruption fault above, inside a batch) trips the
+    engine's non-finite guard for that member alone: it freezes as
+    ABORTED_FAULTS while every sibling finishes bitwise identical to
+    a fault-free batch."""
+    K, bad = 3, 1
+    B = _member_rhs(small_system, K)
+    clean = _run_engine(_batched_engine(small_system, K), B.copy())
+    assert int(clean.itn[bad]) > 6  # the fault must land mid-flight
+
+    def poison(state):
+        state.U[bad, 0] = np.nan
+
+    faulty = _run_engine(_batched_engine(small_system, K), B.copy(),
+                         fault_at=5, poison=poison)
+    assert faulty.stop_reason(bad) is StopReason.ABORTED_FAULTS
+    assert faulty.itn[bad] < clean.itn[bad]
+    for j in range(K):
+        if j == bad:
+            continue
+        np.testing.assert_array_equal(faulty.X[j], clean.X[j])
+        assert faulty.itn[j] == clean.itn[j]
+        assert faulty.stop_reason(j) is clean.stop_reason(j)
+        assert faulty.member(j).is_finite
+
+
+def test_aborted_member_freezes_at_point_of_death(small_system):
+    """abort_member (the batch analogue of a rank death) freezes the
+    member's partial state exactly where it died and removes it from
+    the active set; siblings keep iterating to the fault-free
+    answer."""
+    K, dead, die_at, cap = 3, 2, 4, 80
+    B = _member_rhs(small_system, K)
+
+    engine = _batched_engine(small_system, K)
+    state = engine.start(B.copy())
+    for _ in range(die_at):
+        engine.step(state)
+    x_at_death = state.X[dead].copy()
+    state.abort_member(dead)
+    assert dead not in state.active
+    for _ in range(cap - die_at):
+        if state.done:
+            break
+        engine.step(state)
+
+    assert state.stop_reason(dead) is StopReason.ABORTED_FAULTS
+    assert state.itn[dead] == die_at
+    np.testing.assert_array_equal(state.X[dead], x_at_death)
+
+    clean = _run_engine(_batched_engine(small_system, K), B.copy())
+    for j in range(K):
+        if j == dead:
+            continue
+        np.testing.assert_array_equal(state.X[j], clean.X[j])
+        assert state.itn[j] == clean.itn[j]
