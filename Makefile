@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-obs telemetry-smoke chaos-smoke bench-engine bench-aprod bench-aprod-smoke serve-smoke serve-bench bench-batch-smoke
+.PHONY: test test-obs telemetry-smoke chaos-smoke bench-engine bench-aprod bench-aprod-smoke serve-smoke serve-mp-smoke serve-bench bench-batch-smoke
 
 # The full tier-1 suite (ROADMAP.md's verify command).
 test:
@@ -50,6 +50,14 @@ bench-aprod-smoke:
 serve-smoke:
 	$(PYTHON) -m repro.cli serve --scenario examples/serve_scenario.json
 	$(PYTHON) benchmarks/bench_serve.py --smoke --output BENCH_serve_smoke.json
+
+# Process-backend smoke: the same example scenario executed by a pool
+# of spawned worker processes attached to the shared-memory system
+# store, then an assertion that the run unlinked every segment it
+# published (a /dev/shm segment that outlives the run is a leak).
+serve-mp-smoke:
+	$(PYTHON) -m repro.cli serve --scenario examples/serve_scenario.json --backend process
+	$(PYTHON) -c "from repro.serve import active_segments as a; segs = a(); assert not segs, f'leaked shm segments: {segs}'; print('shm segments: none leaked')"
 
 # Request-fusion smoke (< 30 s): a K=4 same-matrix/different-rhs
 # stream through the scheduler, per-job vs fused.  Exits nonzero

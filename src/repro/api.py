@@ -254,6 +254,72 @@ class SolveRequest:
 
 
 @dataclass(frozen=True)
+class RequestSpec:
+    """The picklable remainder of a :class:`SolveRequest`.
+
+    Everything a solve needs *except* the system (which travels by
+    content digest through the :class:`repro.serve.shm.SystemStore`)
+    and the two process-unfriendly live objects (``callback``,
+    ``telemetry`` -- the serving layer keeps requests carrying either
+    in the parent process).  This is the wire format of the process
+    worker pool: :meth:`from_request` strips a request down to plain
+    data, :meth:`to_request` rehydrates it against the attached
+    system on the worker side.
+    """
+
+    ranks: int = 1
+    atol: float = 1e-10
+    btol: float | None = None
+    conlim: float = 1e8
+    iter_lim: int | None = None
+    damp: float = 0.0
+    precondition: bool = True
+    calc_var: bool = True
+    strategy: str = "auto"
+    seed: int = 0
+    x0: np.ndarray | None = None
+    resilience: ResilienceConfig | None = None
+    checkpoint_every: int | None = None
+    checkpoint_path: str | None = None
+    job_id: str | None = None
+    framework: str | None = None
+    device: str | None = None
+
+    @classmethod
+    def from_request(cls, request: "SolveRequest") -> "RequestSpec":
+        """Strip one request down to its picklable fields."""
+        return cls(
+            ranks=request.ranks, atol=request.atol, btol=request.btol,
+            conlim=request.conlim, iter_lim=request.iter_lim,
+            damp=request.damp, precondition=request.precondition,
+            calc_var=request.calc_var, strategy=request.strategy,
+            seed=request.seed, x0=request.x0,
+            resilience=request.resilience,
+            checkpoint_every=request.checkpoint_every,
+            checkpoint_path=(str(request.checkpoint_path)
+                             if request.checkpoint_path is not None
+                             else None),
+            job_id=request.job_id, framework=request.framework,
+            device=request.device,
+        )
+
+    def to_request(self, system: GaiaSystem, *,
+                   telemetry: Telemetry | None = None) -> "SolveRequest":
+        """Rehydrate a full request against ``system``."""
+        return SolveRequest(
+            system=system, ranks=self.ranks, atol=self.atol,
+            btol=self.btol, conlim=self.conlim, iter_lim=self.iter_lim,
+            damp=self.damp, precondition=self.precondition,
+            calc_var=self.calc_var, strategy=self.strategy,
+            seed=self.seed, x0=self.x0, resilience=self.resilience,
+            checkpoint_every=self.checkpoint_every,
+            checkpoint_path=self.checkpoint_path,
+            telemetry=telemetry, job_id=self.job_id,
+            framework=self.framework, device=self.device,
+        )
+
+
+@dataclass(frozen=True)
 class Placement:
     """Where -- and how -- the serving layer ran one job.
 

@@ -393,11 +393,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         scenario = dataclasses.replace(scenario, workers=args.workers)
     if args.max_fuse is not None:
         scenario = dataclasses.replace(scenario, max_fuse=args.max_fuse)
+    if args.backend is not None:
+        scenario = dataclasses.replace(scenario, backend=args.backend)
+    if args.drain_timeout is not None:
+        scenario = dataclasses.replace(
+            scenario, drain_timeout_s=args.drain_timeout)
     tel = Telemetry()
     report = run_scenario(scenario, telemetry=tel)
     print(f"pool: {', '.join(scenario.devices)} "
           f"(per_gcd={scenario.per_gcd}), "
-          f"{scenario.workers} workers")
+          f"{scenario.workers} workers, {scenario.backend} backend")
     print(report.summary())
     if args.verbose:
         print("\nplacement log:")
@@ -417,6 +422,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "queue_wait_p99_s": report.wait_percentile(99),
             "utilization": report.utilization,
             "cache": report.cache_stats,
+            "backend": report.backend,
+            "stuck_workers": list(report.stuck_workers),
             "completed": len(report.completed),
             "rejected": len(report.rejected),
             "placements": [dataclasses.asdict(p)
@@ -575,6 +582,17 @@ def build_parser() -> argparse.ArgumentParser:
                          "width (1 = no fusion; K > 1 coalesces up "
                          "to K compatible queued jobs into one "
                          "batched many-RHS solve)")
+    sv.add_argument("--backend", choices=("thread", "process"),
+                    default=None,
+                    help="override the scenario's worker backend "
+                         "(process = solve in spawned worker "
+                         "processes over the shared-memory system "
+                         "store)")
+    sv.add_argument("--drain-timeout", type=float, default=None,
+                    help="override the scenario's graceful-shutdown "
+                         "join bound in seconds (workers still "
+                         "running at the deadline are reported as "
+                         "stuck instead of hanging the run)")
     sv.add_argument("--verbose", action="store_true",
                     help="print the per-job placement log")
     sv.add_argument("--json", default=None,

@@ -114,6 +114,16 @@ class Histogram:
         """Largest observation (0.0 when empty)."""
         return float(np.max(self._values)) if self._values else 0.0
 
+    def values(self) -> list[float]:
+        """Copy of the raw observations, in recording order."""
+        with self._lock:
+            return list(self._values)
+
+    def extend(self, values: "list[float] | tuple[float, ...]") -> None:
+        """Append many observations (cross-process merge path)."""
+        with self._lock:
+            self._values.extend(float(v) for v in values)
+
     def percentile(self, q: float) -> float:
         """Exact ``q``-th percentile (0 <= q <= 100; 0.0 when empty)."""
         if not 0.0 <= q <= 100.0:
@@ -192,6 +202,44 @@ class MetricsRegistry:
             for (n, labels), c in self._counters.items()
             if n == name
         }
+
+    def dump(self) -> dict:
+        """Mergeable plain-data dump of every instrument.
+
+        Unlike :meth:`snapshot` (summary statistics for exporters),
+        this keeps histograms as their *raw* sample lists, so a parent
+        registry can :meth:`merge` a worker process's dump and still
+        compute exact percentiles over the union.
+        """
+        return {
+            "counters": [
+                (c.name, dict(c.labels), c.value)
+                for c in self.counters()
+            ],
+            "gauges": [
+                (g.name, dict(g.labels), g.value)
+                for g in self.gauges()
+            ],
+            "histograms": [
+                (h.name, dict(h.labels), h.values())
+                for h in self.histograms()
+            ],
+        }
+
+    def merge(self, dump: dict) -> None:
+        """Fold one :meth:`dump` into this registry.
+
+        Counters add, gauges last-write-win (the dump is the later
+        write), histograms extend with the dumped raw samples --
+        exactly the semantics each instrument kind would have had if
+        the remote process had recorded here directly.
+        """
+        for name, labels, value in dump.get("counters", ()):
+            self.counter(name, **labels).inc(value)
+        for name, labels, value in dump.get("gauges", ()):
+            self.gauge(name, **labels).set(value)
+        for name, labels, values in dump.get("histograms", ()):
+            self.histogram(name, **labels).extend(values)
 
     def snapshot(self) -> dict:
         """Plain-dict dump of every instrument (for the exporters)."""

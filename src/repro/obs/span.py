@@ -166,6 +166,56 @@ class Tracer:
         return list(seen)
 
 
+    # -- cross-process transport ---------------------------------------
+    def dump(self) -> list[dict]:
+        """Finished spans as plain dicts (cross-process wire format).
+
+        Times stay in *this* tracer's clock; the absorbing side rebases
+        them with the clock offset computed by
+        :meth:`repro.obs.telemetry.Telemetry.absorb`.
+        """
+        return [
+            {
+                "name": r.name, "span_id": r.span_id,
+                "parent_id": r.parent_id, "track": r.track,
+                "start": r.start, "end": r.end,
+                "labels": dict(r.labels),
+            }
+            for r in self.spans
+        ]
+
+    def absorb(self, spans: list[dict], *, offset: float = 0.0,
+               track_prefix: str = "") -> None:
+        """Adopt dumped remote spans as finished records of this tracer.
+
+        Every span gets a fresh id from this tracer's sequence (remote
+        ids would collide), parent links are remapped through the same
+        table (a remote parent outside the dump becomes a root), times
+        shift by ``offset`` into this tracer's clock, and tracks gain
+        ``track_prefix`` so a worker's ``MainThread`` cannot be
+        mistaken for the parent's.
+        """
+        id_map: dict[int, int] = {}
+        with self._lock:
+            for rec in spans:
+                id_map[rec["span_id"]] = self._next_id
+                self._next_id += 1
+        adopted = []
+        for rec in spans:
+            adopted.append(SpanRecord(
+                name=rec["name"],
+                span_id=id_map[rec["span_id"]],
+                parent_id=id_map.get(rec["parent_id"]),
+                track=track_prefix + rec["track"],
+                start=rec["start"] + offset,
+                end=(rec["end"] + offset
+                     if rec["end"] is not None else None),
+                labels=dict(rec["labels"]),
+            ))
+        with self._lock:
+            self._records.extend(adopted)
+
+
 def share(spans: Iterable[SpanRecord], part_names: set[str],
           whole_names: set[str]) -> float:
     """Fraction of ``whole_names`` span time spent in ``part_names``.

@@ -52,6 +52,46 @@ class Telemetry:
         """Fraction of ``whole`` span time spent inside ``part`` spans."""
         return share(self.spans, set(part_names), set(whole_names))
 
+    # -- cross-process transport ---------------------------------------
+    def dump(self) -> dict:
+        """Picklable snapshot of everything recorded so far.
+
+        The wire format of the process worker pool: raw metric samples
+        (:meth:`MetricsRegistry.dump`), finished spans in this clock,
+        and a ``(perf_anchor, wall_anchor)`` pair -- the same instant
+        read on this telemetry's monotonic clock and on the wall clock
+        -- that lets the absorbing side rebase span times across the
+        process boundary (monotonic clocks are not comparable between
+        processes; wall clocks are).
+        """
+        return {
+            "metrics": self.metrics.dump(),
+            "spans": self.tracer.dump(),
+            "perf_anchor": self.tracer.clock(),
+            "wall_anchor": time.time(),
+        }
+
+    def absorb(self, dump: dict | None, *, track_prefix: str = ""
+               ) -> None:
+        """Merge a remote :meth:`dump` into this telemetry.
+
+        Metrics fold in with per-kind merge semantics; spans are
+        adopted with fresh ids and their times shifted onto this
+        tracer's clock via the wall-clock anchor pair, so a merged
+        Chrome trace shows parent and worker spans on one timeline
+        (worker tracks prefixed with ``track_prefix``).
+        """
+        if dump is None:
+            return
+        self.metrics.merge(dump["metrics"])
+        # A remote clock instant t happened at wall time
+        # wall_anchor + (t - perf_anchor); map that wall instant onto
+        # this process's monotonic clock read "now".
+        offset = ((self.tracer.clock() - dump["perf_anchor"])
+                  + (dump["wall_anchor"] - time.time()))
+        self.tracer.absorb(dump["spans"], offset=offset,
+                           track_prefix=track_prefix)
+
     # -- metrics --------------------------------------------------------
     def counter(self, name: str, **labels) -> Counter:
         """Labeled counter (created on first use)."""
@@ -114,6 +154,13 @@ class NullTelemetry:
     def span_share(self, part_names, whole_names) -> float:
         """Always 0.0."""
         return 0.0
+
+    def dump(self) -> None:
+        """Nothing recorded, nothing shipped."""
+        return None
+
+    def absorb(self, dump, *, track_prefix: str = "") -> None:
+        """Discard a remote dump (uninstrumented parent)."""
 
     def counter(self, name: str, **labels) -> _NullInstrument:
         """A shared no-op instrument."""

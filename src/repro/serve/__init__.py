@@ -14,16 +14,28 @@ into the placement policy.
 - :class:`Scheduler` -- priority-queue admission with memory-fit +
   backpressure admission control, cheapest-feasible placement by the
   :class:`PlacementCostModel` (the §V-B efficiency table as prices),
-  a thread pool of workers calling :func:`repro.api.solve`, and
-  re-placement of DEGRADED/ABORTED resilient solves on a different
-  device; with ``max_fuse > 1`` it also coalesces fusion-compatible
-  queued requests (equal :func:`fusion_key`: same matrix digest and
-  shared engine configuration) into one batched many-RHS
+  dispatcher threads pushing placed jobs through a pluggable worker
+  backend (``backend="thread"`` solves in-process;
+  ``backend="process"`` ships picklable specs to a pool of spawned
+  solve processes that attach systems zero-copy from the
+  :class:`SystemStore`), and re-placement of DEGRADED/ABORTED
+  resilient solves on a different device; with ``max_fuse > 1`` it
+  also coalesces fusion-compatible queued requests (equal
+  :func:`fusion_key`: same matrix digest and shared engine
+  configuration) into one batched many-RHS
   :func:`repro.api.solve_batch` sweep;
+- :class:`SystemStore` -- content-addressed shared-memory segments
+  holding :class:`~repro.system.sparse.GaiaSystem` arrays, published
+  once per distinct system and attached read-only by digest from
+  worker processes;
 - :class:`ResultCache` -- deterministic LRU keyed by (system digest,
-  config digest); fused-batch members are cached individually;
+  config digest); fused-batch members are cached individually; with
+  ``store_solutions > 0`` it also keeps recent solution vectors per
+  system digest (warm-start groundwork);
 - :class:`LoadGenerator` -- seeded open-loop streams of mixed
-  10/30/60 GB-shaped (scaled-down) jobs;
+  10/30/60 GB-shaped (scaled-down) jobs; :func:`run_closed_loop`
+  drives a stream at fixed concurrency instead (the capacity-probe
+  regime);
 - :func:`run_scenario` -- one JSON scenario file to a full
   :class:`ServeReport` (the ``repro-gaia serve`` subcommand).
 
@@ -41,7 +53,11 @@ from repro.serve.cache import (
 )
 from repro.serve.cost import CostEstimate, PlacementCostModel
 from repro.serve.job import AdmissionDecision, ServeJob
-from repro.serve.loadgen import LoadGenerator, LoadSpec
+from repro.serve.loadgen import (
+    LoadGenerator,
+    LoadSpec,
+    run_closed_loop,
+)
 from repro.serve.pool import DeviceLane, DevicePool
 from repro.serve.scenario import (
     Scenario,
@@ -51,13 +67,23 @@ from repro.serve.scenario import (
     run_scenario,
 )
 from repro.serve.scheduler import (
+    BACKENDS,
     JobOutcome,
     Scheduler,
     ServeReport,
 )
+from repro.serve.shm import AttachedSystem, SystemStore, active_segments
+from repro.serve.worker import (
+    BackendAborted,
+    ProcessBackend,
+    ThreadBackend,
+)
 
 __all__ = [
     "AdmissionDecision",
+    "AttachedSystem",
+    "BACKENDS",
+    "BackendAborted",
     "CostEstimate",
     "DeviceLane",
     "DevicePool",
@@ -65,11 +91,15 @@ __all__ = [
     "LoadGenerator",
     "LoadSpec",
     "PlacementCostModel",
+    "ProcessBackend",
     "ResultCache",
     "Scenario",
     "Scheduler",
     "ServeJob",
     "ServeReport",
+    "SystemStore",
+    "ThreadBackend",
+    "active_segments",
     "build_scheduler",
     "config_digest",
     "fusion_key",
@@ -77,6 +107,7 @@ __all__ = [
     "matrix_digest",
     "parse_scenario",
     "request_key",
+    "run_closed_loop",
     "run_scenario",
     "shared_config_digest",
     "system_digest",

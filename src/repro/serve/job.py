@@ -38,6 +38,9 @@ class AdmissionDecision(enum.Enum):
     #: The queue is at its backpressure bound; shed load instead of
     #: growing latency without bound.
     REJECTED_BACKPRESSURE = "rejected_backpressure"
+    #: The scheduler is draining (or aborted): no new work is
+    #: admitted during graceful shutdown.
+    REJECTED_CLOSED = "rejected_closed"
 
 
 @dataclass

@@ -52,6 +52,17 @@ class LoadSpec:
     #: Mean arrivals per second (None = all jobs queued at t=0).
     arrival_rate_hz: float | None = None
 
+    def at_rate(self, arrival_rate_hz: float | None) -> "LoadSpec":
+        """This spec with a different offered load (arrivals/second).
+
+        The sustained-load benchmark's sweep primitive: one workload
+        shape replayed at increasing rates, everything else (systems,
+        mix, seeds) held fixed so thread and process backends see the
+        same stream at every point.
+        """
+        return dataclasses.replace(self,
+                                   arrival_rate_hz=arrival_rate_hz)
+
     def __post_init__(self) -> None:
         if self.n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
@@ -145,3 +156,36 @@ class LoadGenerator:
                 job_id=f"job-{i:03d}",
             ))
         return out
+
+
+def run_closed_loop(scheduler, jobs: list[ServeJob], *,
+                    concurrency: int):
+    """Drive ``jobs`` through ``scheduler`` at a fixed concurrency.
+
+    The closed-loop regime: at most ``concurrency`` jobs are
+    outstanding at any instant -- each completion (or rejection)
+    admits the next submission, the way a fixed client population
+    behaves.  Used by the sustained-load benchmark to measure the
+    *capacity* of a backend (jobs/s with the pipeline always full but
+    never over-full), the anchor the open-loop overload sweep is
+    calibrated against.  Arrival offsets on the jobs are ignored;
+    submission order is preserved.  Returns the
+    :class:`~repro.serve.scheduler.ServeReport` from the final drain.
+    """
+    if concurrency < 1:
+        raise ValueError(
+            f"concurrency must be >= 1, got {concurrency}")
+    scheduler.start()
+    # Capacity probes pre-start the backend; the measured window is
+    # the submission loop, not the (process-spawn) warmup.
+    scheduler.reset_clock()
+    submitted = 0
+    for job in jobs:
+        # Outstanding work is submitted - len(outcomes): rejections
+        # resolve at submit time, completions when a dispatcher
+        # finishes, so the difference is exactly the in-flight count.
+        if submitted - len(scheduler.outcomes) >= concurrency:
+            scheduler.wait_for_outcomes(submitted - concurrency + 1)
+        scheduler.submit(job)
+        submitted += 1
+    return scheduler.drain()

@@ -8,7 +8,9 @@ scenario like::
                "per_gcd": true},
       "scheduler": {"workers": 4, "max_queue_depth": 32,
                     "cache_capacity": 64, "max_replacements": 1,
-                    "max_fuse": 1, "include_projected": false},
+                    "max_fuse": 1, "include_projected": false,
+                    "backend": "thread", "drain_timeout_s": 60.0,
+                    "store_solutions_mb": 0.0},
       "load": {"n_jobs": 16, "mix": {"10": 0.5, "30": 0.3, "60": 0.2},
                "distinct_systems": 4, "rhs_variants": 1,
                "scale": 2e-4, "seed": 0,
@@ -24,8 +26,12 @@ its 64 GB single-GCD entry for memory-fit decisions (see
 placement cost model's roster; ``max_fuse > 1`` turns on request
 fusion (compatible queued jobs coalesce into one batched many-RHS
 solve) and pairs with ``load.rhs_variants > 1``, which makes the
-stream emit same-matrix/different-b twins worth fusing.  See
-``docs/serving.md``.
+stream emit same-matrix/different-b twins worth fusing;
+``backend: "process"`` executes solves in a pool of spawned worker
+processes attached to the shared-memory system store
+(``drain_timeout_s`` bounds the graceful-shutdown join);
+``store_solutions_mb > 0`` keeps solution vectors in the result cache
+for warm starts.  See ``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -54,6 +60,13 @@ class Scenario:
     max_replacements: int = 1
     max_fuse: int = 1
     include_projected: bool = False
+    backend: str = "thread"
+    drain_timeout_s: float = 60.0
+    #: Solve-process pool size for ``backend="process"``
+    #: (None = min(workers, cpu count); dispatch width and execution
+    #: width are decoupled).
+    mp_workers: int | None = None
+    store_solutions_mb: float = 0.0
     load: LoadSpec = field(default_factory=LoadSpec)
 
 
@@ -84,6 +97,13 @@ def parse_scenario(doc: dict) -> Scenario:
         max_fuse=int(sched.get("max_fuse", Scenario.max_fuse)),
         include_projected=bool(sched.get("include_projected",
                                          Scenario.include_projected)),
+        backend=str(sched.get("backend", Scenario.backend)),
+        drain_timeout_s=float(sched.get("drain_timeout_s",
+                                        Scenario.drain_timeout_s)),
+        mp_workers=(int(sched["mp_workers"])
+                    if sched.get("mp_workers") is not None else None),
+        store_solutions_mb=float(sched.get("store_solutions_mb",
+                                           Scenario.store_solutions_mb)),
         load=LoadSpec(**load_doc),
     )
 
@@ -98,8 +118,10 @@ def build_scheduler(scenario: Scenario,
     """The scheduler a scenario describes (fresh pool and cache)."""
     pool = DevicePool(scenario.devices, per_gcd=scenario.per_gcd,
                       telemetry=telemetry)
-    cache = (ResultCache(scenario.cache_capacity, telemetry=telemetry)
-             if scenario.cache_capacity > 0 else None)
+    cache = (ResultCache(
+        scenario.cache_capacity, telemetry=telemetry,
+        store_solutions=int(scenario.store_solutions_mb * 2**20))
+        if scenario.cache_capacity > 0 else None)
     return Scheduler(
         pool,
         workers=scenario.workers,
@@ -109,6 +131,9 @@ def build_scheduler(scenario: Scenario,
         max_queue_depth=scenario.max_queue_depth,
         max_replacements=scenario.max_replacements,
         max_fuse=scenario.max_fuse,
+        backend=scenario.backend,
+        drain_timeout=scenario.drain_timeout_s,
+        mp_workers=scenario.mp_workers,
         telemetry=telemetry,
     )
 

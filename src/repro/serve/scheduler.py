@@ -15,9 +15,15 @@ instances by way of four mechanisms:
   among those lanes picks the cheapest by the
   :class:`~repro.serve.cost.PlacementCostModel` (§V-B efficiency
   ordering), reserving the footprint for the duration of the solve;
-- **execution** -- a thread pool of ``workers`` calls
-  :func:`repro.api.solve` (or an injected ``solve_fn``), consulting
-  the :class:`~repro.serve.cache.ResultCache` first, and re-placing a
+- **execution** -- ``workers`` dispatcher threads push placed jobs
+  through a pluggable :class:`~repro.serve.worker` backend:
+  ``backend="thread"`` (default) calls :func:`repro.api.solve` (or an
+  injected ``solve_fn``) in-process, ``backend="process"`` ships
+  picklable request specs to a pool of spawned solve processes that
+  attach the system zero-copy from the shared-memory
+  :class:`~repro.serve.shm.SystemStore` by content digest.  Either
+  way the dispatcher consults the
+  :class:`~repro.serve.cache.ResultCache` first and re-places a
   DEGRADED/ABORTED resilient solve on a *different* device (the
   re-placement path of ``docs/resilience.md``, lifted from ranks to
   devices);
@@ -31,17 +37,33 @@ instances by way of four mechanisms:
   mid-batch (injected fault tripping the engine's non-finite guard)
   is retried alone; its siblings' results are untouched.
 
+The submission front end is asynchronous: :meth:`Scheduler.submit`
+returns the admission decision immediately, :meth:`Scheduler.start`
+spins the dispatchers up, and :meth:`Scheduler.drain` performs the
+graceful shutdown -- stop admitting (late submissions get
+``REJECTED_CLOSED``), let in-flight jobs finish, join every
+dispatcher with a bounded timeout, and *surface* workers that never
+came back (``serve.workers_stuck`` counter,
+:attr:`ServeReport.stuck_workers`) instead of hanging the caller.
+:meth:`Scheduler.run` is the batch convenience wrapping all three,
+plus the open-loop arrival process.
+
 Determinism: with ``workers=1`` the placement log and cache hit/miss
 sequence are a pure function of the submission sequence -- the queue
 order, the placement tie-breaks and the cost model are all
 deterministic -- which is what ``tests/test_serve.py`` locks down.
-Telemetry lands under ``serve.*`` (admission counters, queue-depth
-gauge, per-job spans, wait/exec histograms; see
-``docs/observability.md`` conventions).
+The process backend preserves the numerics bitwise: the solve is a
+pure function of the request, wherever it runs
+(``tests/test_serve_mp.py``).  Telemetry lands under ``serve.*``
+(admission counters, queue-depth gauge, per-job spans, wait/exec
+histograms; see ``docs/observability.md`` conventions), and worker
+processes stream their span/metric buffers back for merge into the
+parent registry.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, field, replace
@@ -58,6 +80,15 @@ from repro.serve.cache import ResultCache
 from repro.serve.cost import PlacementCostModel
 from repro.serve.job import AdmissionDecision, ServeJob
 from repro.serve.pool import DevicePool
+from repro.serve.shm import SystemStore
+from repro.serve.worker import (
+    BackendAborted,
+    ProcessBackend,
+    ThreadBackend,
+)
+
+#: Worker-backend names accepted by :class:`Scheduler`.
+BACKENDS = ("thread", "process")
 
 #: Stop reasons that trigger a re-placement attempt on another device.
 REPLACE_ON: tuple[StopReason, ...] = (StopReason.DEGRADED,
@@ -102,6 +133,11 @@ class ServeReport:
     utilization: dict[str, float]
     cache_stats: dict[str, int]
     placement_log: list[Placement] = field(default_factory=list)
+    #: Which worker backend executed the run.
+    backend: str = "thread"
+    #: Dispatcher threads that outlived the drain timeout (each still
+    #: holds its lane reservation; see ``serve.workers_stuck``).
+    stuck_workers: tuple[str, ...] = ()
 
     @property
     def completed(self) -> list[JobOutcome]:
@@ -157,6 +193,10 @@ class ServeReport:
             lines.append(
                 f"request fusion: {len(fused)} job(s) solved in "
                 f"{batches} fused batch(es)")
+        if self.stuck_workers:
+            lines.append(
+                "WARNING: worker(s) stuck past the drain timeout: "
+                + ", ".join(self.stuck_workers))
         return "\n".join(lines)
 
 
@@ -173,6 +213,11 @@ class Scheduler:
         max_queue_depth: int = 64,
         max_replacements: int = 1,
         max_fuse: int = 1,
+        backend: str = "thread",
+        drain_timeout: float = 60.0,
+        mp_context: str = "spawn",
+        mp_workers: int | None = None,
+        store: SystemStore | None = None,
         telemetry: Telemetry | None = None,
         solve_fn: Callable[[SolveRequest], SolveReport] = api_solve,
         batch_solve_fn: Callable[[list[SolveRequest]],
@@ -185,6 +230,15 @@ class Scheduler:
                 f"max_queue_depth must be >= 1, got {max_queue_depth}")
         if max_fuse < 1:
             raise ValueError(f"max_fuse must be >= 1, got {max_fuse}")
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected "
+                             f"one of {BACKENDS}")
+        if drain_timeout <= 0:
+            raise ValueError(
+                f"drain_timeout must be > 0, got {drain_timeout}")
+        if mp_workers is not None and mp_workers < 1:
+            raise ValueError(
+                f"mp_workers must be >= 1, got {mp_workers}")
         self.pool = pool
         self.workers = workers
         self.cache = cache
@@ -192,9 +246,38 @@ class Scheduler:
         self.max_queue_depth = max_queue_depth
         self.max_replacements = max_replacements
         self.max_fuse = max_fuse
+        self.backend = backend
+        self.drain_timeout = drain_timeout
         self.tel = Telemetry.or_null(telemetry)
         self.solve_fn = solve_fn
         self.batch_solve_fn = batch_solve_fn
+        self._own_store = backend == "process" and store is None
+        self._store = (store if store is not None
+                       else SystemStore() if backend == "process"
+                       else None)
+        if backend == "process":
+            # Dispatch width (``workers``: admission, placement, queue
+            # management) and execution width (how many solves actually
+            # run at once) are decoupled: by default the solve-process
+            # pool is sized to the physical cores, because running more
+            # CPU-bound solves than cores just interleaves them through
+            # each other's caches.  The thread backend cannot make this
+            # distinction -- its solves run *in* the dispatchers.
+            self.mp_workers = (mp_workers if mp_workers is not None
+                               else max(1, min(workers,
+                                               os.cpu_count() or 1)))
+            self._backend = ProcessBackend(self, workers=self.mp_workers,
+                                           store=self._store,
+                                           mp_context=mp_context)
+        else:
+            self.mp_workers = None
+            self._backend = ThreadBackend(self)
+        self._threads: list[threading.Thread] = []
+        self._started = False
+        self._drained = False
+        self._t_start: float | None = None
+        #: Injectable arrival sleep (tests interrupt it).
+        self._sleep = time.sleep
 
         self._cond = threading.Condition()
         #: Single-flight table: cache key -> in-progress solve, so N
@@ -212,7 +295,14 @@ class Scheduler:
 
     # -- admission ------------------------------------------------------
     def submit(self, job: ServeJob) -> AdmissionDecision:
-        """Admit a job to the queue, or reject it at the door."""
+        """Admit a job to the queue, or reject it at the door.
+
+        Asynchronous: returns the admission decision immediately; the
+        outcome arrives via :attr:`outcomes` (wait with
+        :meth:`wait_for_outcomes` or collect everything with
+        :meth:`drain`).  After :meth:`drain`/:meth:`abort` every
+        submission answers ``REJECTED_CLOSED``.
+        """
         feasible = self.pool.feasible(job.footprint_gb,
                                       device=job.request.device)
         priced = [
@@ -222,7 +312,9 @@ class Scheduler:
                 framework=job.request.framework) is not None
         ]
         with self._cond:
-            if not priced:
+            if self._closed:
+                decision = AdmissionDecision.REJECTED_CLOSED
+            elif not priced:
                 decision = AdmissionDecision.REJECTED_TOO_LARGE
             elif len(self._queue) >= self.max_queue_depth:
                 decision = AdmissionDecision.REJECTED_BACKPRESSURE
@@ -233,6 +325,7 @@ class Scheduler:
             if decision is not AdmissionDecision.ADMITTED:
                 self.outcomes.append(JobOutcome(job=job,
                                                 decision=decision))
+                self._cond.notify_all()
                 return decision
             self._queue.append((job.sort_key(self._seq), job,
                                 time.perf_counter()))
@@ -242,12 +335,63 @@ class Scheduler:
             return decision
 
     # -- execution ------------------------------------------------------
+    def start(self) -> None:
+        """Spin up the backend and the dispatcher threads (idempotent).
+
+        Separate from :meth:`run` so callers can pay the backend
+        startup cost (process spawn + imports) outside a measured
+        window, then feed the scheduler with :meth:`submit`.
+        """
+        if self._started:
+            return
+        self._started = True
+        self._t_start = time.perf_counter()
+        self._backend.start()
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"serve-w{i}",
+                             daemon=True)
+            for i in range(self.workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    def wait_ready(self, timeout: float | None = None) -> bool:
+        """Block until the backend's workers are warm (see backend)."""
+        self.start()
+        return self._backend.wait_ready(timeout)
+
+    def reset_clock(self) -> None:
+        """Restart the measured wall-clock window at *now*.
+
+        For benchmark drivers that pre-start the backend (process
+        spawn + imports) and must not charge the warmup to the run:
+        :attr:`ServeReport.wall_s` counts from the latest of
+        :meth:`start`, :meth:`run` entry and this call.
+        """
+        self._t_start = time.perf_counter()
+
+    def wait_for_outcomes(self, n: int,
+                          timeout: float | None = None) -> bool:
+        """Block until at least ``n`` outcomes exist (True on success).
+
+        The closed-loop load driver's primitive: outstanding work is
+        ``submitted - len(outcomes)`` (rejections resolve at submit,
+        completions when a dispatcher finishes the job).
+        """
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: len(self.outcomes) >= n, timeout)
+
     def run(self, jobs: list[ServeJob] | None = None) -> ServeReport:
-        """Drain the queue (plus ``jobs``) with the worker pool.
+        """Submit ``jobs``, run them all, drain, and report.
 
         Jobs with a positive ``arrival_s`` are submitted open-loop at
         their offsets; the rest are enqueued immediately.  Returns
-        when every admitted job has completed.
+        when every admitted job has completed (or, if a worker wedges,
+        when the bounded drain gives up on it -- see :meth:`drain`).
+        An exception during the arrival loop (``KeyboardInterrupt``
+        included) aborts the run: backend killed, store unlinked, no
+        orphaned processes or segments.
         """
         start = time.perf_counter()
         pending = sorted(jobs or [], key=lambda j: j.arrival_s)
@@ -255,24 +399,55 @@ class Scheduler:
             self.submit(job)
         arrivals = [j for j in pending if j.arrival_s > 0.0]
 
-        threads = [
-            threading.Thread(target=self._worker, name=f"serve-w{i}",
-                             daemon=True)
-            for i in range(self.workers)
-        ]
-        for t in threads:
-            t.start()
-        for job in arrivals:  # open-loop arrival process
-            delay = start + job.arrival_s - time.perf_counter()
-            if delay > 0:
-                time.sleep(delay)
-            self.submit(job)
+        self.start()
+        # The measured window starts here even when the backend was
+        # pre-started: spawn cost is a fixed setup fee, not throughput.
+        self._t_start = start
+        try:
+            for job in arrivals:  # open-loop arrival process
+                delay = start + job.arrival_s - time.perf_counter()
+                if delay > 0:
+                    self._sleep(delay)
+                self.submit(job)
+        except BaseException:
+            self.abort()
+            raise
+        return self.drain()
+
+    def drain(self, timeout: float | None = None) -> ServeReport:
+        """Graceful shutdown: close admission, finish, join bounded.
+
+        Stops admitting (late :meth:`submit` calls answer
+        ``REJECTED_CLOSED``), lets queued and in-flight jobs complete,
+        then joins every dispatcher thread against one shared deadline
+        (``timeout``, default the scheduler's ``drain_timeout``).  A
+        thread that misses the deadline -- a wedged solve, a worker
+        process that stopped answering -- is *reported* (the
+        ``serve.workers_stuck`` counter and
+        :attr:`ServeReport.stuck_workers`) instead of hanging the
+        caller forever, and the backend is then stopped forcefully so
+        its pending call fails rather than leaking.
+        """
+        timeout = self.drain_timeout if timeout is None else timeout
         with self._cond:
             self._closed = True
             self._cond.notify_all()
-        for t in threads:
-            t.join()
-        wall = time.perf_counter() - start
+        deadline = time.perf_counter() + timeout
+        stuck: list[str] = []
+        for t in self._threads:
+            t.join(max(0.0, deadline - time.perf_counter()))
+            if t.is_alive():
+                stuck.append(t.name)
+        if stuck:
+            self.tel.counter("serve.workers_stuck").inc(len(stuck))
+        if not self._drained:
+            self._drained = True
+            self._backend.stop(force=bool(stuck))
+            if self._own_store and self._store is not None:
+                self._store.close()
+        t0 = self._t_start if self._t_start is not None \
+            else time.perf_counter()
+        wall = time.perf_counter() - t0
         return ServeReport(
             outcomes=list(self.outcomes),
             wall_s=wall,
@@ -280,7 +455,27 @@ class Scheduler:
             cache_stats=(self.cache.stats() if self.cache is not None
                          else {}),
             placement_log=list(self.placement_log),
+            backend=self.backend,
+            stuck_workers=tuple(stuck),
         )
+
+    def abort(self) -> None:
+        """Immediate teardown (interrupt path): kill, unlink, unblock.
+
+        Closes admission, kills the backend (terminating worker
+        processes), and unlinks the segment store, so an interrupted
+        run leaves no orphaned processes and no leaked shared-memory
+        segments.  Dispatcher threads blocked on a backend call wake
+        with :class:`~repro.serve.worker.BackendAborted` and exit.
+        """
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        if not self._drained:
+            self._drained = True
+            self._backend.kill()
+            if self._own_store and self._store is not None:
+                self._store.close()
 
     # -- internals ------------------------------------------------------
     def _next_placeable(self):
@@ -359,6 +554,10 @@ class Scheduler:
                     self._execute(job, lane, est, enqueued_at)
                 else:
                     self._execute_batch(members, lane, est)
+            except BackendAborted:
+                # The backend died underneath us (abort/forced stop):
+                # exit cleanly, the run is being torn down.
+                return
             finally:
                 with self._cond:
                     self._in_flight -= len(members)
@@ -524,16 +723,18 @@ class Scheduler:
 
                 solved: list[SolveReport] = []
                 if len(reps) == 1:
-                    solved = [self.solve_fn(reps[0].request)]
+                    solved = [self._backend.solve(reps[0].request)]
                 elif reps:
                     try:
-                        solved = self.batch_solve_fn(
+                        solved = self._backend.solve_batch(
                             [j.request for j in reps])
+                    except BackendAborted:
+                        raise
                     except Exception:
                         # The fused sweep itself failed: de-fuse and
                         # run every representative alone.
                         self.tel.counter("serve.fusion.fallback").inc()
-                        solved = [self.solve_fn(j.request)
+                        solved = [self._backend.solve(j.request)
                                   for j in reps]
 
                 publishable: list[tuple[object, SolveReport]] = []
@@ -544,7 +745,7 @@ class Scheduler:
                         # it alone, siblings keep their results.
                         self.tel.counter(
                             "serve.fusion.member_retry").inc()
-                        report = self.solve_fn(rep_job.request)
+                        report = self._backend.solve(rep_job.request)
                     key = keys[rep_job.job_id]
                     if key is not None and report.stop not in REPLACE_ON:
                         publishable.append((key, report))
@@ -620,7 +821,7 @@ class Scheduler:
                                      + placement.attempt),
                 )
             try:
-                report = self.solve_fn(request)
+                report = self._backend.solve(request)
             except BaseException:
                 if leader and flight is not None:
                     with self._cond:

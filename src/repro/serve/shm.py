@@ -1,0 +1,349 @@
+"""Content-addressed shared-memory segment store for system arrays.
+
+The process worker pool (``Scheduler(backend="process")``) must hand
+each :class:`~repro.system.sparse.GaiaSystem` to its workers without
+pickling the coefficient arrays through a pipe -- the paper-scale
+60 GB system would be copied once per job.  Instead the parent
+:class:`SystemStore` *publishes* each system once into a
+:class:`multiprocessing.shared_memory.SharedMemory` segment named by
+the system's content digest (:func:`repro.serve.cache.system_digest`),
+and every worker :func:`attach`\\ es by digest, mapping the same
+physical pages zero-copy: the arrays a worker solves on are read-only
+NumPy views straight into the segment.
+
+Segment layout (one segment per system)::
+
+    [8-byte little-endian header length][pickled header][array blocks]
+
+The header carries the dimension tuple, the (name, shape, dtype,
+offset) table of the eight coefficient arrays -- each block 64-byte
+aligned -- and the (tiny) constraint rows pickled whole.  ``meta`` is
+*not* shipped: it is free-form provenance, irrelevant to the numerics,
+and reconstructed systems get a fresh ``{"shm_digest": ...}`` marker
+instead.  Content addressing makes publication idempotent: two
+publishers of byte-identical systems share one segment.
+
+Lifecycle: the parent store refcounts :meth:`SystemStore.release` and
+unlinks either eagerly (``linger=False``) when a count hits zero or at
+:meth:`SystemStore.close`.  Worker-side :func:`attach` handles close
+their mapping only -- the parent owns unlinking.  On Python < 3.13 the
+resource tracker registers *attaching* processes as owners too (no
+``track=`` parameter), which would double-unlink at worker exit --
+and because spawned children share the parent's tracker process,
+unregistering *after* the fact would strip the parent's legitimate
+claim.  :func:`attach` therefore suppresses registration during the
+mapping call, keeping single ownership with the publisher
+(``make serve-mp-smoke`` asserts zero leaked segments via
+:func:`active_segments`).
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import weakref
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
+
+import numpy as np
+
+from repro.serve.cache import system_digest
+from repro.system.constraints import ConstraintRow, ConstraintSet
+from repro.system.sparse import GaiaSystem
+from repro.system.structure import SystemDims
+
+#: Every segment the store creates is named with this prefix, which is
+#: what makes leak checks (:func:`active_segments`) possible.
+SEGMENT_PREFIX = "repro-shm-"
+
+#: Array blocks are aligned to cache-line boundaries.
+_ALIGN = 64
+
+#: The eight coefficient/index/rhs arrays shipped as raw blocks, in
+#: canonical order.
+_ARRAY_FIELDS = (
+    "astro_values", "matrix_index_astro",
+    "att_values", "matrix_index_att",
+    "instr_values", "instr_col",
+    "glob_values", "known_terms",
+)
+
+
+def _segment_name(digest: str) -> str:
+    """Shared-memory name of one system digest (content address)."""
+    return SEGMENT_PREFIX + digest[:40]
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _pack(system: GaiaSystem) -> tuple[bytes, list[tuple[str, np.ndarray, int]]]:
+    """Header bytes plus the (name, contiguous array, offset) plan."""
+    d = system.dims
+    entries = []
+    blocks: list[tuple[str, np.ndarray, int]] = []
+    offset = 0  # relative to the start of the array region
+    for name in _ARRAY_FIELDS:
+        arr = np.ascontiguousarray(getattr(system, name))
+        offset = _align(offset)
+        entries.append((name, arr.shape, arr.dtype.str, offset))
+        blocks.append((name, arr, offset))
+        offset += arr.nbytes
+    constraints = None
+    if system.constraints is not None:
+        constraints = [
+            (np.ascontiguousarray(r.cols), np.ascontiguousarray(r.vals),
+             float(r.rhs), r.label)
+            for r in system.constraints
+        ]
+    header = pickle.dumps({
+        "dims": (d.n_stars, d.n_obs, d.n_deg_freedom_att,
+                 d.n_instr_params, d.n_glob_params),
+        "arrays": entries,
+        "constraints": constraints,
+        "total": offset,
+    })
+    return header, blocks
+
+
+def _unpack(buf: memoryview, digest: str) -> GaiaSystem:
+    """Rebuild a system over read-only views into ``buf``."""
+    (hlen,) = np.frombuffer(buf[:8], dtype="<u8")
+    header = pickle.loads(bytes(buf[8:8 + int(hlen)]))
+    base = _align(8 + int(hlen))
+    arrays: dict[str, np.ndarray] = {}
+    for name, shape, dtype, offset in header["arrays"]:
+        start = base + offset
+        arr = np.frombuffer(
+            buf, dtype=np.dtype(dtype),
+            count=int(np.prod(shape, dtype=np.int64)) if shape else 1,
+            offset=start,
+        ).reshape(shape)
+        arr.flags.writeable = False
+        arrays[name] = arr
+    constraints = None
+    if header["constraints"] is not None:
+        constraints = ConstraintSet(rows=[
+            ConstraintRow(cols=cols, vals=vals, rhs=rhs, label=label)
+            for cols, vals, rhs, label in header["constraints"]
+        ])
+    dims = SystemDims(*header["dims"])
+    return GaiaSystem(
+        dims=dims,
+        constraints=constraints,
+        meta={"shm_digest": digest},
+        **arrays,
+    )
+
+
+#: Serializes the register-suppression window against concurrent
+#: owning creates, so a publisher never has its registration skipped.
+_TRACK_LOCK = threading.Lock()
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Map an existing segment without claiming tracker ownership.
+
+    On Python < 3.13 ``SharedMemory(name=...)`` registers the segment
+    with the resource tracker as if this process owned it, and spawned
+    workers share the parent's tracker -- so a later ``unregister``
+    from any attacher would strip the publisher's claim and an exit
+    would double-unlink.  Swapping ``register`` out for the duration
+    of the mapping call keeps the tracker's books exactly as the
+    publisher left them.
+    """
+    orig = resource_tracker.register
+
+    def _skip(n, rtype):
+        if rtype != "shared_memory":
+            orig(n, rtype)
+
+    with _TRACK_LOCK:
+        resource_tracker.register = _skip
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = orig
+
+
+@dataclass
+class AttachedSystem:
+    """A worker-side zero-copy view of one published system."""
+
+    digest: str
+    system: GaiaSystem
+    _shm: shared_memory.SharedMemory
+
+    def close(self) -> None:
+        """Unmap the segment (the parent owns unlinking)."""
+        # The system's arrays alias the mapping; drop them first so
+        # BufferError cannot fire on platforms that check exports.
+        self.system = None  # type: ignore[assignment]
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - view still exported
+            pass
+
+
+def attach(digest: str) -> AttachedSystem:
+    """Map one published system by digest (worker side, zero-copy)."""
+    shm = _attach_untracked(_segment_name(digest))
+    system = _unpack(shm.buf, digest)
+    return AttachedSystem(digest=digest, system=system, _shm=shm)
+
+
+def active_segments() -> list[str]:
+    """Names of every store segment currently live on this host.
+
+    POSIX shared memory is backed by ``/dev/shm``; a segment that
+    outlives every process is a leak this function makes visible
+    (``make serve-mp-smoke`` asserts it returns ``[]`` after a run).
+    """
+    root = Path("/dev/shm")
+    if not root.is_dir():  # pragma: no cover - non-POSIX host
+        return []
+    return sorted(p.name for p in root.glob(SEGMENT_PREFIX + "*"))
+
+
+class SystemStore:
+    """Parent-side publisher and owner of system segments.
+
+    ``publish`` is idempotent and content-addressed: the digest *is*
+    the key, byte-identical systems share one segment, and the digest
+    of an already-seen system object is memoized (by ``id``, with a
+    weakref guard against id reuse) so the hash is paid once per
+    object, not once per job.
+
+    ``linger=True`` (the default) keeps zero-refcount segments mapped
+    until :meth:`close` -- the serving pattern, where the next job for
+    a hot system arrives right after the last one released it.
+    ``linger=False`` unlinks eagerly at refcount zero.
+    """
+
+    def __init__(self, *, linger: bool = True) -> None:
+        self.linger = linger
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._refs: dict[str, int] = {}
+        self._closed = False
+        #: id(system) -> (weakref, digest) memo; the weakref callback
+        #: evicts the entry so a recycled id can never alias.
+        self._digest_memo: dict[int, tuple[weakref.ref, str]] = {}
+
+    # -- publishing -----------------------------------------------------
+    def digest_of(self, system: GaiaSystem) -> str:
+        """The (memoized) content digest of one system object."""
+        key = id(system)
+        memo = self._digest_memo.get(key)
+        if memo is not None and memo[0]() is system:
+            return memo[1]
+        digest = system_digest(system)
+        try:
+            ref = weakref.ref(system,
+                              lambda _: self._digest_memo.pop(key, None))
+            self._digest_memo[key] = (ref, digest)
+        except TypeError:  # pragma: no cover - unweakrefable subclass
+            pass
+        return digest
+
+    def publish(self, system: GaiaSystem) -> str:
+        """Ensure ``system`` is in shared memory; return its digest."""
+        if self._closed:
+            raise RuntimeError("SystemStore is closed")
+        digest = self.digest_of(system)
+        if digest in self._segments:
+            self._refs[digest] += 1
+            return digest
+        header, blocks = _pack(system)
+        total = _align(8 + len(header)) + _pack_total(blocks)
+        name = _segment_name(digest)
+        try:
+            with _TRACK_LOCK:
+                shm = shared_memory.SharedMemory(name=name, create=True,
+                                                 size=total)
+        except FileExistsError:
+            # Another publisher (or an earlier run) already holds this
+            # content; attach and co-own it.  Content addressing makes
+            # the bytes identical by construction.  The plain attach
+            # (tracker registration included) is deliberate: this
+            # store takes unlink responsibility for the segment.
+            shm = shared_memory.SharedMemory(name=name)
+        else:
+            buf = shm.buf
+            buf[:8] = np.uint64(len(header)).tobytes()
+            buf[8:8 + len(header)] = header
+            base = _align(8 + len(header))
+            for _, arr, offset in blocks:
+                start = base + offset
+                buf[start:start + arr.nbytes] = arr.tobytes()
+        self._segments[digest] = shm
+        self._refs[digest] = 1
+        return digest
+
+    # -- lifecycle ------------------------------------------------------
+    def attach(self, digest: str) -> GaiaSystem:
+        """In-process zero-copy view of one published system."""
+        shm = self._segments.get(digest)
+        if shm is None:
+            raise KeyError(f"digest {digest!r} is not published")
+        return _unpack(shm.buf, digest)
+
+    def refcount(self, digest: str) -> int:
+        """Outstanding publishes of one digest (0 when unknown)."""
+        return self._refs.get(digest, 0)
+
+    def release(self, digest: str) -> None:
+        """Drop one reference; unlink at zero unless lingering."""
+        if digest not in self._refs:
+            return
+        self._refs[digest] -= 1
+        if self._refs[digest] <= 0 and not self.linger:
+            self._unlink(digest)
+
+    def _unlink(self, digest: str) -> None:
+        shm = self._segments.pop(digest, None)
+        self._refs.pop(digest, None)
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - view still exported
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def close(self) -> None:
+        """Unlink every segment this store owns (idempotent)."""
+        for digest in list(self._segments):
+            self._unlink(digest)
+        self._digest_memo.clear()
+        self._closed = True
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __enter__(self) -> "SystemStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _pack_total(blocks: list[tuple[str, np.ndarray, int]]) -> int:
+    """Size of the array region described by a ``_pack`` plan."""
+    if not blocks:
+        return 0
+    _, arr, offset = blocks[-1]
+    return offset + arr.nbytes
+
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "AttachedSystem",
+    "SystemStore",
+    "active_segments",
+    "attach",
+]

@@ -1,0 +1,434 @@
+"""Pluggable execution backends for the scheduler's worker pool.
+
+The :class:`~repro.serve.scheduler.Scheduler` owns admission,
+placement, caching and re-placement; *how a placed request actually
+runs* is this module's job, behind one small surface:
+
+- :class:`ThreadBackend` -- today's behaviour, unchanged: the
+  scheduler's worker threads call ``scheduler.solve_fn`` /
+  ``scheduler.batch_solve_fn`` directly in-process.  Zero overhead,
+  full fidelity (callbacks, injected solve functions, telemetry
+  sinks), but concurrent numpy solves contend on the GIL.
+- :class:`ProcessBackend` -- a persistent pool of spawned worker
+  processes.  Requests travel as picklable
+  :class:`~repro.api.RequestSpec` values plus a system *digest*; each
+  worker attaches the system zero-copy from the shared-memory
+  :mod:`~repro.serve.shm` store, solves with the same
+  :func:`repro.api.solve`, and streams back a plain-data report
+  payload plus a serialized :mod:`repro.obs` dump that the parent
+  merges into its registry.  Identical numerics (the solve is a pure
+  function of the request), no GIL contention -- and the pool's width
+  is independent of the scheduler's dispatch width, so execution
+  parallelism can match the physical cores while admission/placement
+  concurrency stays as wide as the serving load needs.
+
+A request the process pool cannot ship -- a live ``callback`` or
+``telemetry`` object, or a scheduler with an injected ``solve_fn`` --
+runs inline in the parent (counted by ``serve.mp.inline``), so the
+process backend is always *correct*, merely less parallel for those
+jobs.
+
+Shutdown contract: :meth:`stop` is graceful (sentinel per worker,
+bounded join, then terminate leftovers); :meth:`kill` is immediate
+(abort path).  Both fail still-pending calls with
+:class:`BackendAborted` so no scheduler thread waits forever on a
+solve that will never return.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import signal
+import threading
+import traceback
+from typing import TYPE_CHECKING
+
+from repro.api import RequestSpec, SolveReport, SolveRequest
+from repro.api import solve as api_solve
+from repro.api import solve_batch as api_solve_batch
+from repro.core.engine import StopReason
+from repro.obs.telemetry import Telemetry
+from repro.serve import shm
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.scheduler import Scheduler
+
+
+class BackendAborted(RuntimeError):
+    """The backend was stopped/killed while this call was pending."""
+
+
+def report_to_payload(report: SolveReport) -> dict:
+    """Flatten a report to plain picklable data (worker -> parent).
+
+    ``raw`` (the driver-specific result object) is deliberately
+    dropped: it holds workspaces and engine internals that have no
+    business crossing a process boundary.  Everything the serving
+    layer and its tests consume survives.
+    """
+    return {
+        "x": report.x, "stop": int(report.stop), "itn": report.itn,
+        "r2norm": report.r2norm, "ranks": report.ranks,
+        "m": report.m, "n": report.n, "var": report.var,
+        "acond": report.acond,
+        "mean_iteration_time": report.mean_iteration_time,
+        "resilience": report.resilience, "job_id": report.job_id,
+    }
+
+
+def payload_to_report(payload: dict) -> SolveReport:
+    """Rebuild a :class:`SolveReport` from its wire payload."""
+    return SolveReport(
+        x=payload["x"], stop=StopReason(payload["stop"]),
+        itn=payload["itn"], r2norm=payload["r2norm"],
+        ranks=payload["ranks"], m=payload["m"], n=payload["n"],
+        var=payload["var"], acond=payload["acond"],
+        mean_iteration_time=payload["mean_iteration_time"],
+        resilience=payload["resilience"], raw=None,
+        job_id=payload["job_id"],
+    )
+
+
+class ThreadBackend:
+    """In-process execution: delegate to the scheduler's solve hooks.
+
+    Reads ``scheduler.solve_fn`` at call time (not construction), so
+    tests that swap the hook on a live scheduler keep working.
+    """
+
+    name = "thread"
+
+    def __init__(self, scheduler: "Scheduler") -> None:
+        self._scheduler = scheduler
+
+    def start(self) -> None:
+        """Nothing to spin up."""
+
+    def wait_ready(self, timeout: float | None = None) -> bool:
+        """Always ready."""
+        return True
+
+    def solve(self, request: SolveRequest) -> SolveReport:
+        """One solve on the calling thread."""
+        return self._scheduler.solve_fn(request)
+
+    def solve_batch(self, requests: list[SolveRequest]
+                    ) -> list[SolveReport]:
+        """One fused batch on the calling thread."""
+        return self._scheduler.batch_solve_fn(requests)
+
+    def stop(self, force: bool = False) -> None:
+        """Nothing to tear down."""
+
+    def kill(self) -> None:
+        """Nothing to kill."""
+
+
+class _Call:
+    """Parent-side slot for one in-flight worker call."""
+
+    __slots__ = ("event", "result", "error", "aborted")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result = None
+        self.error: str | None = None
+        self.aborted = False
+
+
+class ProcessBackend:
+    """A persistent pool of spawned solve processes.
+
+    The parent keeps one task queue and one result queue; a router
+    thread resolves results back to the waiting scheduler thread by
+    call id.  Workers attach systems from the shared-memory store by
+    digest (zero-copy) and cache the attachment, so a hot system is
+    mapped once per worker, not once per job.
+    """
+
+    name = "process"
+
+    def __init__(self, scheduler: "Scheduler", *, workers: int,
+                 store: "shm.SystemStore",
+                 mp_context: str = "spawn") -> None:
+        self._scheduler = scheduler
+        self._store = store
+        self._workers = workers
+        self._ctx = mp.get_context(mp_context)
+        self._procs: list[mp.process.BaseProcess] = []
+        self._task_q = None
+        self._result_q = None
+        self._router: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self._pending: dict[int, _Call] = {}
+        self._next_call = 0
+        self._ready = threading.Event()
+        self._ready_count = 0
+        self._stopping = False
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the workers and the result router (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self._task_q = self._ctx.Queue()
+        self._result_q = self._ctx.Queue()
+        self._procs = [
+            self._ctx.Process(
+                target=worker_main, name=f"serve-mp{i}",
+                args=(i, self._task_q, self._result_q), daemon=True)
+            for i in range(self._workers)
+        ]
+        for p in self._procs:
+            p.start()
+        self._router = threading.Thread(target=self._route,
+                                        name="serve-mp-router",
+                                        daemon=True)
+        self._router.start()
+
+    def wait_ready(self, timeout: float | None = None) -> bool:
+        """Block until every worker finished importing (or timeout).
+
+        Spawned workers pay a cold interpreter + import cost;
+        benchmarks call this so the measured window covers steady-state
+        serving, not process startup.
+        """
+        return self._ready.wait(timeout)
+
+    # -- execution ------------------------------------------------------
+    def _offloadable(self, request: SolveRequest) -> bool:
+        return (request.callback is None
+                and request.telemetry is None
+                and self._scheduler.solve_fn is api_solve)
+
+    def solve(self, request: SolveRequest) -> SolveReport:
+        """One solve in a worker process (or inline if unshippable)."""
+        if not self._offloadable(request):
+            self._scheduler.tel.counter("serve.mp.inline").inc()
+            return self._scheduler.solve_fn(request)
+        digest = self._store.publish(request.system)
+        collect = isinstance(self._scheduler.tel, Telemetry)
+        try:
+            payload, tel_dump = self._call(
+                ("solve", RequestSpec.from_request(request), digest,
+                 collect))
+        finally:
+            self._store.release(digest)
+        self._scheduler.tel.absorb(tel_dump, track_prefix="mp/")
+        return payload_to_report(payload)
+
+    def solve_batch(self, requests: list[SolveRequest]
+                    ) -> list[SolveReport]:
+        """One fused many-RHS batch in a worker process."""
+        if (self._scheduler.batch_solve_fn is not api_solve_batch
+                or not all(self._offloadable(r) for r in requests)):
+            self._scheduler.tel.counter("serve.mp.inline").inc()
+            return self._scheduler.batch_solve_fn(requests)
+        digests = [self._store.publish(r.system) for r in requests]
+        specs = [RequestSpec.from_request(r) for r in requests]
+        collect = isinstance(self._scheduler.tel, Telemetry)
+        try:
+            payloads, tel_dump = self._call(
+                ("batch", specs, digests, collect))
+        finally:
+            for digest in digests:
+                self._store.release(digest)
+        self._scheduler.tel.absorb(tel_dump, track_prefix="mp/")
+        return [payload_to_report(p) for p in payloads]
+
+    def _call(self, task: tuple):
+        """Dispatch one task and block until its result routes back."""
+        if not self._started or self._stopping:
+            raise BackendAborted("process backend is not running")
+        call = _Call()
+        with self._lock:
+            call_id = self._next_call
+            self._next_call += 1
+            self._pending[call_id] = call
+        self._task_q.put((call_id,) + task)
+        call.event.wait()
+        if call.aborted:
+            raise BackendAborted(
+                "process backend stopped while the call was pending")
+        if call.error is not None:
+            raise RuntimeError(
+                f"worker solve failed:\n{call.error}")
+        return call.result
+
+    # -- result routing -------------------------------------------------
+    def _route(self) -> None:
+        while True:
+            try:
+                msg = self._result_q.get(timeout=0.1)
+            except queue_mod.Empty:
+                dead = bool(self._procs) and all(
+                    not p.is_alive() for p in self._procs)
+                with self._lock:
+                    done = self._stopping and not self._pending
+                    orphaned = (list(self._pending.values())
+                                if dead else [])
+                    if dead:
+                        self._pending.clear()
+                for call in orphaned:
+                    call.error = ("every worker process died before "
+                                  "answering")
+                    call.event.set()
+                if done or dead:
+                    return
+                continue
+            except (OSError, EOFError):  # pragma: no cover - torn queue
+                return
+            kind = msg[0]
+            if kind == "ready":
+                self._ready_count += 1
+                if self._ready_count >= self._workers:
+                    self._ready.set()
+                continue
+            if kind == "exit":
+                continue
+            _, call_id, status, body = msg
+            with self._lock:
+                call = self._pending.pop(call_id, None)
+            if call is None:
+                continue
+            if status == "ok":
+                call.result = body
+            else:
+                call.error = body
+            call.event.set()
+
+    # -- shutdown -------------------------------------------------------
+    def stop(self, force: bool = False, timeout: float = 5.0) -> None:
+        """Graceful shutdown: sentinels, bounded join, then terminate.
+
+        ``force=True`` skips the grace period (a stuck parent worker
+        was already detected; its in-flight call will never be
+        consumed).
+        """
+        if not self._started or self._stopping:
+            return
+        self._stopping = True
+        if not force:
+            for _ in self._procs:
+                try:
+                    self._task_q.put(None)
+                except (OSError, ValueError):  # pragma: no cover
+                    break
+            for p in self._procs:
+                p.join(timeout)
+        for p in self._procs:
+            if p.is_alive():
+                p.terminate()
+                p.join(1.0)
+        self._fail_pending()
+        self._teardown()
+
+    def kill(self) -> None:
+        """Immediate teardown (abort path): terminate everything."""
+        if not self._started:
+            return
+        self._stopping = True
+        for p in self._procs:
+            if p.is_alive():
+                p.terminate()
+        for p in self._procs:
+            p.join(1.0)
+        self._fail_pending()
+        self._teardown()
+
+    def _fail_pending(self) -> None:
+        with self._lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for call in pending:
+            call.aborted = True
+            call.event.set()
+
+    def _teardown(self) -> None:
+        for q in (self._task_q, self._result_q):
+            if q is None:
+                continue
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+
+    @property
+    def alive_workers(self) -> int:
+        """How many worker processes are currently alive."""
+        return sum(1 for p in self._procs if p.is_alive())
+
+
+def worker_main(worker_id: int, task_q, result_q) -> None:
+    """Entry point of one spawned solve worker.
+
+    Attaches systems from the shared-memory store by digest (cached
+    per worker -- a hot system is mapped once), runs the exact same
+    :func:`repro.api.solve` / :func:`repro.api.solve_batch` the thread
+    backend runs, and ships back plain-data payloads plus an optional
+    telemetry dump.  A failing task answers with the traceback and the
+    worker keeps serving; only the ``None`` sentinel (or a terminate)
+    ends it.
+    """
+    # The parent owns interrupt handling; a Ctrl-C must not tear the
+    # pool down underneath a graceful drain.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic host
+        pass
+    attached: dict[str, shm.AttachedSystem] = {}
+    result_q.put(("ready", worker_id, None, None))
+
+    def _system(digest: str):
+        att = attached.get(digest)
+        if att is None:
+            att = attached[digest] = shm.attach(digest)
+        return att.system
+
+    try:
+        while True:
+            task = task_q.get()
+            if task is None:
+                break
+            call_id, kind = task[0], task[1]
+            try:
+                tel = Telemetry() if task[-1] else None
+                if kind == "solve":
+                    _, _, spec, digest, _ = task
+                    request = spec.to_request(_system(digest),
+                                              telemetry=tel)
+                    body = report_to_payload(api_solve(request))
+                else:
+                    _, _, specs, digests, _ = task
+                    requests = [
+                        spec.to_request(_system(digest), telemetry=tel)
+                        for spec, digest in zip(specs, digests)
+                    ]
+                    body = [report_to_payload(r)
+                            for r in api_solve_batch(requests)]
+                dump = tel.dump() if tel is not None else None
+                result_q.put(("result", call_id, "ok", (body, dump)))
+            except BaseException:
+                result_q.put(("result", call_id, "err",
+                              traceback.format_exc()))
+    finally:
+        for att in attached.values():
+            att.close()
+        try:
+            result_q.put(("exit", worker_id, None, None))
+        except (OSError, ValueError):  # pragma: no cover
+            pass
+
+
+__all__ = [
+    "BackendAborted",
+    "ProcessBackend",
+    "ThreadBackend",
+    "payload_to_report",
+    "report_to_payload",
+    "worker_main",
+]

@@ -259,3 +259,43 @@ def test_markdown_summary_empty_telemetry():
     text = to_markdown(Telemetry())
     assert "no spans recorded" in text
     assert "no counters recorded" in text
+
+
+# ----------------------------------------------------------------------
+# Cross-process dump/absorb (the worker-pool wire format)
+# ----------------------------------------------------------------------
+def test_dump_absorb_merges_metrics_and_rebases_spans():
+    from repro.obs import NullTelemetry
+
+    remote = Telemetry()
+    with remote.span("solve", job="j1"):
+        remote.counter("kernel_calls").inc(3)
+        remote.histogram("exec_s").observe(0.5)
+    remote.gauge("depth").set(7)
+    dump = remote.dump()
+    assert set(dump) >= {"metrics", "spans", "perf_anchor",
+                         "wall_anchor"}
+
+    parent = Telemetry()
+    parent.counter("kernel_calls").inc(1)
+    parent.absorb(dump, track_prefix="mp/")
+
+    assert parent.counter("kernel_calls").value == 4
+    assert parent.gauge("depth").value == 7
+    (span,) = parent.spans
+    assert span.name == "solve"
+    assert span.track.startswith("mp/")
+    # Rebasing keeps the span's duration and lands it near "now" on
+    # the parent clock (both clocks run in this process, so the wall
+    # anchors agree to within scheduling noise).
+    src = remote.spans[0]
+    assert (span.end - span.start) == pytest.approx(src.end - src.start)
+    assert abs(span.start - src.start) < 5.0
+
+    # Absorbing nothing is a no-op on both implementations.
+    parent.absorb(None)
+    assert len(parent.spans) == 1
+    null = NullTelemetry()
+    assert null.dump() is None
+    null.absorb(dump, track_prefix="mp/")
+    assert null.spans == []

@@ -217,7 +217,8 @@ def test_cache_serves_bitwise_identical_reports(small_system):
     assert cached is not None
     np.testing.assert_array_equal(cached.x, report.x)
     assert cache.stats() == {"hits": 1, "misses": 1, "evictions": 0,
-                             "size": 1}
+                             "size": 1, "solutions": 0,
+                             "solution_bytes": 0}
 
 
 def test_cache_lru_eviction(small_system):
@@ -233,6 +234,48 @@ def test_cache_lru_eviction(small_system):
         SolveRequest(system=small_system, iter_lim=5))) is None
     assert cache.get(cache.key(
         SolveRequest(system=small_system, iter_lim=7))) is not None
+
+
+def test_cache_stores_solutions_within_budget(small_system):
+    req = SolveRequest(system=small_system, iter_lim=10)
+    report = solve(req)
+    budget = report.x.nbytes  # room for exactly one vector
+    cache = ResultCache(8, store_solutions=budget)
+    key = cache.key(req)
+    cache.put(key, report)
+    digest = key[0]
+    np.testing.assert_array_equal(cache.solution(digest), report.x)
+    stats = cache.stats()
+    assert stats["solutions"] == 1
+    assert stats["solution_bytes"] == report.x.nbytes
+    # Keyed by system digest alone: a different config, same system,
+    # overwrites rather than accumulates.
+    req2 = SolveRequest(system=small_system, iter_lim=11)
+    cache.put(cache.key(req2), solve(req2))
+    assert cache.stats()["solutions"] == 1
+
+
+def test_cache_solution_budget_evicts_lru(small_system, noglob_system):
+    r1 = solve(SolveRequest(system=small_system, iter_lim=10))
+    r2 = solve(SolveRequest(system=noglob_system, iter_lim=10))
+    cache = ResultCache(8, store_solutions=max(r1.x.nbytes,
+                                               r2.x.nbytes))
+    k1 = cache.key(SolveRequest(system=small_system, iter_lim=10))
+    k2 = cache.key(SolveRequest(system=noglob_system, iter_lim=10))
+    cache.put(k1, r1)
+    cache.put(k2, r2)  # over budget -> the older solution is evicted
+    assert cache.solution(k1[0]) is None
+    np.testing.assert_array_equal(cache.solution(k2[0]), r2.x)
+    assert cache.stats()["solutions"] == 1
+
+
+def test_cache_solutions_off_by_default(small_system):
+    cache = ResultCache(8)
+    req = SolveRequest(system=small_system, iter_lim=10)
+    key = cache.key(req)
+    cache.put(key, solve(req))
+    assert cache.solution(key[0]) is None
+    assert cache.stats()["solution_bytes"] == 0
 
 
 # ---------------------------------------------------------------------

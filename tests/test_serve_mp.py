@@ -1,0 +1,313 @@
+"""Tests for the process worker backend and the shared-memory store.
+
+The acceptance contract of ``Scheduler(backend="process")``: identical
+numerics to the thread backend (the solve is a pure function of the
+request, wherever it runs), zero leaked shared-memory segments under
+every exit path (drain, abort, KeyboardInterrupt), and a graceful
+shutdown that surfaces stuck workers instead of hanging.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import RequestSpec, SolveReport, SolveRequest
+from repro.core.engine import StopReason
+from repro.obs.telemetry import Telemetry
+from repro.serve import (
+    AdmissionDecision,
+    DevicePool,
+    LoadGenerator,
+    LoadSpec,
+    Scheduler,
+    ServeJob,
+    SystemStore,
+    active_segments,
+    run_closed_loop,
+)
+from repro.serve.shm import attach
+from repro.system.constraints import ConstraintRow, ConstraintSet
+from repro.system.generator import make_system
+from repro.system.sizing import dims_from_gb
+
+POOL = ("V100", "A100", "H100", "MI250X")
+
+#: Small, fully deterministic workload shared by the equivalence tests.
+MP_SPEC = LoadSpec(n_jobs=6, mix=((10.0, 1.0),), distinct_systems=2,
+                   scale=1e-4, iter_lim=30, seed=5)
+
+_ARRAY_FIELDS = (
+    "astro_values", "matrix_index_astro", "att_values",
+    "matrix_index_att", "instr_values", "instr_col", "glob_values",
+    "known_terms",
+)
+
+
+def _small_system(seed: int = 11, with_constraints: bool = False):
+    system = make_system(dims_from_gb(10.0 * 1e-4), seed=seed,
+                         noise_sigma=1e-9)
+    if with_constraints:
+        rows = ConstraintSet(rows=[ConstraintRow(
+            cols=np.array([0, 1, 2], dtype=np.int64),
+            vals=np.array([1.0, -2.0, 1.0]),
+            rhs=0.5, label="test-row")])
+        system = dataclasses.replace(system, constraints=rows)
+    return system
+
+
+def _sched(backend: str, **kwargs) -> Scheduler:
+    return Scheduler(DevicePool(POOL, per_gcd=True),
+                     backend=backend, **kwargs)
+
+
+# ---------------------------------------------------------------------
+# shared-memory store
+# ---------------------------------------------------------------------
+
+def test_shm_publish_attach_roundtrip():
+    system = _small_system(with_constraints=True)
+    with SystemStore() as store:
+        digest = store.publish(system)
+        assert store.refcount(digest) == 1
+
+        # In-process view: every array bit-identical and read-only.
+        view = store.attach(digest)
+        for name in _ARRAY_FIELDS:
+            got, want = getattr(view, name), getattr(system, name)
+            assert np.array_equal(got, want)
+            assert got.dtype == want.dtype
+            assert not got.flags.writeable
+        assert view.dims == system.dims
+        assert view.meta["shm_digest"] == digest
+        rows = list(view.constraints)
+        assert len(rows) == 1
+        assert rows[0].label == "test-row"
+        assert rows[0].rhs == 0.5
+        assert np.array_equal(rows[0].cols, np.array([0, 1, 2]))
+
+        # Worker-style attach by digest (fresh mapping).
+        att = attach(digest)
+        assert np.array_equal(att.system.known_terms,
+                              system.known_terms)
+        att.close()
+
+        # Republishing the same object is memoized + refcounted.
+        assert store.publish(system) == digest
+        assert store.refcount(digest) == 2
+        assert len(store) == 1
+        # Drop the zero-copy views before the store unlinks, so the
+        # mapping can actually close.
+        del view, rows, got, want
+    assert active_segments() == []
+
+
+def test_shm_release_unlinks_eagerly_without_linger():
+    store = SystemStore(linger=False)
+    digest = store.publish(_small_system())
+    assert len(active_segments()) == 1
+    store.release(digest)  # refcount hits zero -> eager unlink
+    assert len(store) == 0
+    assert store.refcount(digest) == 0
+    assert active_segments() == []
+    store.release(digest)  # releasing an unknown digest is a no-op
+    store.close()
+
+
+def test_shm_close_is_idempotent_and_publish_after_close_fails():
+    store = SystemStore()
+    store.publish(_small_system())
+    store.close()
+    store.close()
+    assert active_segments() == []
+    with pytest.raises(RuntimeError):
+        store.publish(_small_system())
+
+
+def test_request_spec_roundtrip():
+    system = _small_system()
+    request = SolveRequest(system=system, iter_lim=17, atol=1e-9,
+                           damp=0.25, seed=42, job_id="rt-1")
+    spec = RequestSpec.from_request(request)
+    rebuilt = spec.to_request(system)
+    assert rebuilt.system is system
+    assert rebuilt.iter_lim == 17
+    assert rebuilt.atol == 1e-9
+    assert rebuilt.damp == 0.25
+    assert rebuilt.seed == 42
+    assert rebuilt.job_id == "rt-1"
+    assert rebuilt.telemetry is None
+
+
+# ---------------------------------------------------------------------
+# thread/process equivalence
+# ---------------------------------------------------------------------
+
+def test_process_backend_bitwise_identical_to_thread():
+    """The tentpole contract: same scenario, same bits, either backend.
+
+    Also exercises the async front end (submit/start/drain) and the
+    cross-process telemetry merge, and checks the run leaves no
+    shared-memory segments behind.
+    """
+    jobs = LoadGenerator(MP_SPEC).jobs()
+
+    thread_sched = _sched("thread", workers=2)
+    thread_report = thread_sched.run(LoadGenerator(MP_SPEC).jobs())
+
+    tel = Telemetry()
+    proc_sched = _sched("process", workers=2, drain_timeout=120.0,
+                        telemetry=tel)
+    for job in jobs:
+        assert proc_sched.submit(job) is AdmissionDecision.ADMITTED
+    proc_sched.start()
+    proc_report = proc_sched.drain()
+
+    assert proc_report.backend == "process"
+    assert proc_report.stuck_workers == ()
+    assert len(proc_report.completed) == MP_SPEC.n_jobs
+    thread_x = {o.job.job_id: o.report.x
+                for o in thread_report.completed}
+    proc_x = {o.job.job_id: o.report.x for o in proc_report.completed}
+    assert set(thread_x) == set(proc_x)
+    for job_id in thread_x:
+        assert np.array_equal(thread_x[job_id], proc_x[job_id]), job_id
+
+    # Worker spans came back rebased onto the parent clock.
+    assert any(s.track.startswith("mp/") for s in tel.spans)
+    assert active_segments() == []
+
+
+def test_process_backend_inline_fallback_for_injected_solve_fn():
+    def stub(request):
+        return SolveReport(x=np.zeros(3), stop=StopReason.ATOL_BTOL,
+                           itn=1, r2norm=0.0, ranks=1, m=3, n=3)
+
+    tel = Telemetry()
+    sched = _sched("process", workers=1, solve_fn=stub, telemetry=tel)
+    job = ServeJob(request=SolveRequest(system=_small_system(),
+                                        iter_lim=5),
+                   nominal_gb=10.0)
+    report = sched.run([job])
+    assert len(report.completed) == 1
+    assert tel.counter("serve.mp.inline").value >= 1
+    assert active_segments() == []
+
+
+# ---------------------------------------------------------------------
+# drain / shutdown
+# ---------------------------------------------------------------------
+
+def test_graceful_drain_finishes_jobs_in_flight():
+    release = threading.Event()
+    started = threading.Event()
+
+    def slow(request):
+        started.set()
+        assert release.wait(10.0)
+        return SolveReport(x=np.zeros(2), stop=StopReason.ATOL_BTOL,
+                           itn=1, r2norm=0.0, ranks=1, m=2, n=2)
+
+    sched = _sched("thread", workers=1, solve_fn=slow,
+                   drain_timeout=30.0)
+    sched.submit(ServeJob(request=SolveRequest(system=_small_system(),
+                                               iter_lim=5),
+                          nominal_gb=10.0))
+    sched.start()
+    assert started.wait(10.0)
+    # Admission closes the moment drain begins; the in-flight job
+    # still completes.
+    release.set()
+    report = sched.drain()
+    assert len(report.completed) == 1
+    assert report.stuck_workers == ()
+    late = sched.submit(ServeJob(
+        request=SolveRequest(system=_small_system(), iter_lim=5),
+        nominal_gb=10.0))
+    assert late is AdmissionDecision.REJECTED_CLOSED
+
+
+def test_drain_timeout_surfaces_stuck_worker():
+    release = threading.Event()
+    started = threading.Event()
+
+    def wedged(request):
+        started.set()
+        assert release.wait(30.0)
+        return SolveReport(x=np.zeros(2), stop=StopReason.ATOL_BTOL,
+                           itn=1, r2norm=0.0, ranks=1, m=2, n=2)
+
+    tel = Telemetry()
+    sched = _sched("thread", workers=1, solve_fn=wedged,
+                   drain_timeout=0.2, telemetry=tel)
+    sched.submit(ServeJob(request=SolveRequest(system=_small_system(),
+                                               iter_lim=5),
+                          nominal_gb=10.0))
+    sched.start()
+    assert started.wait(10.0)
+    report = sched.drain()  # bounded: returns despite the wedge
+    assert report.stuck_workers == ("serve-w0",)
+    assert tel.counter("serve.workers_stuck").value == 1
+    assert "stuck" in report.summary()
+    # Unwedge and let the thread exit so the test leaves nothing behind.
+    release.set()
+    sched._threads[0].join(10.0)
+    assert not sched._threads[0].is_alive()
+
+
+def test_keyboard_interrupt_leaves_no_processes_or_segments():
+    sched = _sched("process", workers=1, drain_timeout=30.0)
+    jobs = [ServeJob(request=SolveRequest(system=_small_system(seed=s),
+                                          iter_lim=5),
+                     nominal_gb=10.0, arrival_s=0.05 * (s + 1))
+            for s in range(3)]
+
+    def interrupted(delay):
+        raise KeyboardInterrupt
+
+    sched._sleep = interrupted
+    with pytest.raises(KeyboardInterrupt):
+        sched.run(jobs)
+    deadline = time.perf_counter() + 10.0
+    procs = sched._backend._procs
+    while (any(p.is_alive() for p in procs)
+           and time.perf_counter() < deadline):
+        time.sleep(0.05)
+    assert not any(p.is_alive() for p in procs)
+    assert active_segments() == []
+    # The run is closed for good: late submissions bounce.
+    late = sched.submit(ServeJob(
+        request=SolveRequest(system=_small_system(), iter_lim=5),
+        nominal_gb=10.0))
+    assert late is AdmissionDecision.REJECTED_CLOSED
+
+
+# ---------------------------------------------------------------------
+# closed-loop driver
+# ---------------------------------------------------------------------
+
+def test_run_closed_loop_bounds_outstanding_jobs():
+    lock = threading.Lock()
+    state = {"now": 0, "max": 0}
+
+    def tracked(request):
+        with lock:
+            state["now"] += 1
+            state["max"] = max(state["max"], state["now"])
+        time.sleep(0.02)
+        with lock:
+            state["now"] -= 1
+        return SolveReport(x=np.zeros(2), stop=StopReason.ATOL_BTOL,
+                           itn=1, r2norm=0.0, ranks=1, m=2, n=2)
+
+    sched = _sched("thread", workers=4, solve_fn=tracked)
+    jobs = [ServeJob(request=SolveRequest(system=_small_system(),
+                                          iter_lim=5),
+                     nominal_gb=10.0) for _ in range(10)]
+    report = run_closed_loop(sched, jobs, concurrency=2)
+    assert len(report.completed) == 10
+    assert state["max"] <= 2
