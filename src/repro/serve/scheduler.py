@@ -46,7 +46,12 @@ dispatcher with a bounded timeout, and *surface* workers that never
 came back (``serve.workers_stuck`` counter,
 :attr:`ServeReport.stuck_workers`) instead of hanging the caller.
 :meth:`Scheduler.run` is the batch convenience wrapping all three,
-plus the open-loop arrival process.
+plus the open-loop arrival process.  A solve that *raises* -- a
+worker-process traceback, a buggy injected hook -- is contained, not
+propagated: the job gets a failed :class:`JobOutcome`
+(``serve.job_failures`` counter, :attr:`ServeReport.failed`) and the
+dispatcher keeps serving, so one poisoned request can neither shrink
+the dispatcher pool nor strand a drain.
 
 Determinism: with ``workers=1`` the placement log and cache hit/miss
 sequence are a pure function of the submission sequence -- the queue
@@ -117,6 +122,9 @@ class JobOutcome:
     placements: tuple[Placement, ...] = ()
     queue_wait_s: float = 0.0
     exec_s: float = 0.0
+    #: Why an admitted job produced no report (a solve that raised --
+    #: e.g. a worker-process traceback); None for clean outcomes.
+    error: str | None = None
 
     @property
     def placement(self) -> Placement | None:
@@ -149,6 +157,13 @@ class ServeReport:
         """Outcomes shed by admission control."""
         return [o for o in self.outcomes
                 if o.decision is not AdmissionDecision.ADMITTED]
+
+    @property
+    def failed(self) -> list[JobOutcome]:
+        """Admitted outcomes whose solve raised instead of reporting."""
+        return [o for o in self.outcomes
+                if o.decision is AdmissionDecision.ADMITTED
+                and o.report is None]
 
     @property
     def throughput_jobs_per_s(self) -> float:
@@ -193,6 +208,12 @@ class ServeReport:
             lines.append(
                 f"request fusion: {len(fused)} job(s) solved in "
                 f"{batches} fused batch(es)")
+        failed = self.failed
+        if failed:
+            lines.append(
+                f"WARNING: {len(failed)} job(s) failed: "
+                + ", ".join(o.job.job_id for o in failed[:5])
+                + (" ..." if len(failed) > 5 else ""))
         if self.stuck_workers:
             lines.append(
                 "WARNING: worker(s) stuck past the drain timeout: "
@@ -558,6 +579,24 @@ class Scheduler:
                 # The backend died underneath us (abort/forced stop):
                 # exit cleanly, the run is being torn down.
                 return
+            except Exception as exc:
+                # A solve failed outright -- a worker-process
+                # traceback, a buggy injected solve_fn.  The members
+                # get failed outcomes and this dispatcher keeps
+                # serving: letting the exception fly would silently
+                # shrink the dispatcher pool and leave drain() /
+                # wait_for_outcomes() waiting for outcomes that will
+                # never arrive.
+                self.tel.counter("serve.job_failures").inc(len(members))
+                now = time.perf_counter()
+                with self._cond:
+                    for mjob, menq in members:
+                        self.outcomes.append(JobOutcome(
+                            job=mjob,
+                            decision=AdmissionDecision.ADMITTED,
+                            queue_wait_s=now - menq,
+                            error=f"{type(exc).__name__}: {exc}",
+                        ))
             finally:
                 with self._cond:
                     self._in_flight -= len(members)

@@ -23,6 +23,15 @@ and reconstructed systems get a fresh ``{"shm_digest": ...}`` marker
 instead.  Content addressing makes publication idempotent: two
 publishers of byte-identical systems share one segment.
 
+The header-length field doubles as the **publication marker**: a
+fresh segment is zero-filled, the publisher writes header and array
+blocks first and the length field *last*, so a nonzero length means
+the segment is complete.  A publisher whose create loses the name
+race (:class:`FileExistsError`) waits for the marker before co-owning
+the segment, and a segment whose marker never appears -- a partial
+leftover of a crashed earlier run -- is unlinked and re-created
+rather than served as garbage under a valid content address.
+
 Lifecycle: the parent store refcounts :meth:`SystemStore.release` and
 unlinks either eagerly (``linger=False``) when a count hits zero or at
 :meth:`SystemStore.close`.  Worker-side :func:`attach` handles close
@@ -41,6 +50,7 @@ from __future__ import annotations
 
 import pickle
 import threading
+import time
 import weakref
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
@@ -59,6 +69,11 @@ SEGMENT_PREFIX = "repro-shm-"
 
 #: Array blocks are aligned to cache-line boundaries.
 _ALIGN = 64
+
+#: How long ``publish`` waits for a same-name segment created by a
+#: concurrent publisher to carry its completion marker before
+#: declaring it a stale leftover of a crashed run and re-creating it.
+_ADOPT_TIMEOUT_S = 10.0
 
 #: The eight coefficient/index/rhs arrays shipped as raw blocks, in
 #: canonical order.
@@ -106,6 +121,43 @@ def _pack(system: GaiaSystem) -> tuple[bytes, list[tuple[str, np.ndarray, int]]]
         "total": offset,
     })
     return header, blocks
+
+
+def _write_segment(shm_seg: shared_memory.SharedMemory, header: bytes,
+                   blocks: list[tuple[str, np.ndarray, int]]) -> None:
+    """Fill a fresh (zero-filled) segment; publication marker last.
+
+    The 8-byte header-length field stays zero until every other byte
+    is in place, so a concurrent or later attacher can tell a complete
+    publication from a partial one.
+    """
+    buf = shm_seg.buf
+    buf[8:8 + len(header)] = header
+    base = _align(8 + len(header))
+    for _, arr, offset in blocks:
+        start = base + offset
+        buf[start:start + arr.nbytes] = arr.tobytes()
+    buf[:8] = np.uint64(len(header)).tobytes()
+
+
+def _segment_ready(shm_seg: shared_memory.SharedMemory) -> bool:
+    """True when the segment carries a complete publication.
+
+    Checks the publication marker (nonzero header length written last
+    by :func:`_write_segment`) and cross-checks the header's recorded
+    array-region size against the mapping, so a partially written
+    leftover never validates.
+    """
+    (hlen,) = np.frombuffer(shm_seg.buf[:8], dtype="<u8")
+    hlen = int(hlen)
+    if hlen == 0 or 8 + hlen > shm_seg.size:
+        return False
+    try:
+        header = pickle.loads(bytes(shm_seg.buf[8:8 + hlen]))
+        total = _align(8 + hlen) + int(header["total"])
+    except Exception:
+        return False
+    return total <= shm_seg.size
 
 
 def _unpack(buf: memoryview, digest: str) -> GaiaSystem:
@@ -190,6 +242,11 @@ class AttachedSystem:
 def attach(digest: str) -> AttachedSystem:
     """Map one published system by digest (worker side, zero-copy)."""
     shm = _attach_untracked(_segment_name(digest))
+    if not _segment_ready(shm):
+        shm.close()
+        raise RuntimeError(
+            f"segment for digest {digest!r} is incomplete "
+            "(publisher crashed mid-write?)")
     system = _unpack(shm.buf, digest)
     return AttachedSystem(digest=digest, system=system, _shm=shm)
 
@@ -220,10 +277,16 @@ class SystemStore:
     until :meth:`close` -- the serving pattern, where the next job for
     a hot system arrives right after the last one released it.
     ``linger=False`` unlinks eagerly at refcount zero.
+
+    Every mutation (publish/release/close) is serialized by one store
+    lock, so concurrent scheduler dispatchers publishing the same
+    system cannot hand out a digest while its blocks are still being
+    copied, and refcounts stay exact under concurrent publish/release.
     """
 
     def __init__(self, *, linger: bool = True) -> None:
         self.linger = linger
+        self._lock = threading.Lock()
         self._segments: dict[str, shared_memory.SharedMemory] = {}
         self._refs: dict[str, int] = {}
         self._closed = False
@@ -249,59 +312,89 @@ class SystemStore:
 
     def publish(self, system: GaiaSystem) -> str:
         """Ensure ``system`` is in shared memory; return its digest."""
-        if self._closed:
-            raise RuntimeError("SystemStore is closed")
-        digest = self.digest_of(system)
-        if digest in self._segments:
-            self._refs[digest] += 1
+        digest = self.digest_of(system)  # hash outside the lock
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("SystemStore is closed")
+            if digest in self._segments:
+                self._refs[digest] += 1
+                return digest
+            header, blocks = _pack(system)
+            total = _align(8 + len(header)) + _pack_total(blocks)
+            shm = self._create_or_adopt(_segment_name(digest), total,
+                                        header, blocks)
+            self._segments[digest] = shm
+            self._refs[digest] = 1
             return digest
-        header, blocks = _pack(system)
-        total = _align(8 + len(header)) + _pack_total(blocks)
-        name = _segment_name(digest)
-        try:
-            with _TRACK_LOCK:
-                shm = shared_memory.SharedMemory(name=name, create=True,
-                                                 size=total)
-        except FileExistsError:
-            # Another publisher (or an earlier run) already holds this
-            # content; attach and co-own it.  Content addressing makes
-            # the bytes identical by construction.  The plain attach
-            # (tracker registration included) is deliberate: this
-            # store takes unlink responsibility for the segment.
-            shm = shared_memory.SharedMemory(name=name)
-        else:
-            buf = shm.buf
-            buf[:8] = np.uint64(len(header)).tobytes()
-            buf[8:8 + len(header)] = header
-            base = _align(8 + len(header))
-            for _, arr, offset in blocks:
-                start = base + offset
-                buf[start:start + arr.nbytes] = arr.tobytes()
-        self._segments[digest] = shm
-        self._refs[digest] = 1
-        return digest
+
+    def _create_or_adopt(self, name: str, total: int, header: bytes,
+                         blocks: list[tuple[str, np.ndarray, int]]
+                         ) -> shared_memory.SharedMemory:
+        """Create-and-fill the named segment, or co-own a complete one.
+
+        A same-name segment can already exist for two reasons: another
+        live publisher (a second store in this or another process) is
+        mid-write, or a crashed earlier run left a partial segment
+        behind.  The publication marker tells them apart: wait up to
+        ``_ADOPT_TIMEOUT_S`` for the marker, co-own the segment once
+        it validates, and unlink-and-recreate if it never does.  The
+        plain attach (tracker registration included) is deliberate:
+        this store takes unlink responsibility for the segment.
+        """
+        while True:
+            try:
+                with _TRACK_LOCK:
+                    seg = shared_memory.SharedMemory(
+                        name=name, create=True, size=total)
+            except FileExistsError:
+                pass
+            else:
+                _write_segment(seg, header, blocks)
+                return seg
+            try:
+                seg = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                continue  # unlinked under us; retry the create
+            deadline = time.monotonic() + _ADOPT_TIMEOUT_S
+            while not _segment_ready(seg):
+                if time.monotonic() >= deadline:
+                    # Stale partial leftover: reclaim the name.
+                    try:
+                        seg.unlink()
+                    except FileNotFoundError:  # pragma: no cover
+                        pass
+                    seg.close()
+                    seg = None
+                    break
+                time.sleep(0.01)
+            if seg is not None:
+                return seg
 
     # -- lifecycle ------------------------------------------------------
     def attach(self, digest: str) -> GaiaSystem:
         """In-process zero-copy view of one published system."""
-        shm = self._segments.get(digest)
+        with self._lock:
+            shm = self._segments.get(digest)
         if shm is None:
             raise KeyError(f"digest {digest!r} is not published")
         return _unpack(shm.buf, digest)
 
     def refcount(self, digest: str) -> int:
         """Outstanding publishes of one digest (0 when unknown)."""
-        return self._refs.get(digest, 0)
+        with self._lock:
+            return self._refs.get(digest, 0)
 
     def release(self, digest: str) -> None:
         """Drop one reference; unlink at zero unless lingering."""
-        if digest not in self._refs:
-            return
-        self._refs[digest] -= 1
-        if self._refs[digest] <= 0 and not self.linger:
-            self._unlink(digest)
+        with self._lock:
+            if digest not in self._refs:
+                return
+            self._refs[digest] -= 1
+            if self._refs[digest] <= 0 and not self.linger:
+                self._unlink(digest)
 
     def _unlink(self, digest: str) -> None:
+        """Drop and unlink one segment (``self._lock`` must be held)."""
         shm = self._segments.pop(digest, None)
         self._refs.pop(digest, None)
         if shm is None:
@@ -317,10 +410,11 @@ class SystemStore:
 
     def close(self) -> None:
         """Unlink every segment this store owns (idempotent)."""
-        for digest in list(self._segments):
-            self._unlink(digest)
-        self._digest_memo.clear()
-        self._closed = True
+        with self._lock:
+            for digest in list(self._segments):
+                self._unlink(digest)
+            self._digest_memo.clear()
+            self._closed = True
 
     def __len__(self) -> int:
         return len(self._segments)

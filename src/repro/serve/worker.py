@@ -241,14 +241,28 @@ class ProcessBackend:
 
     def _call(self, task: tuple):
         """Dispatch one task and block until its result routes back."""
-        if not self._started or self._stopping:
-            raise BackendAborted("process backend is not running")
         call = _Call()
         with self._lock:
+            # The liveness check and the _pending insert are one
+            # atomic step: stop()/kill() flip _stopping under this
+            # lock before failing _pending, so a racing call either
+            # registers in time to be failed or is rejected here --
+            # it can never register *after* _fail_pending ran and
+            # then wait forever.
+            if not self._started or self._stopping:
+                raise BackendAborted("process backend is not running")
             call_id = self._next_call
             self._next_call += 1
             self._pending[call_id] = call
-        self._task_q.put((call_id,) + task)
+        try:
+            self._task_q.put((call_id,) + task)
+        except (OSError, ValueError):
+            # Teardown closed the queue between our registration and
+            # the put; unregister and fail like any aborted call.
+            with self._lock:
+                self._pending.pop(call_id, None)
+            raise BackendAborted(
+                "process backend stopped while dispatching the call")
         call.event.wait()
         if call.aborted:
             raise BackendAborted(
@@ -308,9 +322,10 @@ class ProcessBackend:
         was already detected; its in-flight call will never be
         consumed).
         """
-        if not self._started or self._stopping:
-            return
-        self._stopping = True
+        with self._lock:
+            if not self._started or self._stopping:
+                return
+            self._stopping = True
         if not force:
             for _ in self._procs:
                 try:
@@ -328,9 +343,10 @@ class ProcessBackend:
 
     def kill(self) -> None:
         """Immediate teardown (abort path): terminate everything."""
-        if not self._started:
-            return
-        self._stopping = True
+        with self._lock:
+            if not self._started:
+                return
+            self._stopping = True
         for p in self._procs:
             if p.is_alive():
                 p.terminate()

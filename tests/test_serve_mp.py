@@ -30,6 +30,8 @@ from repro.serve import (
     active_segments,
     run_closed_loop,
 )
+from repro.serve import shm as shm_mod
+from repro.serve.cache import system_digest
 from repro.serve.shm import attach
 from repro.system.constraints import ConstraintRow, ConstraintSet
 from repro.system.generator import make_system
@@ -128,6 +130,100 @@ def test_shm_close_is_idempotent_and_publish_after_close_fails():
         store.publish(_small_system())
 
 
+def test_concurrent_publish_same_store_keeps_refcounts_exact():
+    """Racing dispatchers publishing one system: one segment, N refs.
+
+    Regression test for the publish race: a second publisher must
+    never overwrite the refcount of (or hand out a digest into) a
+    segment another thread is still writing.
+    """
+    system = _small_system(seed=23)
+    store = SystemStore(linger=False)
+    n = 8
+    barrier = threading.Barrier(n)
+
+    def pub():
+        barrier.wait()
+        store.publish(system)
+
+    threads = [threading.Thread(target=pub) for _ in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(30.0)
+    digest = store.digest_of(system)
+    assert len(store) == 1
+    assert store.refcount(digest) == n
+    view = store.attach(digest)
+    assert np.array_equal(view.known_terms, system.known_terms)
+    del view
+    for _ in range(n):
+        store.release(digest)
+    assert len(store) == 0  # eager unlink at refcount zero
+    assert active_segments() == []
+    store.close()
+
+
+def test_concurrent_publish_across_stores_shares_one_segment():
+    """Two stores racing on the same content co-own one valid segment.
+
+    The loser of the create race must wait for the winner's
+    publication marker before handing out the digest, so attached
+    arrays are never partially written.
+    """
+    system = _small_system(seed=22)
+    stores = [SystemStore() for _ in range(4)]
+    barrier = threading.Barrier(len(stores))
+    digests: list[str] = []
+    errors: list[BaseException] = []
+
+    def pub(store):
+        try:
+            barrier.wait()
+            digests.append(store.publish(system))
+        except BaseException as exc:  # pragma: no cover - fail loud
+            errors.append(exc)
+
+    threads = [threading.Thread(target=pub, args=(s,)) for s in stores]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(30.0)
+    assert errors == []
+    assert len(set(digests)) == 1
+    assert len(active_segments()) == 1
+    for store in stores:
+        view = store.attach(digests[0])
+        assert np.array_equal(view.known_terms, system.known_terms)
+        del view
+        store.close()
+    assert active_segments() == []
+
+
+def test_publish_reclaims_stale_partial_segment(monkeypatch):
+    """A crashed run's partial segment is re-created, not served.
+
+    The segment exists under the right content address but its
+    publication marker (header-length field, written last) is still
+    zero -- publish must notice, unlink the leftover and write a
+    fresh complete segment instead of co-owning garbage.
+    """
+    from multiprocessing import shared_memory
+
+    monkeypatch.setattr(shm_mod, "_ADOPT_TIMEOUT_S", 0.2)
+    system = _small_system(seed=21)
+    digest = system_digest(system)
+    stale = shared_memory.SharedMemory(
+        name=shm_mod._segment_name(digest), create=True, size=1 << 16)
+    stale.close()
+    with SystemStore() as store:
+        assert store.publish(system) == digest
+        view = store.attach(digest)
+        assert np.array_equal(view.known_terms, system.known_terms)
+        del view
+    assert active_segments() == []
+
+
 def test_request_spec_roundtrip():
     system = _small_system()
     request = SolveRequest(system=system, iter_lim=17, atol=1e-9,
@@ -195,6 +291,76 @@ def test_process_backend_inline_fallback_for_injected_solve_fn():
     report = sched.run([job])
     assert len(report.completed) == 1
     assert tel.counter("serve.mp.inline").value >= 1
+    assert active_segments() == []
+
+
+# ---------------------------------------------------------------------
+# failure containment
+# ---------------------------------------------------------------------
+
+def test_failing_solve_records_failed_outcome_not_dead_dispatcher():
+    """A raising solve must not kill the dispatcher or strand drain.
+
+    Regression test: the failed job gets a JobOutcome (error recorded,
+    ``serve.job_failures`` counted) and the *same* dispatcher thread
+    goes on to complete the next job.
+    """
+    def flaky(request):
+        if request.job_id == "bad":
+            raise ValueError("injected solve failure")
+        return SolveReport(x=np.zeros(2), stop=StopReason.ATOL_BTOL,
+                           itn=1, r2norm=0.0, ranks=1, m=2, n=2)
+
+    tel = Telemetry()
+    sched = _sched("thread", workers=1, solve_fn=flaky, telemetry=tel)
+    jobs = [
+        ServeJob(request=SolveRequest(system=_small_system(),
+                                      iter_lim=5, job_id="bad"),
+                 nominal_gb=10.0),
+        ServeJob(request=SolveRequest(system=_small_system(seed=12),
+                                      iter_lim=5, job_id="good"),
+                 nominal_gb=10.0),
+    ]
+    report = sched.run(jobs)
+    assert [o.job.job_id for o in report.completed] == ["good"]
+    assert [o.job.job_id for o in report.failed] == ["bad"]
+    assert "ValueError" in report.failed[0].error
+    assert report.stuck_workers == ()
+    assert tel.counter("serve.job_failures").value == 1
+    assert "failed" in report.summary()
+
+
+def test_worker_process_failure_contained_and_pool_survives():
+    """A solve failing *inside a worker process* fails only its job.
+
+    The worker answers with a traceback; the parent must turn that
+    into a failed outcome -- not let the RuntimeError kill the
+    dispatcher, shrink the pool, and leave drain() incomplete.
+    """
+    tel = Telemetry()
+    sched = _sched("process", workers=1, drain_timeout=120.0,
+                   telemetry=tel)
+    sched.start()
+    assert sched.wait_ready(120.0)
+    system = _small_system(seed=31)
+    digest = sched._store.publish(system)
+    # Sabotage: zero the publication marker so the worker-side attach
+    # rejects the segment -- a deterministic stand-in for any
+    # exception raised inside the worker's solve path.
+    sched._store._segments[digest].buf[:8] = b"\x00" * 8
+    sched.submit(ServeJob(
+        request=SolveRequest(system=system, iter_lim=5, job_id="bad"),
+        nominal_gb=10.0))
+    sched.submit(ServeJob(
+        request=SolveRequest(system=_small_system(seed=32),
+                             iter_lim=5, job_id="good"),
+        nominal_gb=10.0))
+    report = sched.drain()
+    assert [o.job.job_id for o in report.failed] == ["bad"]
+    assert "worker solve failed" in report.failed[0].error
+    assert [o.job.job_id for o in report.completed] == ["good"]
+    assert report.stuck_workers == ()
+    assert tel.counter("serve.job_failures").value == 1
     assert active_segments() == []
 
 
@@ -311,3 +477,26 @@ def test_run_closed_loop_bounds_outstanding_jobs():
     report = run_closed_loop(sched, jobs, concurrency=2)
     assert len(report.completed) == 10
     assert state["max"] <= 2
+
+
+def test_run_closed_loop_bounded_wait_returns_despite_wedged_worker():
+    """A wedged pipeline times the slot wait out instead of hanging."""
+    release = threading.Event()
+
+    def wedged(request):
+        assert release.wait(30.0)
+        return SolveReport(x=np.zeros(2), stop=StopReason.ATOL_BTOL,
+                           itn=1, r2norm=0.0, ranks=1, m=2, n=2)
+
+    sched = _sched("thread", workers=1, solve_fn=wedged,
+                   drain_timeout=0.2)
+    jobs = [ServeJob(request=SolveRequest(system=_small_system(),
+                                          iter_lim=5),
+                     nominal_gb=10.0) for _ in range(3)]
+    report = run_closed_loop(sched, jobs, concurrency=1,
+                             wait_timeout=0.2)
+    assert report.stuck_workers == ("serve-w0",)
+    # Unwedge and let the thread exit so the test leaves nothing behind.
+    release.set()
+    sched._threads[0].join(10.0)
+    assert not sched._threads[0].is_alive()
