@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-obs telemetry-smoke chaos-smoke bench-engine bench-aprod bench-aprod-smoke serve-smoke serve-mp-smoke serve-bench bench-batch-smoke
+.PHONY: test test-obs telemetry-smoke chaos-smoke bench-engine bench-aprod bench-aprod-smoke serve-smoke serve-mp-smoke serve-bench bench-batch-smoke tune-smoke tune-bench
 
 # The full tier-1 suite (ROADMAP.md's verify command).
 test:
@@ -66,6 +66,20 @@ serve-mp-smoke:
 # its solo solve.
 bench-batch-smoke:
 	$(PYTHON) benchmarks/bench_serve.py --batch-smoke --output BENCH_batch_smoke.json
+
+# Online-tuning smoke (< 30 s): the E38 acceptance gates on a
+# CI-sized cell matrix — a >= 20% tuned-vs-out-of-the-box cell, a
+# zero-model-eval byte-identical cache replay, and a strict
+# makespan/jobs-per-s win for tuned-aware placement (see
+# docs/tuning.md).
+tune-smoke:
+	$(PYTHON) benchmarks/bench_tuning_ablation.py --smoke --output BENCH_tuning_smoke.json
+
+# Full E38 acceptance run: every sweepable (port, platform,
+# size-class) cell plus the tuned-vs-nominal placement A/B and the
+# tuned-vs-out-of-the-box Pennycook P study.
+tune-bench:
+	$(PYTHON) benchmarks/bench_tuning_ablation.py --output BENCH_tuning.json
 
 # Full E35+E36 acceptance run: the 16-job mixed 10/30/60 GB workload
 # on a 4-device pool at >= 3x sequential throughput, then the K=8

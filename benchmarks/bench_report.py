@@ -15,6 +15,7 @@ from repro.portability import navigation_chart, write_report
 from repro.frameworks.registry import ALL_PORTS
 from repro.system import mission_dims, storage_comparison
 from repro.system.sizing import dims_from_gb
+from repro.tuning import run_tuning_study
 
 
 def test_write_consolidated_report(benchmark, study, results_dir):
@@ -49,6 +50,7 @@ def test_write_consolidated_report(benchmark, study, results_dir):
             "Occupancy on H100": occupancy_table(H100),
         }
         return write_report(study, results_dir / "REPORT.md",
+                            tuning=run_tuning_study(),
                             extra_blocks=extras)
 
     path = benchmark.pedantic(_build, rounds=1, iterations=1)
@@ -57,4 +59,7 @@ def test_write_consolidated_report(benchmark, study, results_dir):
     assert "Fig. 3" in text and "Fastest port" in text
     assert "21.10 TB" in text or "TB" in text
     assert "divergence" in text
+    assert "Tuned vs out-of-the-box portability" in text
+    assert "P (tuned)" in text
+    assert "Largest single-cell iteration-time reduction" in text
     assert text.count("|") > 100  # the tables are actually there

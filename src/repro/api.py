@@ -329,7 +329,10 @@ class Placement:
     pool lane the job ran on (``attempt > 0`` after a re-placement;
     ``previous_devices`` lists the lanes that produced a
     DEGRADED/ABORTED result first); ``cache_hit`` marks a report
-    served from the result cache rather than a fresh solve.
+    served from the result cache rather than a fresh solve;
+    ``tuned`` records whether the placement price included a cached
+    kernel-geometry sweep discount (see ``docs/tuning.md``) or fell
+    back to the nominal out-of-the-box model.
     """
 
     job_id: str
@@ -346,6 +349,8 @@ class Placement:
     #: job ran alone) and how many members that batch carried.
     batch_id: str | None = None
     batch_size: int = 1
+    #: True when the placement price used a tuned-config cache entry.
+    tuned: bool = False
 
 
 @dataclass

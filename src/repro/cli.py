@@ -170,6 +170,37 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
+    if args.cache_dir is not None:
+        # Service mode: route the sweep through the online tuning
+        # service so repeats are cache hits and the result persists.
+        from repro.tuning import (
+            TunedConfigCache,
+            TuningService,
+            default_spec,
+            size_class_for,
+        )
+
+        service = TuningService(
+            cache=TunedConfigCache(args.cache_dir))
+        spec = default_spec(args.port, args.device,
+                            size_class_for(args.size_gb).label)
+        config = service.tune(spec)
+        print(f"{spec.port_key} on {spec.platform} "
+              f"[{spec.size_class} class]: "
+              f"best geometry = {config.block_size} threads/block, "
+              f"atomic grid cap = {config.atomic_cap} x SMs")
+        print(f"default {config.default_iteration_s:.4f} s -> tuned "
+              f"{config.tuned_iteration_s:.4f} s "
+              f"({config.gain:.1%} reduction)")
+        print(f"host plan: gather={config.host_gather} "
+              f"scatter={config.host_scatter} "
+              f"astro_scatter={config.host_astro_scatter}")
+        stats = service.cache.stats()
+        print(f"cache: {spec.digest()[:16]}... "
+              f"({stats['hits']} hits / {stats['misses']} misses, "
+              f"{stats['entries']} entries in {args.cache_dir})")
+        return 0
+
     from repro.frameworks import port_by_key, tune_port
     from repro.gpu.platforms import device_by_name
     from repro.system.sizing import dims_from_gb
@@ -398,6 +429,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.drain_timeout is not None:
         scenario = dataclasses.replace(
             scenario, drain_timeout_s=args.drain_timeout)
+    if args.tuning:
+        scenario = dataclasses.replace(scenario, tuning_enabled=True)
     tel = Telemetry()
     report = run_scenario(scenario, telemetry=tel)
     print(f"pool: {', '.join(scenario.devices)} "
@@ -411,9 +444,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             retry = f" attempt={p.attempt}" if p.attempt else ""
             fuse = (f" fused[{p.batch_id} x{p.batch_size}]"
                     if p.batch_id is not None else "")
+            tuned = " tuned" if p.tuned else ""
             print(f"  {p.job_id}: {p.nominal_gb:g} GB -> {p.device} "
                   f"[{p.port_key}, est {p.estimated_s:.1f} s]"
-                  f"{tag}{retry}{fuse}")
+                  f"{tuned}{tag}{retry}{fuse}")
     if args.json:
         doc = {
             "wall_s": report.wall_s,
@@ -514,6 +548,11 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--port", default="CUDA")
     t.add_argument("--device", default="T4")
     t.add_argument("--size-gb", type=float, default=10.0)
+    t.add_argument("--cache-dir", default=None,
+                   help="route the sweep through the online tuning "
+                        "service with a disk-persisted config cache "
+                        "at this directory (repeats are pure cache "
+                        "hits; see docs/tuning.md)")
     t.set_defaults(fn=_cmd_tune)
 
     tb = sub.add_parser("tables", help="print Tables I-IV")
@@ -593,6 +632,11 @@ def build_parser() -> argparse.ArgumentParser:
                          "join bound in seconds (workers still "
                          "running at the deadline are reported as "
                          "stuck instead of hanging the run)")
+    sv.add_argument("--tuning", action="store_true",
+                    help="enable the online tuning service regardless "
+                         "of the scenario: tuning-aware placement "
+                         "prices plus low-priority background "
+                         "geometry sweeps (see docs/tuning.md)")
     sv.add_argument("--verbose", action="store_true",
                     help="print the per-job placement log")
     sv.add_argument("--json", default=None,

@@ -13,10 +13,19 @@ strategies (classic four-kernel, fused plan, or cache-blocked) via
 :func:`repro.core.kernels.plan.select_strategies` and reports the
 modeled memory traffic of the classic vs. fused hot paths -- the
 quantity the fused plan actually optimizes.
+
+Both sweeps are one-shot: called with explicit dims, they answer for
+exactly that shape.  The *online* layer on top of them lives in
+:mod:`repro.tuning` (see ``docs/tuning.md``): a
+:class:`~repro.tuning.sweep.GeometrySweeper` runs these same
+evaluations per (port, platform, size-class), a content-addressed
+:class:`~repro.tuning.cache.TunedConfigCache` persists the results,
+and the serve layer prices placements with them.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.core.kernels.plan import (
@@ -39,6 +48,31 @@ CANDIDATE_BLOCK_SIZES = (32, 64, 128, 256, 512)
 #: Atomic-region grid caps swept, as multiples of the SM count
 #: (None = uncapped full grid).
 CANDIDATE_GRID_CAPS = (None, 16, 8, 4, 2)
+
+
+def geometry_candidates(
+    device: DeviceSpec,
+    n_obs: int,
+    block_sizes: tuple[int, ...] = CANDIDATE_BLOCK_SIZES,
+    grid_caps: tuple[int | None, ...] = CANDIDATE_GRID_CAPS,
+) -> list[tuple[int, int | None]]:
+    """The deduplicated ``(threads_per_block, atomic_cap)`` sweep grid.
+
+    A cap of ``c`` limits the atomic-region grid to ``c * sm_count``
+    blocks; when that bound meets or exceeds the full grid
+    (``ceil(n_obs / tpb)`` blocks) the capped geometry is *identical*
+    to the uncapped one, so evaluating it would time the same launch
+    twice under two keys.  Such aliases collapse onto ``(tpb, None)``
+    here, before anything is timed.
+    """
+    out: list[tuple[int, int | None]] = []
+    for tpb in block_sizes:
+        full_blocks = max(1, math.ceil(n_obs / tpb))
+        for cap in grid_caps:
+            if cap is not None and cap * device.sm_count >= full_blocks:
+                continue  # alias of (tpb, None): cap never binds
+            out.append((tpb, cap))
+    return out
 
 
 @dataclass(frozen=True)
@@ -100,6 +134,11 @@ def _iteration_time_with_geometry(
     return total
 
 
+#: Public name for the per-geometry evaluator -- the primitive the
+#: online :class:`repro.tuning.sweep.GeometrySweeper` counts and calls.
+iteration_time_with_geometry = _iteration_time_with_geometry
+
+
 def tune_port(
     port: Port,
     device: DeviceSpec,
@@ -109,7 +148,10 @@ def tune_port(
 
     Raises ``ValueError`` for ports whose geometry cannot be set
     (PSTL -- "there is no specific directive to tune the number of
-    threads and blocks", §IV-e).
+    threads and blocks", §IV-e).  The sweep grid is deduplicated by
+    :func:`geometry_candidates`: a cap that cannot bind (``cap *
+    sm_count >= full grid``) aliases the uncapped entry and is neither
+    timed nor reported, so no two sweep keys name the same geometry.
     """
     support: VendorSupport = port.vendor_support(device)
     if support.geometry is GeometryPolicy.FIXED_256:
@@ -117,11 +159,10 @@ def tune_port(
             f"{port.key} kernels cannot be tuned (no geometry control)"
         )
     sweep: dict[tuple[int, int | None], float] = {}
-    for tpb in CANDIDATE_BLOCK_SIZES:
-        for cap in CANDIDATE_GRID_CAPS:
-            sweep[(tpb, cap)] = _iteration_time_with_geometry(
-                port, device, dims, tpb, cap
-            )
+    for tpb, cap in geometry_candidates(device, dims.n_obs):
+        sweep[(tpb, cap)] = _iteration_time_with_geometry(
+            port, device, dims, tpb, cap
+        )
     (best_tpb, best_cap), best_time = min(sweep.items(),
                                           key=lambda kv: kv[1])
     default_time = sweep[(256, None)]

@@ -8,10 +8,13 @@ alongside where the text quotes them -- into a single
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.gpu.device import Vendor
 from repro.portability.study import StudyResult
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.tuning.study import TuningStudyResult
 
 #: Paper-quoted P values per size (SSV-B text).
 PAPER_P: dict[float, dict[str, float]] = {
@@ -110,6 +113,39 @@ def winners_section(study: StudyResult) -> str:
             + _md_table(["size", "platform", "winner"], rows))
 
 
+def tuning_section(tuning: "TuningStudyResult") -> str:
+    """Pennycook P with tuned kernel geometry vs out of the box.
+
+    Rendered from :func:`repro.tuning.study.run_tuning_study`: per
+    size, each port's P when every geometry-controlled port runs its
+    swept-optimal launch configuration vs the compiler/model default,
+    and the signed delta.  Ports without geometry control legitimately
+    lose P here -- the per-platform baseline they are normalised
+    against speeds up while they stand still.
+    """
+    blocks = ["## Tuned vs out-of-the-box portability "
+              "(online tuning service)\n"]
+    for size in tuning.sizes:
+        ootb = tuning.p_scores(size, tuned=False)
+        tuned = tuning.p_scores(size, tuned=True)
+        rows = [
+            [port, _fmt(ootb[port]), _fmt(tuned[port]),
+             f"{tuned[port] - ootb[port]:+.3f}"]
+            for port in sorted(tuned, key=tuned.get, reverse=True)
+        ]
+        blocks.append(f"### {size:g} GB (platforms: "
+                      f"{', '.join(tuning.platforms_by_size[size])})\n")
+        blocks.append(_md_table(
+            ["port", "P (out of the box)", "P (tuned)", "delta"],
+            rows))
+        blocks.append("")
+    gain, port, platform, size = tuning.max_cell_gain()
+    blocks.append(f"Largest single-cell iteration-time reduction: "
+                  f"**{gain:.1%}** ({port} on {platform}, "
+                  f"{size:g} GB class).")
+    return "\n".join(blocks)
+
+
 def extras_section(extra_blocks: Mapping[str, str]) -> str:
     """Append pre-rendered text blocks (storage, energy, ...)."""
     blocks = []
@@ -121,6 +157,7 @@ def extras_section(extra_blocks: Mapping[str, str]) -> str:
 def build_report(
     study: StudyResult,
     *,
+    tuning: "TuningStudyResult | None" = None,
     extra_blocks: Mapping[str, str] | None = None,
 ) -> str:
     """The full Markdown report."""
@@ -140,6 +177,8 @@ def build_report(
         "",
         winners_section(study),
     ]
+    if tuning is not None:
+        parts += ["", tuning_section(tuning)]
     if extra_blocks:
         parts += ["", extras_section(extra_blocks)]
     return "\n".join(parts)
@@ -149,9 +188,11 @@ def write_report(
     study: StudyResult,
     path: str | Path,
     *,
+    tuning: "TuningStudyResult | None" = None,
     extra_blocks: Mapping[str, str] | None = None,
 ) -> Path:
     """Write the report to ``path``."""
     path = Path(path)
-    path.write_text(build_report(study, extra_blocks=extra_blocks) + "\n")
+    path.write_text(build_report(study, tuning=tuning,
+                                 extra_blocks=extra_blocks) + "\n")
     return path

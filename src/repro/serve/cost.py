@@ -19,31 +19,56 @@ PSTL_EXECUTORS` joins the candidate roster -- this is where the
 where tuned PSTL closes the geometry gap and changes placement
 prices.
 
+With a ``tuned_cache`` (a :class:`~repro.tuning.cache.
+TunedConfigCache`), pricing becomes *tuning-aware*: the nominal price
+is the out-of-the-box model (``tuned=False`` geometry -- what a port
+does before anyone sweeps), and any (port, platform, size-class) cell
+the cache holds a sweep for is discounted by its measured
+tuned/default ratio, with ``CostEstimate.tuned`` recording the
+provenance.  Lookups tick the cache's ``serve.tuning.hits`` /
+``misses`` / ``stale`` counters.  Without a cache the model keeps its
+historical behavior (the always-tuned §V-B table) byte for byte.
+
 Estimates are deterministic (the executor model is analytic) and
-memoized per ``(size, device, framework)``, so placement decisions are
-cheap and reproducible.
+memoized per ``(size, device, framework)``.  Tuning-aware memos also
+record the cache *generation* they were priced under and recompute
+when a background sweep has landed since -- a stale price can never
+outlive a newer tuned entry (see ``docs/tuning.md``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.frameworks.base import Port, UnsupportedPlatform
+from repro.frameworks.base import (
+    GeometryPolicy,
+    Port,
+    UnsupportedPlatform,
+)
 from repro.frameworks.executor import model_iteration, model_setup
 from repro.frameworks.executors_future import PSTL_EXECUTORS
 from repro.frameworks.registry import ALL_PORTS
 from repro.gpu.device import DeviceSpec
 from repro.gpu.memory import DeviceOutOfMemory
 from repro.system.sizing import dims_from_gb
+from repro.tuning.cache import TunedConfigCache
+from repro.tuning.sizeclass import size_class_for
+from repro.tuning.sweep import default_spec
 
 
 @dataclass(frozen=True)
 class CostEstimate:
-    """Price of one job on one device: seconds and the port that wins."""
+    """Price of one job on one device: seconds and the port that wins.
+
+    ``tuned`` is True when the winning port's price includes a cached
+    sweep discount -- the provenance bit the scheduler copies onto the
+    :class:`~repro.api.Placement` it logs.
+    """
 
     seconds: float
     port_key: str
     device_name: str
+    tuned: bool = False
 
 
 class PlacementCostModel:
@@ -55,14 +80,19 @@ class PlacementCostModel:
         ports: tuple[Port, ...] = ALL_PORTS,
         include_projected: bool = False,
         n_iterations: int = 100,
+        tuned_cache: TunedConfigCache | None = None,
     ) -> None:
         if include_projected:
             ports = tuple(ports) + (PSTL_EXECUTORS,)
         self.ports = tuple(ports)
         self._by_key = {p.key: p for p in self.ports}
         self.n_iterations = n_iterations
+        self.tuned_cache = tuned_cache
+        #: (size, device, framework) -> (cache generation at pricing
+        #: time, estimate).  Generation is always 0 for the cacheless
+        #: model, so its memo never expires (nothing can land).
         self._memo: dict[tuple[float, str, str | None],
-                         CostEstimate | None] = {}
+                         tuple[int, CostEstimate | None]] = {}
 
     def candidate_ports(self, framework: str | None) -> tuple[Port, ...]:
         """The ports priced for a job (one when pinned, else all)."""
@@ -75,6 +105,11 @@ class PlacementCostModel:
                 f"{sorted(self._by_key)}"
             )
         return (port,)
+
+    @property
+    def _generation(self) -> int:
+        return (self.tuned_cache.generation
+                if self.tuned_cache is not None else 0)
 
     def estimate(
         self,
@@ -90,21 +125,45 @@ class PlacementCostModel:
         memory (the study's two exclusion modes).
         """
         key = (round(nominal_gb, 9), device.name, framework)
-        if key in self._memo:
-            return self._memo[key]
+        cached = self._memo.get(key)
+        if cached is not None and cached[0] == self._generation:
+            return cached[1]
+        generation = self._generation
+        best = self._price(nominal_gb, device, framework)
+        self._memo[key] = (generation, best)
+        return best
+
+    def _price(
+        self,
+        nominal_gb: float,
+        device: DeviceSpec,
+        framework: str | None,
+    ) -> CostEstimate | None:
         dims = dims_from_gb(nominal_gb)
+        aware = self.tuned_cache is not None
+        size_class = size_class_for(nominal_gb).label if aware else None
         best: CostEstimate | None = None
         for port in self.candidate_ports(framework):
             try:
                 iteration = model_iteration(
-                    port, device, dims, size_gb=nominal_gb)
-                seconds = (model_setup(port, device, dims)
-                           + self.n_iterations * iteration.total)
+                    port, device, dims, size_gb=nominal_gb,
+                    tuned=not aware)
+                iteration_s = iteration.total
+                setup_s = model_setup(port, device, dims)
             except (UnsupportedPlatform, DeviceOutOfMemory):
                 continue
+            tuned = False
+            if (aware and port.vendor_support(device).geometry
+                    is GeometryPolicy.TUNED):
+                cfg = self.tuned_cache.get(
+                    default_spec(port.key, device.name, size_class))
+                if cfg is not None:
+                    iteration_s *= cfg.ratio
+                    tuned = True
+            seconds = setup_s + self.n_iterations * iteration_s
             if best is None or (seconds, port.key) < (best.seconds,
                                                       best.port_key):
                 best = CostEstimate(seconds=seconds, port_key=port.key,
-                                    device_name=device.name)
-        self._memo[key] = best
+                                    device_name=device.name,
+                                    tuned=tuned)
         return best

@@ -20,6 +20,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.api import SolveRequest
 from repro.system.sizing import device_footprint_gb, dims_from_gb
@@ -54,6 +55,14 @@ class ServeJob:
     admission and placement charge against ``DeviceSpec.memory_gb``.
     ``arrival_s`` is an optional open-loop arrival offset relative to
     the start of the run (0 = already queued).
+
+    A job with a ``work_fn`` is a **background job** (the tuning
+    service's sweep probes): it goes through admission, the priority
+    queue, and lane placement exactly like a solve -- that contention
+    is the point -- but the dispatcher calls ``work_fn()`` instead of
+    the solve backend and records its return value as
+    ``JobOutcome.result``.  Background jobs ride at a low (high-
+    numbered) priority so interactive traffic always outranks them.
     """
 
     request: SolveRequest
@@ -62,6 +71,8 @@ class ServeJob:
     arrival_s: float = 0.0
     job_id: str = ""
     footprint_gb: float = field(default=0.0)
+    #: Background work to run on the placed lane instead of a solve.
+    work_fn: Callable[[], object] | None = None
 
     def __post_init__(self) -> None:
         if self.nominal_gb <= 0:
@@ -82,6 +93,11 @@ class ServeJob:
         return (self.priority, seq)
 
     @property
+    def is_background(self) -> bool:
+        """True for work-function (non-solve) jobs."""
+        return self.work_fn is not None
+
+    @property
     def fusible(self) -> bool:
         """Can this job ride in a fused many-RHS batch at all?
 
@@ -89,8 +105,10 @@ class ServeJob:
         (fault-injected) runs, per-iteration callbacks, mid-solve
         checkpointing and per-request telemetry sinks all need the
         solo driver (their side effects cannot be demultiplexed from a
-        shared batched sweep).
+        shared batched sweep).  Background work functions never fuse.
         """
+        if self.work_fn is not None:
+            return False
         r = self.request
         return (r.ranks == 1
                 and r.resilience is None

@@ -11,6 +11,8 @@ scenario like::
                     "max_fuse": 1, "include_projected": false,
                     "backend": "thread", "drain_timeout_s": 60.0,
                     "store_solutions_mb": 0.0},
+      "tuning": {"enabled": false, "budget_jobs": 8,
+                 "priority": 100, "cache_dir": null},
       "load": {"n_jobs": 16, "mix": {"10": 0.5, "30": 0.3, "60": 0.2},
                "distinct_systems": 4, "rhs_variants": 1,
                "scale": 2e-4, "seed": 0,
@@ -31,7 +33,17 @@ stream emit same-matrix/different-b twins worth fusing;
 processes attached to the shared-memory system store
 (``drain_timeout_s`` bounds the graceful-shutdown join);
 ``store_solutions_mb > 0`` keeps solution vectors in the result cache
-for warm starts.  See ``docs/serving.md``.
+for warm starts.
+
+``tuning.enabled`` switches placement to tuning-aware pricing (see
+``docs/tuning.md``): the cost model prices out-of-the-box and
+discounts with entries from a
+:class:`~repro.tuning.cache.TunedConfigCache` (persisted under
+``cache_dir`` when set), while a
+:class:`~repro.tuning.service.TuningService` enqueues up to
+``budget_jobs`` geometry-sweep background jobs at ``priority`` (far
+below interactive 0) covering the pool x load-mix cells.  See
+``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -46,6 +58,8 @@ from repro.serve.cost import PlacementCostModel
 from repro.serve.loadgen import LoadGenerator, LoadSpec
 from repro.serve.pool import DevicePool
 from repro.serve.scheduler import Scheduler, ServeReport
+from repro.tuning.cache import TunedConfigCache
+from repro.tuning.service import TUNING_PRIORITY, TuningService
 
 
 @dataclass(frozen=True)
@@ -67,6 +81,14 @@ class Scenario:
     #: width are decoupled).
     mp_workers: int | None = None
     store_solutions_mb: float = 0.0
+    #: Tuning-aware placement pricing + background sweep jobs.
+    tuning_enabled: bool = False
+    #: Max sweep jobs enqueued per run (the covering set, truncated).
+    tuning_budget_jobs: int = 8
+    #: Admission priority of the sweeps (must sort below interactive).
+    tuning_priority: int = TUNING_PRIORITY
+    #: Disk directory for the tuned-config cache (None = memory only).
+    tuning_cache_dir: str | None = None
     load: LoadSpec = field(default_factory=LoadSpec)
 
 
@@ -74,6 +96,7 @@ def parse_scenario(doc: dict) -> Scenario:
     """Build a :class:`Scenario` from a decoded JSON document."""
     pool = doc.get("pool", {})
     sched = doc.get("scheduler", {})
+    tuning = doc.get("tuning", {})
     load_doc = dict(doc.get("load", {}))
     if "mix" in load_doc:
         load_doc["mix"] = tuple(
@@ -104,6 +127,15 @@ def parse_scenario(doc: dict) -> Scenario:
                     if sched.get("mp_workers") is not None else None),
         store_solutions_mb=float(sched.get("store_solutions_mb",
                                            Scenario.store_solutions_mb)),
+        tuning_enabled=bool(tuning.get("enabled",
+                                       Scenario.tuning_enabled)),
+        tuning_budget_jobs=int(tuning.get("budget_jobs",
+                                          Scenario.tuning_budget_jobs)),
+        tuning_priority=int(tuning.get("priority",
+                                       Scenario.tuning_priority)),
+        tuning_cache_dir=(str(tuning["cache_dir"])
+                          if tuning.get("cache_dir") is not None
+                          else None),
         load=LoadSpec(**load_doc),
     )
 
@@ -115,19 +147,38 @@ def load_scenario(path: str | Path) -> Scenario:
 
 def build_scheduler(scenario: Scenario,
                     telemetry: Telemetry | None = None) -> Scheduler:
-    """The scheduler a scenario describes (fresh pool and cache)."""
+    """The scheduler a scenario describes (fresh pool and cache).
+
+    With ``tuning_enabled`` the placement cost model is built around a
+    :class:`~repro.tuning.cache.TunedConfigCache` and the resulting
+    :class:`~repro.tuning.service.TuningService` is attached as
+    ``scheduler.tuning`` (the run driver uses it to enqueue the
+    background sweeps; placements report ``tuned`` provenance).
+    """
     pool = DevicePool(scenario.devices, per_gcd=scenario.per_gcd,
                       telemetry=telemetry)
     cache = (ResultCache(
         scenario.cache_capacity, telemetry=telemetry,
         store_solutions=int(scenario.store_solutions_mb * 2**20))
         if scenario.cache_capacity > 0 else None)
-    return Scheduler(
+    tuning: TuningService | None = None
+    if scenario.tuning_enabled:
+        tuned_cache = TunedConfigCache(scenario.tuning_cache_dir,
+                                       telemetry=telemetry)
+        tuning = TuningService(cache=tuned_cache,
+                               priority=scenario.tuning_priority,
+                               telemetry=telemetry)
+        cost_model = PlacementCostModel(
+            include_projected=scenario.include_projected,
+            tuned_cache=tuned_cache)
+    else:
+        cost_model = PlacementCostModel(
+            include_projected=scenario.include_projected)
+    scheduler = Scheduler(
         pool,
         workers=scenario.workers,
         cache=cache,
-        cost_model=PlacementCostModel(
-            include_projected=scenario.include_projected),
+        cost_model=cost_model,
         max_queue_depth=scenario.max_queue_depth,
         max_replacements=scenario.max_replacements,
         max_fuse=scenario.max_fuse,
@@ -136,6 +187,25 @@ def build_scheduler(scenario: Scenario,
         mp_workers=scenario.mp_workers,
         telemetry=telemetry,
     )
+    scheduler.tuning = tuning
+    return scheduler
+
+
+def tuning_jobs(scenario: Scenario, scheduler: Scheduler) -> list:
+    """The background sweep jobs a tuning-enabled scenario enqueues.
+
+    A covering set over the scenario's pool and load-mix sizes,
+    truncated to ``tuning_budget_jobs``; empty when tuning is off.
+    The sweeps ride at the scenario's tuning priority, so they only
+    run when no interactive job is runnable.
+    """
+    if scheduler.tuning is None:
+        return []
+    service: TuningService = scheduler.tuning
+    sizes = tuple(size for size, _ in scenario.load.mix)
+    specs = service.covering_specs(scenario.devices, sizes)
+    return service.background_jobs(specs,
+                                   budget=scenario.tuning_budget_jobs)
 
 
 def run_scenario(scenario: Scenario,
@@ -143,4 +213,5 @@ def run_scenario(scenario: Scenario,
     """Generate the scenario's load and run it to completion."""
     scheduler = build_scheduler(scenario, telemetry=telemetry)
     jobs = LoadGenerator(scenario.load).jobs()
+    jobs += tuning_jobs(scenario, scheduler)
     return scheduler.run(jobs)

@@ -125,6 +125,10 @@ class JobOutcome:
     #: Why an admitted job produced no report (a solve that raised --
     #: e.g. a worker-process traceback); None for clean outcomes.
     error: str | None = None
+    #: Return value of a background job's ``work_fn`` (a tuning
+    #: sweep's :class:`~repro.tuning.sweep.TunedConfig`); None for
+    #: solve jobs, which report via ``report``.
+    result: object | None = None
 
     @property
     def placement(self) -> Placement | None:
@@ -160,10 +164,22 @@ class ServeReport:
 
     @property
     def failed(self) -> list[JobOutcome]:
-        """Admitted outcomes whose solve raised instead of reporting."""
+        """Admitted outcomes whose work raised instead of reporting.
+
+        A background job reports through ``result`` rather than
+        ``report``, so only an *errored* background outcome counts as
+        failed.
+        """
         return [o for o in self.outcomes
                 if o.decision is AdmissionDecision.ADMITTED
-                and o.report is None]
+                and o.report is None
+                and (o.job.work_fn is None or o.error is not None)]
+
+    @property
+    def background(self) -> list[JobOutcome]:
+        """Outcomes of background (work-function) jobs."""
+        return [o for o in self.outcomes
+                if o.job.work_fn is not None]
 
     @property
     def throughput_jobs_per_s(self) -> float:
@@ -208,6 +224,17 @@ class ServeReport:
             lines.append(
                 f"request fusion: {len(fused)} job(s) solved in "
                 f"{batches} fused batch(es)")
+        background = self.background
+        if background:
+            ok = sum(1 for o in background if o.error is None)
+            lines.append(
+                f"background tuning: {ok}/{len(background)} sweep(s) "
+                f"completed")
+        tuned = sum(1 for p in self.placement_log if p.tuned)
+        if tuned:
+            lines.append(
+                f"tuned placement prices: {tuned}/"
+                f"{len(self.placement_log)} placement(s)")
         failed = self.failed
         if failed:
             lines.append(
@@ -272,6 +299,10 @@ class Scheduler:
         self.tel = Telemetry.or_null(telemetry)
         self.solve_fn = solve_fn
         self.batch_solve_fn = batch_solve_fn
+        #: The :class:`~repro.tuning.service.TuningService` feeding a
+        #: tuning-aware cost model, when the scenario enabled one
+        #: (set by :func:`repro.serve.scenario.build_scheduler`).
+        self.tuning = None
         self._own_store = backend == "process" and store is None
         self._store = (store if store is not None
                        else SystemStore() if backend == "process"
@@ -571,7 +602,9 @@ class Scheduler:
                 self.tel.gauge("serve.queue_depth").set(
                     len(self._queue))
             try:
-                if len(members) == 1:
+                if job.work_fn is not None:
+                    self._execute_work(job, lane, est, enqueued_at)
+                elif len(members) == 1:
                     self._execute(job, lane, est, enqueued_at)
                 else:
                     self._execute_batch(members, lane, est)
@@ -631,6 +664,51 @@ class Scheduler:
             del self._queue[qi]
         return [(cand, enq) for _, cand, enq in picked]
 
+    def _execute_work(self, job: ServeJob, lane, est,
+                      enqueued_at: float) -> None:
+        """Run a background job's work function on its placed lane.
+
+        The job already went through admission, the priority queue and
+        placement like any solve (the contention *is* the exercise);
+        here the dispatcher simply runs ``work_fn`` while holding the
+        lane reservation and records the return value.  An exception
+        propagates to the dispatcher's containment handler (failed
+        outcome, ``serve.job_failures``) after the lane is released.
+        """
+        wait_s = time.perf_counter() - enqueued_at
+        self.tel.histogram("serve.queue_wait_s").observe(wait_s)
+        placement = Placement(
+            job_id=job.job_id,
+            device=lane.lane_id,
+            nominal_gb=job.nominal_gb,
+            footprint_gb=job.footprint_gb,
+            queue_wait_s=wait_s,
+            estimated_s=est.seconds,
+            port_key=est.port_key,
+            tuned=est.tuned,
+        )
+        with self._cond:
+            self.placement_log.append(placement)
+        t0 = time.perf_counter()
+        try:
+            with self.tel.span("serve.background", job_id=job.job_id,
+                               device=lane.lane_id):
+                result = job.work_fn()
+        finally:
+            busy = time.perf_counter() - t0
+            with self._cond:
+                self.pool.release(lane.lane_id, job.footprint_gb,
+                                  job.job_id, busy_s=busy)
+        self.tel.counter("serve.background_jobs").inc()
+        self.tel.histogram("serve.exec_s").observe(busy)
+        with self._cond:
+            self.outcomes.append(JobOutcome(
+                job=job, decision=AdmissionDecision.ADMITTED,
+                placements=(placement,),
+                queue_wait_s=wait_s, exec_s=busy,
+                result=result,
+            ))
+
     def _execute(self, job: ServeJob, lane, est, enqueued_at: float
                  ) -> None:
         wait_s = time.perf_counter() - enqueued_at
@@ -652,6 +730,7 @@ class Scheduler:
                     port_key=current_est.port_key,
                     attempt=attempt,
                     previous_devices=previous,
+                    tuned=current_est.tuned,
                 )
                 with self._cond:
                     self.placement_log.append(placement)
@@ -720,6 +799,7 @@ class Scheduler:
                 port_key=est.port_key,
                 batch_id=batch_id,
                 batch_size=size,
+                tuned=est.tuned,
             )
             placements[job.job_id] = placement
             with self._cond:

@@ -1,0 +1,72 @@
+"""Online kernel-geometry autotuning (``docs/tuning.md``).
+
+The one-shot sweeps of :mod:`repro.frameworks.tuning` turned into a
+service the serve layer can lean on:
+
+- :mod:`~repro.tuning.sizeclass` -- 10/30/60 GB bucketing so a
+  handful of sweeps covers every job size;
+- :mod:`~repro.tuning.sweep` -- :class:`SweepSpec` identities (the
+  content address), :class:`TunedConfig` results, and the
+  :class:`GeometrySweeper` that evaluates them;
+- :mod:`~repro.tuning.cache` -- the disk-persisted, LRU-fronted
+  :class:`TunedConfigCache` with the ``serve.tuning.*`` counters and
+  the generation signal price memos key on;
+- :mod:`~repro.tuning.service` -- :class:`TuningService`:
+  compute-at-most-once :meth:`~TuningService.tune` plus packaging of
+  sweeps as low-priority background ServeJobs;
+- :mod:`~repro.tuning.study` -- Pennycook P tuned vs. out-of-the-box;
+- :mod:`~repro.tuning.ablation` -- the E38 tuned-vs-nominal placement
+  A/B.
+
+Nothing here imports :mod:`repro.serve` at module scope; the serve
+cost model imports *us*, and the two service-side touch points
+(ServeJob packaging, the ablation's cost models) import lazily.
+"""
+
+from repro.tuning.ablation import AblationResult, run_ablation
+from repro.tuning.cache import TunedConfigCache
+from repro.tuning.service import (
+    DEFAULT_TUNABLE_PORTS,
+    PROBE_GB,
+    TUNING_PRIORITY,
+    TuningService,
+    tunable_ports_for,
+)
+from repro.tuning.sizeclass import (
+    SIZE_CLASSES,
+    SizeClass,
+    size_class_by_label,
+    size_class_for,
+)
+from repro.tuning.study import TuningStudyResult, run_tuning_study
+from repro.tuning.sweep import (
+    MODEL_VERSION,
+    GeometrySweeper,
+    SweepSpec,
+    TunedConfig,
+    default_spec,
+    resolve_port,
+)
+
+__all__ = [
+    "AblationResult",
+    "DEFAULT_TUNABLE_PORTS",
+    "GeometrySweeper",
+    "MODEL_VERSION",
+    "PROBE_GB",
+    "SIZE_CLASSES",
+    "SizeClass",
+    "SweepSpec",
+    "TUNING_PRIORITY",
+    "TunedConfig",
+    "TunedConfigCache",
+    "TuningService",
+    "TuningStudyResult",
+    "default_spec",
+    "resolve_port",
+    "run_ablation",
+    "run_tuning_study",
+    "size_class_by_label",
+    "size_class_for",
+    "tunable_ports_for",
+]

@@ -1,0 +1,82 @@
+"""Size-class bucketing for the online tuning service.
+
+A geometry sweep is a function of (port, platform, *problem shape*);
+sweeping per exact job size would make every nominal GB value its own
+cell and the tuned-config cache would never repeat.  Instead jobs
+bucket into the paper's three anchor sizes -- every nominal size maps
+to the 10/30/60 GB class whose representative dims the sweep actually
+runs -- so a handful of sweeps covers the whole job distribution.
+
+The mapping is deliberately boring: **total** (every positive finite
+GB value lands in exactly one class, sub-minimum systems in the
+smallest, arbitrarily large ones in the 60 GB exclusion class),
+**monotone** (a bigger job never maps to a smaller class) and
+**stable** (a pure function of its input -- no clock, no state).
+``tests/test_tuning_service.py`` pins all three as hypothesis
+properties, including the bucket boundaries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SizeClass:
+    """One bucket of the nominal-GB axis.
+
+    ``lo_gb`` is inclusive, ``hi_gb`` exclusive, so boundaries resolve
+    deterministically upward (a job of exactly ``lo_gb`` belongs to
+    this class, not the one below).  ``representative_gb`` is the size
+    the sweep models for every member of the bucket.
+    """
+
+    label: str
+    lo_gb: float
+    hi_gb: float
+    representative_gb: float
+
+
+#: The bucketing, anchored on the paper's 10/30/60 GB problems.  The
+#: last class is open-ended: it is the §V-B exclusion class (only
+#: H100 and the MI250X GCD hold its representative), and everything
+#: at or above 45 GB shares its tuned geometry.
+SIZE_CLASSES: tuple[SizeClass, ...] = (
+    SizeClass(label="10GB", lo_gb=0.0, hi_gb=20.0,
+              representative_gb=10.0),
+    SizeClass(label="30GB", lo_gb=20.0, hi_gb=45.0,
+              representative_gb=30.0),
+    SizeClass(label="60GB", lo_gb=45.0, hi_gb=math.inf,
+              representative_gb=60.0),
+)
+
+_BY_LABEL = {c.label: c for c in SIZE_CLASSES}
+
+
+def size_class_for(nominal_gb: float) -> SizeClass:
+    """The bucket of one nominal job size (total, monotone, stable).
+
+    Raises ``ValueError`` for non-positive or non-finite inputs -- the
+    same domain :func:`repro.system.sizing.dims_from_gb` accepts, so
+    any job that can exist can be bucketed.
+    """
+    if not (nominal_gb > 0 and math.isfinite(nominal_gb)):
+        raise ValueError(
+            f"nominal_gb must be positive and finite, got {nominal_gb}")
+    for cls in SIZE_CLASSES:
+        if cls.lo_gb <= nominal_gb < cls.hi_gb:
+            return cls
+    # Unreachable: the classes tile (0, inf).
+    raise AssertionError(f"size classes do not cover {nominal_gb}")
+
+
+def size_class_by_label(label: str) -> SizeClass:
+    """Look a class up by its label, with a helpful error."""
+    try:
+        return _BY_LABEL[label]
+    except KeyError:
+        raise KeyError(
+            f"unknown size class {label!r}; expected one of "
+            f"{sorted(_BY_LABEL)}"
+        ) from None

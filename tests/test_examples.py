@@ -78,6 +78,28 @@ def test_multi_cycle_pipeline_example():
     assert "better)" in out
 
 
+def test_tuning_serve_scenario_example():
+    """The tuning-enabled scenario file runs end to end.
+
+    Background sweeps all complete, at least one interactive placement
+    is priced from a tuned cache entry, and every interactive job
+    still succeeds.
+    """
+    from repro.serve.scenario import load_scenario, run_scenario
+
+    scenario = load_scenario(EXAMPLES / "tuning_serve_scenario.json")
+    assert scenario.tuning_enabled
+    assert scenario.tuning_budget_jobs == 6
+    report = run_scenario(scenario)
+    background = report.background
+    assert len(background) == scenario.tuning_budget_jobs
+    assert all(o.error is None and o.result is not None
+               for o in background)
+    assert len(report.completed) == scenario.load.n_jobs
+    assert not report.failed
+    assert any(p.tuned for p in report.placement_log)
+
+
 def test_examples_directory_complete():
     """Deliverable check: at least quickstart + five domain examples."""
     names = {p.name for p in EXAMPLES.glob("*.py")}

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.frameworks import port_by_key, tune_port
+from repro.frameworks.tuning import geometry_candidates
 from repro.gpu.platforms import A100, H100, MI250X, T4, V100
 from repro.system.sizing import dims_from_gb
 
@@ -55,3 +56,26 @@ def test_sweep_contains_all_candidates(dims10):
     assert result.best_time <= min(result.sweep.values()) + 1e-15
     assert result.default_time == result.sweep[(256, None)]
     assert 0 <= result.gain < 1
+
+
+def test_candidate_dedupe_drops_non_binding_caps():
+    """A cap whose block bound covers the full grid aliases (tpb, None).
+
+    Pinned on the 40-SM T4 at dims_from_gb(0.01): tpb=512 needs 88
+    blocks, so caps 16/8/4 (>= 160 blocks allowed) never bind and
+    collapse onto the uncapped entry; cap 2 (80 blocks) still binds.
+    At tpb=32 the full grid is 1399 blocks and every cap survives.
+    """
+    dims = dims_from_gb(0.01)
+    cands = geometry_candidates(T4, dims.n_obs)
+    assert (512, None) in cands and (512, 2) in cands
+    for cap in (4, 8, 16):
+        assert (512, cap) not in cands
+    for cap in (None, 2, 4, 8, 16):
+        assert (32, cap) in cands
+    assert len(cands) == 19  # 25 raw candidates, 6 aliases dropped
+    assert len(set(cands)) == len(cands)
+    # The sweep evaluates exactly the deduplicated grid: no candidate
+    # pair is ever timed twice under two keys.
+    result = tune_port(port_by_key("CUDA"), T4, dims)
+    assert set(result.sweep) == set(cands)
