@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-obs telemetry-smoke chaos-smoke bench-engine bench-aprod bench-aprod-smoke serve-smoke serve-mp-smoke serve-bench bench-batch-smoke tune-smoke tune-bench
+.PHONY: test test-obs telemetry-smoke chaos-smoke bench-engine bench-aprod bench-aprod-smoke serve-smoke serve-mp-smoke serve-bench bench-batch-smoke tune-smoke tune-bench gang-smoke
 
 # The full tier-1 suite (ROADMAP.md's verify command).
 test:
@@ -80,6 +80,15 @@ tune-smoke:
 # tuned-vs-out-of-the-box Pennycook P study.
 tune-bench:
 	$(PYTHON) benchmarks/bench_tuning_ablation.py --output BENCH_tuning.json
+
+# Gang-scheduling smoke (< 30 s): the E39 exclusion A/B on a CI-sized
+# pool (a 16 GB job on two 15 GB T4s: rejected without the gang
+# opt-in, completed as a 2-rank gang with it), the bitwise-vs-R-rank
+# reference check, the rank-death migration arm, and the zero-leak
+# assertion; then the gang example scenario end to end via the CLI.
+gang-smoke:
+	$(PYTHON) benchmarks/bench_serve.py --gang-smoke --output BENCH_gang_smoke.json
+	$(PYTHON) -m repro.cli serve --scenario examples/gang_scenario.json
 
 # Full E35+E36 acceptance run: the 16-job mixed 10/30/60 GB workload
 # on a 4-device pool at >= 3x sequential throughput, then the K=8

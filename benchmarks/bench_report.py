@@ -62,4 +62,6 @@ def test_write_consolidated_report(benchmark, study, results_dir):
     assert "Tuned vs out-of-the-box portability" in text
     assert "P (tuned)" in text
     assert "Largest single-cell iteration-time reduction" in text
+    assert "Gang-scheduled portability at 60 GB" in text
+    assert "single-device (exclusion) | 0.000" in text
     assert text.count("|") > 100  # the tables are actually there

@@ -51,6 +51,22 @@ stated SLO.  Backends are pre-started (``wait_ready``) so process
 spawn + imports are a setup fee, not throughput; the solutions stay
 bitwise identical across backends (pinned separately by
 ``tests/test_serve_mp.py``).
+
+**E39 (gang-scheduled sharding vs exclusion).**  The same
+too-large-for-any-lane job submitted twice: to a pool without the
+gang opt-in (must be ``REJECTED_TOO_LARGE`` -- the paper's "60 GB
+fits only H100/MI250X" exclusion) and to the same pool with
+``PlacementConstraints(allow_gang=True, max_shards=R)`` (must
+complete as an R-rank gang).  The gang solution must be **bitwise**
+what ``api.solve(ranks=R)`` produces for the same request and
+allclose to the serial engine (rank-ordered summation grouping
+differs at R > 1, so bitwise-vs-serial is not the contract), with
+every lane back to exactly full-free afterwards.  A migration arm
+kills one rank mid-gang by deterministic fault seed and requires the
+shard to move to a spare lane and resume from the gang checkpoint.
+The modeled "1 big device vs R small + comm" comparison
+(``estimate`` vs ``estimate_gang``) is reported alongside.  ``make
+gang-smoke`` (``--gang-smoke``) runs the 2xT4/16 GB CI version.
 """
 
 from __future__ import annotations
@@ -63,16 +79,29 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.api import solve, solve_batch
+from repro.api import (
+    PlacementConstraints,
+    ResilienceConfig,
+    SolveRequest,
+    solve,
+    solve_batch,
+)
+from repro.core.engine import StopReason
+from repro.gpu.platforms import placement_devices
 from repro.obs.telemetry import Telemetry
 from repro.serve import (
+    AdmissionDecision,
     DevicePool,
     LoadGenerator,
     LoadSpec,
+    PlacementCostModel,
     ResultCache,
     Scheduler,
+    ServeJob,
     run_closed_loop,
 )
+from repro.system.generator import make_system
+from repro.system.sizing import dims_from_gb
 
 ROOT = Path(__file__).resolve().parent.parent
 
@@ -122,6 +151,19 @@ SUSTAINED_SLO_S = 15.0
 #: Offered-load multipliers of the measured *thread* capacity: one
 #: comfortably under, one just past, one deep overload.
 SUSTAINED_MULTIPLIERS = (0.6, 1.2, 2.0)
+
+#: E39 acceptance arm: the paper's 60 GB class (63.7 GB solver
+#: footprint) on four 32 GB V100s -- no single lane can ever hold it,
+#: a 3- or 4-way gang can.  The modeled single-device reference is
+#: the H100, the smallest NVIDIA part the exclusion rule allows.
+GANG_SPEC = dict(pool=("V100", "V100", "V100", "V100"),
+                 nominal_gb=60.0, max_shards=4, single_device="H100",
+                 scale=2e-4, iter_lim=60)
+#: CI-sized arm: 16 GB (17.0 GB footprint) on two 15 GB T4s -> a
+#: forced 2-rank gang; V100 is the modeled single-device reference.
+GANG_SMOKE_SPEC = dict(pool=("T4", "T4"), nominal_gb=16.0,
+                       max_shards=2, single_device="V100",
+                       scale=1e-4, iter_lim=40)
 
 
 def run_bench(spec: LoadSpec, *, workers: int = 4,
@@ -397,6 +439,174 @@ def run_sustained_bench(spec: LoadSpec, *, workers: int = 4,
     return doc
 
 
+def _pool_leaks(pool: DevicePool) -> list[str]:
+    """Lanes not back to exactly full-free with an empty FIFO."""
+    return [lane.lane_id for lane in pool.lanes
+            if lane.free_gb != lane.spec.memory_gb or lane.lane]
+
+
+def run_gang_bench(*, pool: tuple[str, ...], nominal_gb: float,
+                   max_shards: int, single_device: str,
+                   scale: float, iter_lim: int) -> dict:
+    """E39: gang-vs-exclusion A/B plus the numerics + migration arms.
+
+    The job's nominal footprint exceeds every lane in ``pool``;
+    without the gang opt-in admission must reject it outright, with
+    it the scheduler must decompose it into an R-rank gang whose
+    solution is bitwise the R-rank distributed reference.  The
+    migration arm reruns the gang on ``pool`` plus one spare lane
+    with a deterministic rank death and requires the dead shard to
+    move and the solve to resume from the gang checkpoint.
+    """
+    seed = 11
+    system = make_system(dims_from_gb(scale), seed=seed,
+                         noise_sigma=1e-9)
+
+    def _request(**extra) -> SolveRequest:
+        return SolveRequest(system=system, seed=seed,
+                            iter_lim=iter_lim, **extra)
+
+    # -- A: exclusion.  No opt-in -> the seed behavior, a hard reject.
+    pool_a = DevicePool(pool, per_gcd=True)
+    decision_a = Scheduler(pool_a, workers=1).submit(
+        ServeJob(request=_request(), nominal_gb=nominal_gb,
+                 job_id="excluded"))
+    rejected = decision_a is AdmissionDecision.REJECTED_TOO_LARGE
+
+    # -- B: gang.  Same pool, same job, allow_gang -> must complete.
+    pool_b = DevicePool(pool, per_gcd=True)
+    sched_b = Scheduler(pool_b, workers=1)
+    gang_request = _request(constraints=PlacementConstraints(
+        allow_gang=True, max_shards=max_shards))
+    t0 = time.perf_counter()
+    report_b = sched_b.run([ServeJob(request=gang_request,
+                                     nominal_gb=nominal_gb,
+                                     job_id="gang")])
+    gang_wall_s = time.perf_counter() - t0
+    outcome = report_b.outcomes[0]
+    completed = (outcome.decision is AdmissionDecision.ADMITTED
+                 and outcome.report is not None)
+    placement = outcome.placements[-1] if outcome.placements else None
+    ranks = outcome.report.ranks if completed else 0
+
+    # The gang IS the R-rank distributed solve, bitwise; the serial
+    # engine is the allclose reference (summation grouping differs).
+    bitwise_ok = worst_rel = None
+    if completed and ranks >= 2:
+        ref = solve(_request(ranks=ranks))
+        bitwise_ok = bool(np.array_equal(outcome.report.x, ref.x))
+        serial = solve(_request())
+        denom = float(np.max(np.abs(serial.x))) or 1.0
+        worst_rel = float(
+            np.max(np.abs(outcome.report.x - serial.x))) / denom
+
+    # -- migration arm: one spare lane, rank 1 dies at iteration 12.
+    spare_pool = DevicePool(pool + (pool[0],), per_gcd=True)
+    sched_m = Scheduler(spare_pool, workers=1, max_replacements=1)
+    mig_request = _request(
+        constraints=PlacementConstraints(allow_gang=True,
+                                         max_shards=max_shards),
+        resilience=ResilienceConfig(rank_deaths=((1, 12),),
+                                    allow_degraded=False,
+                                    max_restarts=0,
+                                    checkpoint_every=5))
+    mig_outcome = sched_m.run(
+        [ServeJob(request=mig_request, nominal_gb=nominal_gb,
+                  job_id="migrate")]).outcomes[0]
+    mig_final = (mig_outcome.placements[-1]
+                 if mig_outcome.placements else None)
+    moved = ([s for s in mig_final.shards if s.migrated_from]
+             if mig_final else [])
+    migrated_ok = (
+        mig_outcome.report is not None
+        and mig_outcome.report.stop not in (StopReason.DEGRADED,
+                                            StopReason.ABORTED_FAULTS)
+        and len(mig_outcome.placements) == 2
+        and len(moved) == 1 and moved[0].rank == 1
+        and moved[0].device != moved[0].migrated_from)
+
+    # -- modeled economics: one big device vs R small + comm, priced
+    # in the same currency by the placement cost model.
+    model = PlacementCostModel(n_iterations=iter_lim)
+    single_spec = placement_devices((single_device,), per_gcd=True)[0]
+    single_est = model.estimate(nominal_gb, single_spec)
+    gang_est = model.estimate_gang(
+        nominal_gb, placement_devices(pool, per_gcd=True))
+
+    doc = {
+        "workload": {
+            "nominal_gb": nominal_gb,
+            "pool": list(pool),
+            "max_shards": max_shards,
+            "scale": scale,
+            "iter_lim": iter_lim,
+            "seed": seed,
+        },
+        "exclusion_rejected": rejected,
+        "gang_completed": completed,
+        "gang_ranks": ranks,
+        "gang_wall_s": gang_wall_s,
+        "shards": [
+            {"rank": s.rank, "device": s.device,
+             "footprint_gb": s.footprint_gb, "port": s.port_key}
+            for s in (placement.shards if placement else ())
+        ],
+        "bitwise_vs_rank_reference": bitwise_ok,
+        "worst_rel_error_vs_serial": worst_rel,
+        "gang_pool_leaks": _pool_leaks(pool_b),
+        "migration": {
+            "completed": mig_outcome.report is not None,
+            "attempts": (mig_final.attempt if mig_final else None),
+            "moved": [
+                {"rank": s.rank, "from": s.migrated_from,
+                 "to": s.device} for s in moved
+            ],
+            "passed": migrated_ok,
+            "pool_leaks": _pool_leaks(spare_pool),
+        },
+        "modeled": {
+            "single_device": single_device,
+            "single_seconds": (single_est.seconds
+                               if single_est else None),
+            "single_port": (single_est.port_key
+                            if single_est else None),
+            "gang_seconds": gang_est.seconds if gang_est else None,
+            "gang_comm_s": gang_est.comm_s if gang_est else None,
+            "gang_ranks": gang_est.ranks if gang_est else None,
+            "gang_link": gang_est.link_name if gang_est else None,
+        },
+    }
+    doc["passed"] = (
+        rejected and completed and ranks >= 2
+        and bitwise_ok is True
+        and worst_rel is not None and worst_rel <= 1e-5
+        and not doc["gang_pool_leaks"]
+        and migrated_ok and not doc["migration"]["pool_leaks"]
+        and single_est is not None and gang_est is not None
+        and gang_est.comm_s > 0.0)
+    return doc
+
+
+def _print_gang(doc: dict, label: str = "gang") -> None:
+    mod = doc["modeled"]
+    print(f"{label}: exclusion rejected: {doc['exclusion_rejected']}; "
+          f"gang x{doc['gang_ranks']} completed in "
+          f"{doc['gang_wall_s']:.2f} s, bitwise vs "
+          f"ranks={doc['gang_ranks']} reference: "
+          f"{doc['bitwise_vs_rank_reference']}")
+    print(f"{label}: migration: attempts "
+          f"{doc['migration']['attempts']}, moved "
+          f"{doc['migration']['moved'] or 'none'}; leaks: "
+          f"{doc['gang_pool_leaks'] or 'none'}")
+    if mod["gang_seconds"] is not None:
+        print(f"{label}: modeled 1x{mod['single_device']} "
+              f"{mod['single_seconds']:.1f} s vs "
+              f"{mod['gang_ranks']}-rank gang "
+              f"{mod['gang_seconds']:.1f} s "
+              f"({mod['gang_comm_s']:.2f} s comm on "
+              f"{mod['gang_link']})")
+
+
 def _print_sustained(doc: dict) -> None:
     cap = doc["capacity_jobs_per_s"]
     print(f"sustained: capacity thread {cap['thread']:.2f} jobs/s, "
@@ -431,7 +641,24 @@ def main(argv=None) -> int:
                         help="CI-sized workload with a 2x bar")
     parser.add_argument("--batch-smoke", action="store_true",
                         help="E36 only: K=4 fusion smoke at a >1x bar")
+    parser.add_argument("--gang-smoke", action="store_true",
+                        help="E39 only: 2-rank gang on 2xT4 with the "
+                             "exclusion A/B and migration arms")
     args = parser.parse_args(argv)
+
+    if args.gang_smoke:
+        doc = run_gang_bench(**GANG_SMOKE_SPEC)
+        out = (args.output if args.output != "BENCH_serve.json"
+               else "BENCH_gang_smoke.json")
+        with open(out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+        _print_gang(doc, label="gang-smoke")
+        print(f"wrote {out}")
+        if not doc["passed"]:
+            print("FAILED: gang smoke criteria not met",
+                  file=sys.stderr)
+            return 1
+        return 0
 
     if args.batch_smoke:
         doc = run_fusion_bench(FUSION_SMOKE_SPEC, k=4,
@@ -457,8 +684,10 @@ def main(argv=None) -> int:
                                          min_speedup=3.0)
         doc["sustained"] = run_sustained_bench(SUSTAINED_SPEC,
                                                workers=args.workers)
+        doc["gang"] = run_gang_bench(**GANG_SPEC)
         doc["passed"] = (doc["passed"] and doc["fusion"]["passed"]
-                         and doc["sustained"]["passed"])
+                         and doc["sustained"]["passed"]
+                         and doc["gang"]["passed"])
 
     with open(args.output, "w") as fh:
         json.dump(doc, fh, indent=2)
@@ -474,6 +703,8 @@ def main(argv=None) -> int:
         _print_fusion(doc["fusion"])
     if "sustained" in doc:
         _print_sustained(doc["sustained"])
+    if "gang" in doc:
+        _print_gang(doc["gang"])
     print(f"wrote {args.output}")
     if not doc["passed"]:
         print("FAILED: serving acceptance criteria not met",

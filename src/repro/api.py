@@ -27,7 +27,8 @@ all of them coherently.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 import numpy as np
@@ -137,6 +138,70 @@ class ResilienceConfig:
         )
 
 
+@dataclass(frozen=True, kw_only=True)
+class PlacementConstraints:
+    """Where -- and how -- the serving layer may place one request.
+
+    The one placement vocabulary of :mod:`repro.serve`, replacing the
+    flat grab-bag of per-request kwargs (``device=`` on
+    :class:`SolveRequest` is shimmed onto ``devices`` with a
+    ``DeprecationWarning``).  Keyword-only and eagerly validated: a
+    typo'd platform name or an impossible shard budget fails at
+    construction with the offending field named.
+
+    - ``devices``: platform names the job may run on (None = any lane);
+    - ``max_shards``: upper bound on the rank count a gang may
+      decompose the job into (1 = never shard);
+    - ``allow_gang``: opt in to gang-scheduled sharding when no single
+      device can hold the footprint;
+    - ``memory_headroom``: fraction of extra lane memory reserved on
+      top of the footprint (0.1 = reserve 110%);
+    - ``priority``: serve admission class (lower runs first; background
+      work uses high values).
+    """
+
+    devices: tuple[str, ...] | None = None
+    max_shards: int = 1
+    allow_gang: bool = False
+    memory_headroom: float = 0.0
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.devices is not None:
+            if not isinstance(self.devices, tuple):
+                object.__setattr__(self, "devices", tuple(self.devices))
+            if not self.devices:
+                raise ValueError(
+                    "devices must be None or a non-empty tuple of "
+                    "platform names"
+                )
+            from repro.gpu.platforms import DEVICES_BY_NAME
+
+            for name in self.devices:
+                if name not in DEVICES_BY_NAME:
+                    raise ValueError(
+                        f"unknown device {name!r} in devices; expected "
+                        f"names from {sorted(DEVICES_BY_NAME)}"
+                    )
+        if self.max_shards < 1:
+            raise ValueError(
+                f"max_shards must be >= 1, got {self.max_shards}")
+        if self.allow_gang and self.max_shards < 2:
+            raise ValueError(
+                f"allow_gang requires max_shards >= 2, "
+                f"got max_shards={self.max_shards}"
+            )
+        if not 0.0 <= self.memory_headroom < 1.0:
+            raise ValueError(
+                f"memory_headroom must be in [0, 1), "
+                f"got {self.memory_headroom}"
+            )
+
+
+#: The default constraints: any device, no sharding, no headroom.
+DEFAULT_CONSTRAINTS = PlacementConstraints()
+
+
 @dataclass(frozen=True)
 class SolveRequest:
     """Everything one solve needs, in one immutable value.
@@ -148,13 +213,21 @@ class SolveRequest:
     are serial-only (the distributed engine matches production, which
     has neither).
 
-    ``job_id``, ``framework`` and ``device`` are serving-layer hints
-    consumed by :mod:`repro.serve`: the id is threaded through to
+    ``job_id``, ``framework`` and ``constraints`` are serving-layer
+    hints consumed by :mod:`repro.serve`: the id is threaded through to
     :attr:`SolveReport.job_id`, ``framework`` pins the placement cost
-    model to one port key, ``device`` pins the job to one platform.
-    They are validated eagerly here -- a typo'd port or platform name
-    fails at request construction with the offending field named, not
-    deep inside the scheduler.
+    model to one port key, ``constraints`` carries the placement
+    vocabulary (:class:`PlacementConstraints`: device allow-list, gang
+    sharding, headroom, priority).  The legacy ``device=`` kwarg still
+    works but emits a ``DeprecationWarning`` and is folded into
+    ``constraints.devices``.  All are validated eagerly here -- a
+    typo'd port or platform name fails at request construction with
+    the offending field named, not deep inside the scheduler.
+
+    ``resume_from`` names a :class:`~repro.resilience.GlobalCheckpoint`
+    ``.npz`` to warm the resilient driver's recovery state from
+    (requires ``resilience``); the serving layer uses it to migrate a
+    gang's dead shard to a spare lane and resume mid-solve.
     """
 
     system: GaiaSystem
@@ -177,6 +250,8 @@ class SolveRequest:
     job_id: str | None = None
     framework: str | None = None
     device: str | None = None
+    constraints: PlacementConstraints | None = None
+    resume_from: str | Path | None = None
 
     def __post_init__(self) -> None:
         if self.ranks < 1:
@@ -222,6 +297,34 @@ class SolveRequest:
                     f"unknown device {self.device!r}; expected one of "
                     f"{sorted(DEVICES_BY_NAME)}"
                 )
+            if (self.constraints is not None
+                    and self.constraints.devices is not None):
+                if self.device not in self.constraints.devices:
+                    raise ValueError(
+                        f"device={self.device!r} conflicts with "
+                        f"constraints.devices="
+                        f"{self.constraints.devices!r}; drop the "
+                        "deprecated device= kwarg"
+                    )
+            else:
+                # First normalization of the legacy kwarg (replace()
+                # copies an already-folded pair silently).
+                warnings.warn(
+                    "SolveRequest(device=...) is deprecated; use "
+                    "constraints=PlacementConstraints(devices=("
+                    f"{self.device!r},))",
+                    DeprecationWarning, stacklevel=3,
+                )
+                base = (self.constraints if self.constraints is not None
+                        else PlacementConstraints())
+                object.__setattr__(
+                    self, "constraints",
+                    replace(base, devices=(self.device,)))
+        if self.resume_from is not None and self.resilience is None:
+            raise ValueError(
+                "resume_from requires a resilience config: only the "
+                "recovery driver restores a GlobalCheckpoint"
+            )
         distributed = self.ranks > 1 or self.resilience is not None
         if distributed and self.damp != 0.0:
             raise ValueError(
@@ -235,6 +338,12 @@ class SolveRequest:
     def strategies(self) -> tuple[str, str]:
         """The preset's ``(gather, scatter)`` kernel strategy pair."""
         return STRATEGY_PRESETS[self.strategy]
+
+    @property
+    def placement_constraints(self) -> PlacementConstraints:
+        """The normalized constraints (defaults when none were given)."""
+        return (self.constraints if self.constraints is not None
+                else DEFAULT_CONSTRAINTS)
 
     @property
     def fault_plan(self) -> FaultPlan | None:
@@ -283,11 +392,17 @@ class RequestSpec:
     checkpoint_path: str | None = None
     job_id: str | None = None
     framework: str | None = None
-    device: str | None = None
+    constraints: PlacementConstraints | None = None
+    resume_from: str | None = None
 
     @classmethod
     def from_request(cls, request: "SolveRequest") -> "RequestSpec":
-        """Strip one request down to its picklable fields."""
+        """Strip one request down to its picklable fields.
+
+        The legacy ``device`` kwarg is already folded into
+        ``constraints`` by ``SolveRequest.__post_init__``, so the wire
+        format carries constraints only.
+        """
         return cls(
             ranks=request.ranks, atol=request.atol, btol=request.btol,
             conlim=request.conlim, iter_lim=request.iter_lim,
@@ -300,7 +415,9 @@ class RequestSpec:
                              if request.checkpoint_path is not None
                              else None),
             job_id=request.job_id, framework=request.framework,
-            device=request.device,
+            constraints=request.constraints,
+            resume_from=(str(request.resume_from)
+                         if request.resume_from is not None else None),
         )
 
     def to_request(self, system: GaiaSystem, *,
@@ -315,8 +432,25 @@ class RequestSpec:
             checkpoint_every=self.checkpoint_every,
             checkpoint_path=self.checkpoint_path,
             telemetry=telemetry, job_id=self.job_id,
-            framework=self.framework, device=self.device,
+            framework=self.framework, constraints=self.constraints,
+            resume_from=self.resume_from,
         )
+
+
+@dataclass(frozen=True)
+class ShardPlacement:
+    """One rank of a gang-scheduled solve: which lane held which shard.
+
+    ``migrated_from`` names the lane this shard originally ran on when
+    the resilience layer moved it to a spare after a rank death.
+    """
+
+    rank: int
+    device: str
+    footprint_gb: float
+    port_key: str | None = None
+    estimated_s: float | None = None
+    migrated_from: str | None = None
 
 
 @dataclass(frozen=True)
@@ -351,6 +485,11 @@ class Placement:
     batch_size: int = 1
     #: True when the placement price used a tuned-config cache entry.
     tuned: bool = False
+    #: Per-rank provenance of a gang-scheduled solve.  Empty for
+    #: single-device placements, so existing reports are unchanged; a
+    #: gang report carries one :class:`ShardPlacement` per rank and
+    #: ``device`` joins the lane ids with ``+``.
+    shards: tuple[ShardPlacement, ...] = ()
 
 
 @dataclass
@@ -595,6 +734,7 @@ def _solve_resilient(request: SolveRequest, gather: str,
     result, report = driver.solve(
         atol=request.atol, btol=request.btol, conlim=request.conlim,
         iter_lim=request.iter_lim, callback=request.callback,
+        resume_from=request.resume_from,
     )
     return SolveReport(
         x=result.x, stop=result.stop, itn=result.itn,

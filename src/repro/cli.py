@@ -431,6 +431,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             scenario, drain_timeout_s=args.drain_timeout)
     if args.tuning:
         scenario = dataclasses.replace(scenario, tuning_enabled=True)
+    if args.allow_gang:
+        scenario = dataclasses.replace(
+            scenario, allow_gang=True,
+            max_shards=max(scenario.max_shards, 2))
+    if args.max_shards is not None:
+        scenario = dataclasses.replace(scenario,
+                                       max_shards=args.max_shards)
     tel = Telemetry()
     report = run_scenario(scenario, telemetry=tel)
     print(f"pool: {', '.join(scenario.devices)} "
@@ -445,9 +452,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             fuse = (f" fused[{p.batch_id} x{p.batch_size}]"
                     if p.batch_id is not None else "")
             tuned = " tuned" if p.tuned else ""
+            gang = f" gang[x{len(p.shards)}]" if p.shards else ""
             print(f"  {p.job_id}: {p.nominal_gb:g} GB -> {p.device} "
                   f"[{p.port_key}, est {p.estimated_s:.1f} s]"
-                  f"{tuned}{tag}{retry}{fuse}")
+                  f"{tuned}{tag}{retry}{fuse}{gang}")
+            for s in p.shards:
+                moved = (f" (migrated from {s.migrated_from})"
+                         if s.migrated_from else "")
+                print(f"    shard {s.rank}: {s.device} "
+                      f"[{s.port_key}, {s.footprint_gb:.1f} GB]"
+                      f"{moved}")
     if args.json:
         doc = {
             "wall_s": report.wall_s,
@@ -637,6 +651,14 @@ def build_parser() -> argparse.ArgumentParser:
                          "of the scenario: tuning-aware placement "
                          "prices plus low-priority background "
                          "geometry sweeps (see docs/tuning.md)")
+    sv.add_argument("--allow-gang", action="store_true",
+                    help="let too-large jobs shard across multiple "
+                         "lanes as a gang-scheduled multi-rank solve "
+                         "(implies max_shards >= 2)")
+    sv.add_argument("--max-shards", type=int, default=None,
+                    help="override the scenario's gang shard budget "
+                         "(upper bound on the rank count a sharded "
+                         "solve may decompose into)")
     sv.add_argument("--verbose", action="store_true",
                     help="print the per-job placement log")
     sv.add_argument("--json", default=None,

@@ -30,6 +30,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -57,14 +58,24 @@ class CommReduction:
     ``rank`` and ``epoch``) and their payloads counted in the
     ``dist.allreduce_bytes`` counter; the timing max-over-ranks is a
     bare collective, exactly like the production measurement loop.
+
+    ``link_cost`` optionally prices each epoch on a modeled inter-GPU
+    link (``payload_bytes -> seconds``, e.g. :func:`repro.gpu.
+    interconnect.allreduce_seconds` partially applied); the running
+    total is :attr:`modeled_comm_s` -- what a gang of real devices
+    *would* have spent on the wire, accumulated alongside the
+    simulated run.
     """
 
     def __init__(self, comm: SimComm,
-                 telemetry: Telemetry | None = None) -> None:
+                 telemetry: Telemetry | None = None,
+                 link_cost: Callable[[int], float] | None = None) -> None:
         self.comm = comm
         self._tel = Telemetry.or_null(telemetry)
         self._rank = str(comm.rank)
         self._partial: np.ndarray | None = None
+        self.link_cost = link_cost
+        self.modeled_comm_s = 0.0
 
     def _reduced(self, value, *, epoch: str, op_name: str = "sum"):
         nbytes = value.nbytes if isinstance(value, np.ndarray) else 8
@@ -73,6 +84,8 @@ class CommReduction:
             out = self.comm.allreduce(value, op=op_name)
         self._tel.counter("dist.allreduce_bytes",
                           rank=self._rank).inc(nbytes)
+        if self.link_cost is not None:
+            self.modeled_comm_s += self.link_cost(nbytes)
         return out
 
     def norm_sq(self, u_local: np.ndarray, *, epoch: str) -> float:
@@ -108,6 +121,9 @@ class DistributedResult:
     var: np.ndarray | None = None
     m: int = 0
     n: int = 0
+    #: Modeled wire time of the run's reduction epochs (0.0 unless the
+    #: driver was given a ``link_cost``); max over ranks.
+    modeled_comm_s: float = 0.0
 
     @property
     def converged(self) -> bool:
@@ -154,6 +170,7 @@ class DistributedLSQR:
                  gather_strategy: str = "auto",
                  scatter_strategy: str = "auto",
                  astro_scatter_strategy: str = "auto",
+                 link_cost: Callable[[int], float] | None = None,
                  telemetry: Telemetry | None = None) -> None:
         self.system = system
         self.n_ranks = n_ranks
@@ -162,6 +179,7 @@ class DistributedLSQR:
         self.gather_strategy = gather_strategy
         self.scatter_strategy = scatter_strategy
         self.astro_scatter_strategy = astro_scatter_strategy
+        self.link_cost = link_cost
         self.telemetry = telemetry
         self.blocks = partition_by_rows(system, n_ranks)
 
@@ -226,6 +244,7 @@ class DistributedLSQR:
             var=results[0][4],
             m=self.system.n_rows,
             n=n,
+            modeled_comm_s=max(r[6] for r in results),
         )
 
     # ------------------------------------------------------------------
@@ -242,13 +261,14 @@ class DistributedLSQR:
         checkpoint_path: str | Path | None,
         resume_from: str | Path | None,
     ) -> tuple[np.ndarray, int, float, list[float],
-               np.ndarray | None, StopReason]:
+               np.ndarray | None, StopReason, float]:
         block = self.blocks[comm.rank]
         local_op = self._local_operator(block)
         local = local_op.system
         op = PreconditionedAprod(local_op, scaling)
         tel = self.telemetry
-        backend = CommReduction(comm, telemetry=tel)
+        backend = CommReduction(comm, telemetry=tel,
+                                link_cost=self.link_cost)
         engine = LSQRStepEngine(
             op, backend=backend, atol=atol, btol=btol, conlim=conlim,
             calc_var=self.calc_var, telemetry=tel, span_prefix="dist",
@@ -280,7 +300,7 @@ class DistributedLSQR:
         istop = (state.istop if state.istop is not None
                  else StopReason.ITERATION_LIMIT)
         return (scaling.to_physical(state.x), state.itn, state.r2norm,
-                times, var, istop)
+                times, var, istop, backend.modeled_comm_s)
 
 
 def _rank_state_path(path: str | Path, rank: int) -> Path:

@@ -36,6 +36,14 @@ from repro.gpu.platforms import (
     V100,
     device_by_name,
 )
+from repro.gpu.interconnect import (
+    LINKS_BY_NAME,
+    LinkSpec,
+    allreduce_seconds,
+    device_fabric,
+    gang_link,
+    link_between,
+)
 from repro.gpu.memory import DeviceMemory, DeviceOutOfMemory
 from repro.gpu.kernel import LaunchConfig, geometry_efficiency, grid_for
 from repro.gpu.atomics import AtomicMode, atomic_time
@@ -67,6 +75,12 @@ __all__ = [
     "ALL_DEVICES",
     "DEVICES_BY_NAME",
     "device_by_name",
+    "LinkSpec",
+    "LINKS_BY_NAME",
+    "device_fabric",
+    "link_between",
+    "gang_link",
+    "allreduce_seconds",
     "DeviceMemory",
     "DeviceOutOfMemory",
     "LaunchConfig",

@@ -1,0 +1,137 @@
+"""Inter-GPU link-cost model for gang-scheduled sharded solves.
+
+The paper's efficiency estimate (§V-B) prices one solve on one board.
+Gang scheduling runs ``CommReduction`` ranks on several boards at once,
+so the cost model additionally needs the price of the two allreduce
+epochs every LSQR iteration performs (one 8-byte scalar norm, one dense
+length-``n`` partial-sum exchange).  This module supplies that price:
+a per-platform interconnect tier (NVLink generations, Infinity Fabric,
+PCIe) and an analytic ring-allreduce time on the weakest link of the
+gang.
+
+As with the rest of ``repro.gpu`` these are modeled seconds calibrated
+to datasheet figures, not measurements; everything downstream depends
+only on the *relative* cost of "1×H100" vs "4×T4 + comm".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.gpu.device import DeviceSpec
+from repro.gpu.platforms import INTERCONNECT_OF_DEVICE
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One inter-device link tier.
+
+    ``bandwidth_gbs`` is the effective per-direction bandwidth one rank
+    pair sees (GB/s); ``latency_us`` the per-message latency of one
+    ring step.
+    """
+
+    name: str
+    bandwidth_gbs: float
+    latency_us: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0:
+            raise ValueError(
+                f"bandwidth_gbs must be > 0, got {self.bandwidth_gbs}"
+            )
+        if self.latency_us < 0:
+            raise ValueError(
+                f"latency_us must be >= 0, got {self.latency_us}"
+            )
+
+
+#: Host-staged PCIe gen3 x16 — the floor every pairing can fall back to.
+PCIE3 = LinkSpec("PCIe3x16", 12.0, 5.0)
+#: PCIe gen4 x16, for same-vendor boards without a common fabric.
+PCIE4 = LinkSpec("PCIe4x16", 24.0, 4.0)
+#: NVLink generations by board (datasheet per-direction aggregates).
+NVLINK2 = LinkSpec("NVLink2", 150.0, 2.0)
+NVLINK3 = LinkSpec("NVLink3", 300.0, 1.8)
+NVLINK4 = LinkSpec("NVLink4", 450.0, 1.5)
+#: Infinity Fabric between MI250X GCDs/packages on Setonix.
+INFINITY_FABRIC = LinkSpec("InfinityFabric3", 200.0, 2.0)
+
+#: Fabric tier by the label ``platforms.INTERCONNECT_OF_DEVICE`` gives.
+LINKS_BY_NAME: dict[str, LinkSpec] = {
+    link.name: link
+    for link in (PCIE3, PCIE4, NVLINK2, NVLINK3, NVLINK4, INFINITY_FABRIC)
+}
+
+
+def device_fabric(name: str) -> LinkSpec:
+    """The native same-board fabric of platform ``name``."""
+    try:
+        label = INTERCONNECT_OF_DEVICE[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; expected one of "
+            f"{sorted(INTERCONNECT_OF_DEVICE)}"
+        ) from None
+    return LINKS_BY_NAME[label]
+
+
+def link_between(a: DeviceSpec, b: DeviceSpec) -> LinkSpec:
+    """The link one rank pair on boards ``a`` and ``b`` communicates over.
+
+    Same platform: the board's native fabric.  Same vendor but different
+    boards: no shared NVLink/IF domain, so PCIe gen4.  Cross vendor:
+    host-staged PCIe gen3 (the traffic crosses the host bridge twice).
+    """
+    if a.name == b.name:
+        return device_fabric(a.name)
+    if a.vendor == b.vendor:
+        return PCIE4
+    return PCIE3
+
+
+def gang_link(specs: Sequence[DeviceSpec]) -> LinkSpec:
+    """The weakest pairwise link of a gang — what bounds the ring.
+
+    A ring allreduce moves every byte over every hop, so the slowest
+    hop sets the epoch time.
+    """
+    if len(specs) < 2:
+        raise ValueError(f"a gang needs >= 2 ranks, got {len(specs)}")
+    worst = None
+    for i, a in enumerate(specs):
+        for b in specs[i + 1:]:
+            link = link_between(a, b)
+            if worst is None or (link.bandwidth_gbs, -link.latency_us) < (
+                worst.bandwidth_gbs, -worst.latency_us
+            ):
+                worst = link
+    assert worst is not None
+    return worst
+
+
+def allreduce_seconds(
+    payload_bytes: int, n_ranks: int, link: LinkSpec
+) -> float:
+    """Modeled ring-allreduce time for one epoch.
+
+    Standard ring cost: ``2 (R-1)/R`` of the payload crosses the
+    weakest link, in ``2 (R-1)`` latency-bound steps.
+    """
+    if payload_bytes < 0:
+        raise ValueError(f"payload_bytes must be >= 0, got {payload_bytes}")
+    if n_ranks < 1:
+        raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+    if n_ranks == 1:
+        return 0.0
+    volume = 2.0 * (n_ranks - 1) / n_ranks * payload_bytes
+    steps = 2 * (n_ranks - 1)
+    return volume / (link.bandwidth_gbs * 1e9) + steps * link.latency_us * 1e-6
+
+
+def gang_comm_seconds(
+    payload_bytes: int, n_ranks: int, specs: Sequence[DeviceSpec]
+) -> float:
+    """One dense-epoch allreduce over the gang's weakest link."""
+    return allreduce_seconds(payload_bytes, n_ranks, gang_link(specs))

@@ -138,6 +138,17 @@ CLUSTER_OF_DEVICE: dict[str, str] = {
     "MI250X": "Setonix",
 }
 
+#: Native same-board interconnect fabric of each platform, by the tier
+#: labels :mod:`repro.gpu.interconnect` prices.  T4 boards have no
+#: NVLink bridge — peers talk over the host's PCIe gen3 switch.
+INTERCONNECT_OF_DEVICE: dict[str, str] = {
+    "T4": "PCIe3x16",
+    "V100": "NVLink2",
+    "A100": "NVLink3",
+    "H100": "NVLink4",
+    "MI250X": "InfinityFabric3",
+}
+
 
 def device_by_name(name: str) -> DeviceSpec:
     """Look a platform up by name, with a helpful error."""

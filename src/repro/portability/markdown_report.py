@@ -146,6 +146,88 @@ def tuning_section(tuning: "TuningStudyResult") -> str:
     return "\n".join(blocks)
 
 
+def gang_section(size_gb: float = 60.0, *, max_shards: int = 8,
+                 n_iterations: int = 100) -> str:
+    """Pennycook P at the excluded size, single-device vs gang.
+
+    The §V-B exclusion rule makes P degenerate at the paper's 60 GB
+    class: most platforms cannot hold the solver footprint at all, and
+    P over the full platform set is 0 by definition the moment any
+    platform is excluded.  Gang scheduling
+    (``PlacementConstraints(allow_gang=True)``) restores a defined P
+    by row-sharding the solve across R same-platform lanes, priced by
+    the serving cost model with the inter-GPU link model's two
+    allreduce epochs per iteration included -- so the table compares
+    "one big device" and "R small devices + comm" in one currency.
+    Each platform's gang entry is the cheapest priceable R up to
+    ``max_shards`` (MI250X counted per GCD, as the serving pool
+    places it).
+    """
+    # Local imports: repro.serve pulls in repro.tuning, which imports
+    # this package -- importing it at module scope would be a cycle.
+    from repro.gpu.platforms import ALL_DEVICES, placement_device
+    from repro.portability.metrics import pennycook_p
+    from repro.serve.cost import PlacementCostModel
+
+    model = PlacementCostModel(n_iterations=n_iterations)
+    platforms = [d.name for d in ALL_DEVICES]
+    single: dict[str, float | None] = {}
+    gang: dict[str, tuple[float, int, str] | None] = {}
+    for name in platforms:
+        spec = placement_device(name, per_gcd=True)
+        est = model.estimate(size_gb, spec)
+        single[name] = est.seconds if est else None
+        best = None
+        for ranks in range(2, max_shards + 1):
+            g = model.estimate_gang(size_gb, (spec,) * ranks)
+            if g and (best is None or g.seconds < best[0]):
+                best = (g.seconds, g.ranks, g.link_name)
+        gang[name] = best
+
+    def _eff(times: Mapping[str, float | None]) -> dict[str, float | None]:
+        best_of = {
+            p: min((t for t in (single[p],
+                                gang[p][0] if gang[p] else None)
+                    if t is not None), default=None)
+            for p in platforms
+        }
+        return {p: (best_of[p] / times[p]
+                    if times[p] is not None and best_of[p] is not None
+                    else None)
+                for p in platforms}
+
+    p_single = pennycook_p(_eff(single), platforms)
+    p_gang = pennycook_p(
+        _eff({p: gang[p][0] if gang[p] else None for p in platforms}),
+        platforms)
+
+    rows = []
+    for p in platforms:
+        g = gang[p]
+        rows.append([
+            p, _fmt(single[p], 1),
+            _fmt(g[0], 1) if g else "—",
+            str(g[1]) if g else "—",
+            g[2] if g else "—",
+        ])
+    blocks = [
+        f"## Gang-scheduled portability at {size_gb:g} GB "
+        "(E39, serving layer)\n",
+        "Single-device placement excludes every platform whose memory "
+        f"cannot hold the {size_gb:g} GB class's solver footprint "
+        "(§V-B), so P over the full platform set is 0 by definition; "
+        "gang scheduling shards the solve across same-platform lanes "
+        "and restores a defined P, with the inter-GPU comm priced in.\n",
+        _md_table(["platform", "single-device [s]", "gang [s]", "R",
+                   "link"], rows),
+        "",
+        _md_table(["placement", f"P ({len(platforms)}-platform set)"],
+                  [["single-device (exclusion)", _fmt(p_single)],
+                   [f"gang (R ≤ {max_shards})", _fmt(p_gang)]]),
+    ]
+    return "\n".join(blocks)
+
+
 def extras_section(extra_blocks: Mapping[str, str]) -> str:
     """Append pre-rendered text blocks (storage, energy, ...)."""
     blocks = []
@@ -158,6 +240,7 @@ def build_report(
     study: StudyResult,
     *,
     tuning: "TuningStudyResult | None" = None,
+    gang: bool = True,
     extra_blocks: Mapping[str, str] | None = None,
 ) -> str:
     """The full Markdown report."""
@@ -179,6 +262,8 @@ def build_report(
     ]
     if tuning is not None:
         parts += ["", tuning_section(tuning)]
+    if gang:
+        parts += ["", gang_section()]
     if extra_blocks:
         parts += ["", extras_section(extra_blocks)]
     return "\n".join(parts)
@@ -189,10 +274,11 @@ def write_report(
     path: str | Path,
     *,
     tuning: "TuningStudyResult | None" = None,
+    gang: bool = True,
     extra_blocks: Mapping[str, str] | None = None,
 ) -> Path:
     """Write the report to ``path``."""
     path = Path(path)
-    path.write_text(build_report(study, tuning=tuning,
+    path.write_text(build_report(study, tuning=tuning, gang=gang,
                                  extra_blocks=extra_blocks) + "\n")
     return path

@@ -283,8 +283,18 @@ class ResilientDistributedLSQR:
     def solve(self, *, atol: float = 1e-10, btol: float | None = None,
               conlim: float = 1e8, iter_lim: int | None = None,
               callback: IterationCallback | None = None,
+              resume_from: "GlobalCheckpoint | str | Path | None" = None,
               ) -> tuple[DistributedResult, ResilienceReport]:
         """Run the chaos-tolerant SPMD solve.
+
+        ``resume_from`` warm-starts the recovery loop from a previously
+        saved :class:`GlobalCheckpoint` (an instance or a ``.npz``
+        path): the first attempt shards that snapshot across the
+        current rank count instead of starting from iteration zero.  A
+        global checkpoint is rank-count independent, so a solve can
+        resume on a different decomposition than the one that saved it
+        -- the serving layer's shard-migration path relies on exactly
+        this.
 
         Returns the :class:`~repro.dist.runner.DistributedResult`
         (``stop`` reports the recovery path: ``DEGRADED`` after rank
@@ -312,6 +322,12 @@ class ResilientDistributedLSQR:
                                   engine_stop=None,
                                   events=events, final_ranks=alive)
         checkpoint: GlobalCheckpoint | None = None
+        if resume_from is not None:
+            checkpoint = (resume_from
+                          if isinstance(resume_from, GlobalCheckpoint)
+                          else GlobalCheckpoint.load(resume_from))
+            self._last_good = checkpoint
+            self._tel.counter("resilience.resumes").inc()
 
         while True:
             blocks = partition_by_rows(self.system, alive)

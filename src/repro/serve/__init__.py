@@ -51,14 +51,22 @@ from repro.serve.cache import (
     shared_config_digest,
     system_digest,
 )
-from repro.serve.cost import CostEstimate, PlacementCostModel
+from repro.serve.cost import (
+    CostEstimate,
+    GangEstimate,
+    PlacementCostModel,
+)
 from repro.serve.job import AdmissionDecision, ServeJob
 from repro.serve.loadgen import (
     LoadGenerator,
     LoadSpec,
     run_closed_loop,
 )
-from repro.serve.pool import DeviceLane, DevicePool
+from repro.serve.pool import (
+    MEMORY_EPSILON_GB,
+    DeviceLane,
+    DevicePool,
+)
 from repro.serve.scenario import (
     Scenario,
     build_scheduler,
@@ -87,7 +95,9 @@ __all__ = [
     "CostEstimate",
     "DeviceLane",
     "DevicePool",
+    "GangEstimate",
     "JobOutcome",
+    "MEMORY_EPSILON_GB",
     "LoadGenerator",
     "LoadSpec",
     "PlacementCostModel",

@@ -39,6 +39,7 @@ outlive a newer tuned entry (see ``docs/tuning.md``).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.frameworks.base import (
     GeometryPolicy,
@@ -49,8 +50,9 @@ from repro.frameworks.executor import model_iteration, model_setup
 from repro.frameworks.executors_future import PSTL_EXECUTORS
 from repro.frameworks.registry import ALL_PORTS
 from repro.gpu.device import DeviceSpec
+from repro.gpu.interconnect import allreduce_seconds, gang_link
 from repro.gpu.memory import DeviceOutOfMemory
-from repro.system.sizing import dims_from_gb
+from repro.system.sizing import dims_from_gb, shard_footprint_gb
 from repro.tuning.cache import TunedConfigCache
 from repro.tuning.sizeclass import size_class_for
 from repro.tuning.sweep import default_spec
@@ -69,6 +71,38 @@ class CostEstimate:
     port_key: str
     device_name: str
     tuned: bool = False
+
+
+@dataclass(frozen=True)
+class GangEstimate:
+    """Price of one solve sharded across R lanes, comm included.
+
+    ``seconds`` is the gang's critical path: the slowest rank's modeled
+    shard solve plus ``comm_s`` -- ``n_iterations`` times the two
+    allreduce epochs every LSQR iteration performs (the dense
+    length-``n`` partial sum and the scalar norm), priced on the gang's
+    weakest link (:func:`repro.gpu.interconnect.gang_link`).  This is
+    what lets the scheduler honestly compare "1×H100" against
+    "4×T4 + comm" in one currency.
+    """
+
+    seconds: float
+    ranks: int
+    shard_gb: float
+    comm_s: float
+    link_name: str
+    per_rank: tuple[CostEstimate, ...]
+
+    @property
+    def port_key(self) -> str:
+        """The critical (slowest) rank's winning port."""
+        return max(self.per_rank,
+                   key=lambda e: (e.seconds, e.port_key)).port_key
+
+    @property
+    def tuned(self) -> bool:
+        """True when every rank priced with a tuned-cache discount."""
+        return all(e.tuned for e in self.per_rank)
 
 
 class PlacementCostModel:
@@ -93,6 +127,9 @@ class PlacementCostModel:
         #: model, so its memo never expires (nothing can land).
         self._memo: dict[tuple[float, str, str | None],
                          tuple[int, CostEstimate | None]] = {}
+        self._gang_memo: dict[
+            tuple[float, tuple[str, ...], str | None],
+            tuple[int, "GangEstimate | None"]] = {}
 
     def candidate_ports(self, framework: str | None) -> tuple[Port, ...]:
         """The ports priced for a job (one when pinned, else all)."""
@@ -132,6 +169,70 @@ class PlacementCostModel:
         best = self._price(nominal_gb, device, framework)
         self._memo[key] = (generation, best)
         return best
+
+    def estimate_gang(
+        self,
+        nominal_gb: float,
+        devices: Sequence[DeviceSpec],
+        *,
+        framework: str | None = None,
+    ) -> GangEstimate | None:
+        """Price one solve row-sharded across ``devices``, or None.
+
+        Each rank holds ``1/R`` of the rows plus the replicated
+        unknown-space vectors (:func:`~repro.system.sizing.
+        shard_footprint_gb`); its compute is priced like a solve of the
+        equivalent per-shard nominal size on its device.  None when any
+        rank is unpriceable (no supported port, or the shard still
+        exceeds the device) -- a gang is all-or-nothing in pricing just
+        as in admission.
+        """
+        ranks = len(devices)
+        if ranks < 2:
+            raise ValueError(f"a gang needs >= 2 ranks, got {ranks}")
+        key = (round(nominal_gb, 9),
+               tuple(d.name for d in devices), framework)
+        cached = self._gang_memo.get(key)
+        if cached is not None and cached[0] == self._generation:
+            return cached[1]
+        generation = self._generation
+        estimate = self._price_gang(nominal_gb, tuple(devices), framework)
+        self._gang_memo[key] = (generation, estimate)
+        return estimate
+
+    def _price_gang(
+        self,
+        nominal_gb: float,
+        devices: tuple[DeviceSpec, ...],
+        framework: str | None,
+    ) -> GangEstimate | None:
+        ranks = len(devices)
+        dims = dims_from_gb(nominal_gb)
+        shard_gb = shard_footprint_gb(dims, ranks)
+        # Per-rank compute: a shard behaves like a solve whose stored
+        # coefficient data is 1/R of the nominal (the replicated
+        # vectors are memory, not iteration traffic).
+        per_rank = []
+        for spec in devices:
+            if shard_gb > spec.memory_gb:
+                return None
+            est = self.estimate(nominal_gb / ranks, spec,
+                                framework=framework)
+            if est is None:
+                return None
+            per_rank.append(est)
+        link = gang_link(devices)
+        # Two allreduce epochs per iteration: the dense length-n
+        # partial-sum exchange and the 8-byte scalar norm.
+        dense = allreduce_seconds(8 * dims.n_params, ranks, link)
+        scalar = allreduce_seconds(8, ranks, link)
+        comm_s = self.n_iterations * (dense + scalar)
+        seconds = max(e.seconds for e in per_rank) + comm_s
+        return GangEstimate(
+            seconds=seconds, ranks=ranks, shard_gb=shard_gb,
+            comm_s=comm_s, link_name=link.name,
+            per_rank=tuple(per_rank),
+        )
 
     def _price(
         self,

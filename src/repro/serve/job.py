@@ -22,8 +22,12 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.api import SolveRequest
-from repro.system.sizing import device_footprint_gb, dims_from_gb
+from repro.api import PlacementConstraints, SolveRequest
+from repro.system.sizing import (
+    device_footprint_gb,
+    dims_from_gb,
+    shard_footprint_gb,
+)
 
 _JOB_COUNTER = itertools.count()
 
@@ -87,10 +91,49 @@ class ServeJob:
         if self.footprint_gb <= 0:
             self.footprint_gb = device_footprint_gb(
                 dims_from_gb(self.nominal_gb))
+        # A job built without an explicit priority adopts the one its
+        # request's constraints carry (the new single vocabulary).
+        if self.priority == 0:
+            self.priority = self.constraints.priority
 
     def sort_key(self, seq: int) -> tuple[int, int]:
         """Deterministic queue order: priority, then submission seq."""
         return (self.priority, seq)
+
+    @property
+    def constraints(self) -> PlacementConstraints:
+        """The request's normalized placement constraints."""
+        return self.request.placement_constraints
+
+    @property
+    def reserve_gb(self) -> float:
+        """What placement actually charges against a lane: the
+        footprint plus the constraints' memory headroom."""
+        return self.footprint_gb * (1.0 + self.constraints.memory_headroom)
+
+    @property
+    def gang_compatible(self) -> bool:
+        """Can this job run as a gang of CommReduction ranks at all?
+
+        Gang execution rewrites ``ranks`` to the shard count, so the
+        request must not already be distributed, and must carry nothing
+        the distributed engine forbids (``damp``/``x0``) or that the
+        gang path manages itself (``checkpoint_path`` -- migration owns
+        the GlobalCheckpoint file).  Background work functions never
+        gang.
+        """
+        r = self.request
+        return (self.work_fn is None
+                and r.ranks == 1
+                and r.damp == 0.0
+                and r.x0 is None
+                and r.checkpoint_path is None
+                and r.resume_from is None)
+
+    def shard_reserve_gb(self, n_ranks: int) -> float:
+        """Per-lane charge of an ``n_ranks`` gang (headroom included)."""
+        shard = shard_footprint_gb(dims_from_gb(self.nominal_gb), n_ranks)
+        return shard * (1.0 + self.constraints.memory_headroom)
 
     @property
     def is_background(self) -> bool:
@@ -133,7 +176,7 @@ class ServeJob:
 
             cached = _fusion_key(self.request) + (
                 self.nominal_gb, self.footprint_gb,
-                self.request.device, self.request.framework,
+                self.request.framework, self.constraints,
             )
             self._fusion_key = cached
         return cached

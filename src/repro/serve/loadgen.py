@@ -20,7 +20,7 @@ from functools import lru_cache
 
 import numpy as np
 
-from repro.api import SolveRequest
+from repro.api import PlacementConstraints, SolveRequest
 from repro.serve.job import ServeJob
 from repro.system.generator import make_system
 from repro.system.sizing import dims_from_gb
@@ -109,9 +109,16 @@ def _slot_variant(nominal_gb: float, scale: float, seed: int,
 
 @dataclass
 class LoadGenerator:
-    """Deterministic ServeJob stream from one :class:`LoadSpec`."""
+    """Deterministic ServeJob stream from one :class:`LoadSpec`.
+
+    ``constraints`` (when set) is stamped onto every generated
+    request -- the scenario layer's way of threading gang/headroom
+    placement policy through to the scheduler.  None keeps requests
+    byte-identical to the pre-constraints stream.
+    """
 
     spec: LoadSpec = field(default_factory=LoadSpec)
+    constraints: PlacementConstraints | None = None
 
     def jobs(self) -> list[ServeJob]:
         """The full request stream, in arrival order."""
@@ -147,6 +154,7 @@ class LoadGenerator:
                 iter_lim=spec.iter_lim,
                 seed=seed,
                 job_id=f"job-{i:03d}",
+                constraints=self.constraints,
             )
             out.append(ServeJob(
                 request=request,

@@ -27,6 +27,18 @@ from repro.gpu.device import DeviceSpec
 from repro.gpu.platforms import placement_devices
 from repro.obs.telemetry import Telemetry
 
+#: Boundary tolerance for memory comparisons, about one byte in GiB
+#: units.  Pins the exact-fit semantics: a job sized exactly at a
+#: device's memory (or at its current free memory) is *admissible and
+#: reservable*, even after float residue from earlier reserve/release
+#: cycles has nudged ``free_gb`` an epsilon below the true value.
+#: Admission (``holds``) and reservation (``fits_now``/``reserve``)
+#: use the same comparison, so a job that passes admission on an empty
+#: lane can always be placed on that lane once it drains -- the
+#: scheduler's "queued jobs can never be placed" invariant relies on
+#: this agreement.
+MEMORY_EPSILON_GB = 1.0 / 2**30
+
 
 @dataclass
 class DeviceLane:
@@ -51,11 +63,11 @@ class DeviceLane:
 
     def holds(self, footprint_gb: float) -> bool:
         """Can this device *ever* hold the footprint (empty device)?"""
-        return footprint_gb <= self.spec.memory_gb
+        return footprint_gb <= self.spec.memory_gb + MEMORY_EPSILON_GB
 
     def fits_now(self, footprint_gb: float) -> bool:
         """Does the footprint fit the currently free memory?"""
-        return footprint_gb <= self.free_gb
+        return footprint_gb <= self.free_gb + MEMORY_EPSILON_GB
 
 
 class DevicePool:
@@ -102,24 +114,32 @@ class DevicePool:
             ) from None
 
     def feasible(self, footprint_gb: float, *,
-                 device: str | None = None) -> list[DeviceLane]:
+                 device: str | None = None,
+                 devices: Iterable[str] | None = None,
+                 ) -> list[DeviceLane]:
         """Lanes that could ever hold the footprint (admission test).
 
-        ``device`` restricts to lanes of one platform (a pinned job).
+        ``device`` restricts to lanes of one platform (a pinned job);
+        ``devices`` to a :class:`~repro.api.PlacementConstraints`
+        allow-list of platform names.
         """
+        allowed = None if devices is None else set(devices)
         return [
             lane for lane in self.lanes
             if lane.holds(footprint_gb)
             and (device is None or lane.spec.name == device)
+            and (allowed is None or lane.spec.name in allowed)
         ]
 
     def placeable(self, footprint_gb: float, *,
                   device: str | None = None,
+                  devices: Iterable[str] | None = None,
                   exclude: Iterable[str] = ()) -> list[DeviceLane]:
         """Lanes whose *current* free memory holds the footprint."""
         excluded = set(exclude)
         return [
-            lane for lane in self.feasible(footprint_gb, device=device)
+            lane for lane in self.feasible(footprint_gb, device=device,
+                                           devices=devices)
             if lane.fits_now(footprint_gb)
             and lane.lane_id not in excluded
         ]
@@ -134,20 +154,69 @@ class DevicePool:
                 f"cannot reserve {footprint_gb:.2f} GB on {lane_id}: "
                 f"only {lane.free_gb:.2f} GB free"
             )
-        lane.free_gb -= footprint_gb
+        lane.free_gb = max(0.0, lane.free_gb - footprint_gb)
         lane.lane.append(job_id)
         self._gauge(lane)
 
     def release(self, lane_id: str, footprint_gb: float, job_id: str,
                 busy_s: float = 0.0) -> None:
-        """Return a job's memory and record its device-busy time."""
+        """Return a job's memory and record its device-busy time.
+
+        Snaps back to exactly ``memory_gb`` when the lane is within
+        :data:`MEMORY_EPSILON_GB` of full, so float residue from
+        reserve/release cycles cannot accumulate and strand an
+        exact-fit job that already passed admission.
+        """
         lane = self.lane(lane_id)
-        lane.free_gb = min(lane.spec.memory_gb,
-                           lane.free_gb + footprint_gb)
+        free = min(lane.spec.memory_gb, lane.free_gb + footprint_gb)
+        if lane.spec.memory_gb - free <= MEMORY_EPSILON_GB:
+            free = lane.spec.memory_gb
+        lane.free_gb = free
         lane.lane.remove(job_id)
         lane.busy_s += busy_s
         lane.jobs_run += 1
         self._gauge(lane)
+
+    def reserve_gang(self, lane_ids: Sequence[str], footprint_gb: float,
+                     job_id: str) -> None:
+        """All-or-nothing reservation of one shard footprint per lane.
+
+        Either every lane in ``lane_ids`` ends up charged
+        ``footprint_gb`` for ``job_id``, or -- when any lane cannot fit
+        its shard -- every already-charged lane is released again
+        before the error propagates (deadlock-free backout: the caller
+        holds the scheduler lock for the whole call, so no other
+        reservation can interleave with the backout and observe a
+        partial gang).
+        """
+        if len(set(lane_ids)) != len(lane_ids):
+            raise ValueError(
+                f"gang lanes must be distinct, got {list(lane_ids)}")
+        done: list[str] = []
+        for lane_id in lane_ids:
+            if not self.lane(lane_id).fits_now(footprint_gb):
+                free = self.lane(lane_id).free_gb
+                for undo in reversed(done):
+                    self.release(undo, footprint_gb, job_id)
+                raise ValueError(
+                    f"cannot gang-reserve {footprint_gb:.2f} GB on "
+                    f"{lane_id}: only {free:.2f} GB free "
+                    f"(backed out {len(done)} lane(s))"
+                )
+            self.reserve(lane_id, footprint_gb, job_id)
+            done.append(lane_id)
+        self._tel.counter("serve.gang.reservations").inc()
+
+    def release_gang(self, lane_ids: Sequence[str], footprint_gb: float,
+                     job_id: str, busy_s: float = 0.0) -> None:
+        """Release every lane of a gang.
+
+        Each lane held its shard for the whole solve, so every lane is
+        charged the full busy time (utilization is per-device truth,
+        not a job-level tally).
+        """
+        for lane_id in lane_ids:
+            self.release(lane_id, footprint_gb, job_id, busy_s=busy_s)
 
     # -- reporting ------------------------------------------------------
     def utilization(self, wall_s: float) -> dict[str, float]:
@@ -172,4 +241,4 @@ class DevicePool:
         return f"DevicePool[{lanes}]"
 
 
-__all__ = ["DeviceLane", "DevicePool"]
+__all__ = ["DeviceLane", "DevicePool", "MEMORY_EPSILON_GB"]

@@ -4,15 +4,17 @@ The ``repro-gaia serve`` subcommand (and ``make serve-smoke``) runs a
 scenario like::
 
     {
-      "pool": {"devices": ["V100", "A100", "H100", "MI250X"],
-               "per_gcd": true},
+      "placement": {"devices": ["V100", "A100", "H100", "MI250X"],
+                    "per_gcd": true, "backend": "thread",
+                    "max_fuse": 1, "include_projected": false,
+                    "allow_gang": false, "max_shards": 1,
+                    "memory_headroom": 0.0,
+                    "tuning": {"enabled": false, "budget_jobs": 8,
+                               "priority": 100, "cache_dir": null}},
       "scheduler": {"workers": 4, "max_queue_depth": 32,
                     "cache_capacity": 64, "max_replacements": 1,
-                    "max_fuse": 1, "include_projected": false,
-                    "backend": "thread", "drain_timeout_s": 60.0,
+                    "drain_timeout_s": 60.0,
                     "store_solutions_mb": 0.0},
-      "tuning": {"enabled": false, "budget_jobs": 8,
-                 "priority": 100, "cache_dir": null},
       "load": {"n_jobs": 16, "mix": {"10": 0.5, "30": 0.3, "60": 0.2},
                "distinct_systems": 4, "rhs_variants": 1,
                "scale": 2e-4, "seed": 0,
@@ -21,6 +23,18 @@ scenario like::
     }
 
 Every knob is optional; the defaults above are the smoke scenario.
+The ``placement`` section is the single home of everything that
+decides *where and how* jobs land -- the device pool, the worker
+backend, fusion, the cost-model roster, and the gang-sharding knobs
+that feed each generated request's :class:`~repro.api.
+PlacementConstraints` (``allow_gang``/``max_shards``/
+``memory_headroom``).  ``scheduler`` keeps only queueing/execution
+capacity.  The legacy layout -- a top-level ``pool`` section, a
+top-level ``tuning`` section, and ``backend``/``max_fuse``/
+``include_projected`` under ``scheduler`` -- still loads, with a
+``DeprecationWarning``; mixing the two layouts in one file is an
+error.
+
 ``mix`` maps nominal GB to weight; ``per_gcd`` resolves the MI250X to
 its 64 GB single-GCD entry for memory-fit decisions (see
 :mod:`repro.gpu.platforms`); ``include_projected`` adds the C++26
@@ -33,11 +47,13 @@ stream emit same-matrix/different-b twins worth fusing;
 processes attached to the shared-memory system store
 (``drain_timeout_s`` bounds the graceful-shutdown join);
 ``store_solutions_mb > 0`` keeps solution vectors in the result cache
-for warm starts.
+for warm starts; ``allow_gang`` lets a job whose footprint exceeds
+every single device shard across ``max_shards`` lanes as a
+gang-scheduled multi-rank solve (see ``docs/serving.md``).
 
-``tuning.enabled`` switches placement to tuning-aware pricing (see
-``docs/tuning.md``): the cost model prices out-of-the-box and
-discounts with entries from a
+``placement.tuning.enabled`` switches placement to tuning-aware
+pricing (see ``docs/tuning.md``): the cost model prices
+out-of-the-box and discounts with entries from a
 :class:`~repro.tuning.cache.TunedConfigCache` (persisted under
 ``cache_dir`` when set), while a
 :class:`~repro.tuning.service.TuningService` enqueues up to
@@ -49,9 +65,11 @@ below interactive 0) covering the pool x load-mix cells.  See
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.api import PlacementConstraints
 from repro.obs.telemetry import Telemetry
 from repro.serve.cache import ResultCache
 from repro.serve.cost import PlacementCostModel
@@ -89,14 +107,68 @@ class Scenario:
     tuning_priority: int = TUNING_PRIORITY
     #: Disk directory for the tuned-config cache (None = memory only).
     tuning_cache_dir: str | None = None
+    #: Gang-sharding knobs threaded into every generated request's
+    #: :class:`~repro.api.PlacementConstraints`.
+    allow_gang: bool = False
+    max_shards: int = 1
+    memory_headroom: float = 0.0
     load: LoadSpec = field(default_factory=LoadSpec)
+
+    def constraints(self) -> PlacementConstraints | None:
+        """The per-request constraints this scenario's load carries.
+
+        None when every knob is at its default, so a plain scenario's
+        requests stay byte-identical to the pre-constraints era (the
+        cache keys and fusion keys of old runs are preserved).
+        """
+        if (not self.allow_gang and self.max_shards == 1
+                and self.memory_headroom == 0.0):
+            return None
+        return PlacementConstraints(
+            allow_gang=self.allow_gang,
+            max_shards=self.max_shards,
+            memory_headroom=self.memory_headroom,
+        )
+
+
+#: Legacy ``scheduler`` keys that moved into the ``placement`` section.
+_MOVED_SCHED_KEYS = ("backend", "max_fuse", "include_projected")
 
 
 def parse_scenario(doc: dict) -> Scenario:
-    """Build a :class:`Scenario` from a decoded JSON document."""
-    pool = doc.get("pool", {})
+    """Build a :class:`Scenario` from a decoded JSON document.
+
+    Accepts the unified layout (one ``placement`` section) and the
+    legacy one (top-level ``pool``/``tuning``, placement-ish keys
+    under ``scheduler``) -- the latter with a ``DeprecationWarning``.
+    A document mixing both layouts is rejected: silently preferring
+    one would mask a half-migrated file.
+    """
     sched = doc.get("scheduler", {})
-    tuning = doc.get("tuning", {})
+    placement = doc.get("placement")
+    legacy = [key for key in ("pool", "tuning") if key in doc]
+    legacy += [f"scheduler.{key}" for key in _MOVED_SCHED_KEYS
+               if key in sched]
+    if placement is not None and legacy:
+        raise ValueError(
+            "scenario mixes the unified 'placement' section with "
+            f"legacy keys {legacy}; move them under 'placement'"
+        )
+    if placement is None:
+        if legacy:
+            warnings.warn(
+                f"legacy scenario layout (keys {legacy}) is "
+                "deprecated; move pool/backend/fusion/tuning knobs "
+                "into one 'placement' section",
+                DeprecationWarning, stacklevel=3,
+            )
+        placement = dict(doc.get("pool", {}))
+        for key in _MOVED_SCHED_KEYS:
+            if key in sched:
+                placement[key] = sched[key]
+        if "tuning" in doc:
+            placement["tuning"] = doc["tuning"]
+    tuning = placement.get("tuning", {})
     load_doc = dict(doc.get("load", {}))
     if "mix" in load_doc:
         load_doc["mix"] = tuple(
@@ -107,9 +179,9 @@ def parse_scenario(doc: dict) -> Scenario:
         load_doc["priorities"] = tuple(int(p)
                                        for p in load_doc["priorities"])
     return Scenario(
-        devices=tuple(pool.get("devices",
-                               Scenario.devices)),
-        per_gcd=bool(pool.get("per_gcd", Scenario.per_gcd)),
+        devices=tuple(placement.get("devices",
+                                    Scenario.devices)),
+        per_gcd=bool(placement.get("per_gcd", Scenario.per_gcd)),
         workers=int(sched.get("workers", Scenario.workers)),
         max_queue_depth=int(sched.get("max_queue_depth",
                                       Scenario.max_queue_depth)),
@@ -117,10 +189,10 @@ def parse_scenario(doc: dict) -> Scenario:
                                      Scenario.cache_capacity)),
         max_replacements=int(sched.get("max_replacements",
                                        Scenario.max_replacements)),
-        max_fuse=int(sched.get("max_fuse", Scenario.max_fuse)),
-        include_projected=bool(sched.get("include_projected",
-                                         Scenario.include_projected)),
-        backend=str(sched.get("backend", Scenario.backend)),
+        max_fuse=int(placement.get("max_fuse", Scenario.max_fuse)),
+        include_projected=bool(placement.get(
+            "include_projected", Scenario.include_projected)),
+        backend=str(placement.get("backend", Scenario.backend)),
         drain_timeout_s=float(sched.get("drain_timeout_s",
                                         Scenario.drain_timeout_s)),
         mp_workers=(int(sched["mp_workers"])
@@ -136,6 +208,12 @@ def parse_scenario(doc: dict) -> Scenario:
         tuning_cache_dir=(str(tuning["cache_dir"])
                           if tuning.get("cache_dir") is not None
                           else None),
+        allow_gang=bool(placement.get("allow_gang",
+                                      Scenario.allow_gang)),
+        max_shards=int(placement.get("max_shards",
+                                     Scenario.max_shards)),
+        memory_headroom=float(placement.get(
+            "memory_headroom", Scenario.memory_headroom)),
         load=LoadSpec(**load_doc),
     )
 
@@ -212,6 +290,7 @@ def run_scenario(scenario: Scenario,
                  telemetry: Telemetry | None = None) -> ServeReport:
     """Generate the scenario's load and run it to completion."""
     scheduler = build_scheduler(scenario, telemetry=telemetry)
-    jobs = LoadGenerator(scenario.load).jobs()
+    jobs = LoadGenerator(scenario.load,
+                         constraints=scenario.constraints()).jobs()
     jobs += tuning_jobs(scenario, scheduler)
     return scheduler.run(jobs)

@@ -69,6 +69,8 @@ parent registry.
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, field, replace
@@ -76,7 +78,13 @@ from typing import Callable
 
 import numpy as np
 
-from repro.api import Placement, SolveReport, SolveRequest, derive_seed
+from repro.api import (
+    Placement,
+    ShardPlacement,
+    SolveReport,
+    SolveRequest,
+    derive_seed,
+)
 from repro.api import solve as api_solve
 from repro.api import solve_batch as api_solve_batch
 from repro.core.engine import StopReason
@@ -355,18 +363,25 @@ class Scheduler:
         :meth:`drain`).  After :meth:`drain`/:meth:`abort` every
         submission answers ``REJECTED_CLOSED``.
         """
-        feasible = self.pool.feasible(job.footprint_gb,
-                                      device=job.request.device)
+        feasible = self.pool.feasible(job.reserve_gb,
+                                      devices=job.constraints.devices)
         priced = [
             lane for lane in feasible
             if self.cost_model.estimate(
                 job.nominal_gb, lane.spec,
                 framework=job.request.framework) is not None
         ]
+        # Gang fallback: only when NO single lane can ever hold the
+        # footprint does a gang-eligible job shard across lanes -- the
+        # §V-B exclusion becomes a decomposition instead of a
+        # rejection.
+        gang_ranks = None
+        if not priced and self._gang_eligible(job):
+            gang_ranks = self._gang_feasible_ranks(job)
         with self._cond:
             if self._closed:
                 decision = AdmissionDecision.REJECTED_CLOSED
-            elif not priced:
+            elif not priced and gang_ranks is None:
                 decision = AdmissionDecision.REJECTED_TOO_LARGE
             elif len(self._queue) >= self.max_queue_depth:
                 decision = AdmissionDecision.REJECTED_BACKPRESSURE
@@ -379,6 +394,9 @@ class Scheduler:
                                                 decision=decision))
                 self._cond.notify_all()
                 return decision
+            if not priced and gang_ranks is not None:
+                self.tel.counter("serve.gang.admitted",
+                                 ranks=str(gang_ranks)).inc()
             self._queue.append((job.sort_key(self._seq), job,
                                 time.perf_counter()))
             self._seq += 1
@@ -533,11 +551,16 @@ class Scheduler:
     def _next_placeable(self):
         """Highest-priority queued job that fits free memory somewhere.
 
-        Returns ``(index, job, enqueued_at, lane)`` or None.  Skipping
+        Returns ``(index, job, enqueued_at, choice)`` or None, where
+        ``choice`` is ``("single", lane, estimate)`` or
+        ``("gang", lanes, gang_estimate, per_lane_charge)``.  Skipping
         over a head job that does not currently fit lets small jobs
         flow around a large one waiting for H100-class memory
         (bounded head-of-line blocking); the skip order is still
         deterministic because both the scan and the tie-breaks are.
+        A job only places as a gang when no single lane could *ever*
+        hold it -- sharding is the escape hatch from the §V-B
+        exclusion, not a load-balancing device.
         """
         order = sorted(range(len(self._queue)),
                        key=lambda i: self._queue[i][0])
@@ -545,13 +568,109 @@ class Scheduler:
             _, job, enq = self._queue[idx]
             lane = self._choose_lane(job)
             if lane is not None:
-                return idx, job, enq, lane
+                return idx, job, enq, ("single",) + lane
+            if (self._gang_eligible(job)
+                    and not self._single_capacity(job)):
+                gang = self._choose_gang(job)
+                if gang is not None:
+                    return idx, job, enq, ("gang",) + gang
         return None
+
+    def _gang_eligible(self, job: ServeJob) -> bool:
+        """Did the job opt in to gang sharding, and can it gang at all?"""
+        cons = job.constraints
+        return (cons.allow_gang and cons.max_shards >= 2
+                and job.gang_compatible)
+
+    def _single_capacity(self, job: ServeJob) -> bool:
+        """Could any single lane ever hold and price this job?"""
+        for lane in self.pool.feasible(job.reserve_gb,
+                                       devices=job.constraints.devices):
+            if self.cost_model.estimate(
+                    job.nominal_gb, lane.spec,
+                    framework=job.request.framework) is not None:
+                return True
+        return False
+
+    def _gang_feasible_ranks(self, job: ServeJob) -> int | None:
+        """Smallest rank count an empty pool could gang this job at.
+
+        The admission-time capacity test: for each R up to the
+        constraints' shard budget, are there R lanes whose *total*
+        memory holds a shard (plus headroom) and a non-None gang
+        price?  Mirrors what :meth:`_choose_gang` will later check
+        against *current* free memory, so an admitted gang job can
+        always eventually place once the pool drains.
+        """
+        cons = job.constraints
+        fw = job.request.framework
+        for ranks in range(2, cons.max_shards + 1):
+            charge = job.shard_reserve_gb(ranks)
+            lanes = [
+                lane for lane in self.pool.feasible(
+                    charge, devices=cons.devices)
+                if self.cost_model.estimate(
+                    job.nominal_gb / ranks, lane.spec,
+                    framework=fw) is not None
+            ]
+            if len(lanes) < ranks:
+                continue
+            if self.cost_model.estimate_gang(
+                    job.nominal_gb,
+                    tuple(lane.spec for lane in lanes[:ranks]),
+                    framework=fw) is not None:
+                return ranks
+        return None
+
+    def _choose_gang(self, job: ServeJob):
+        """Cheapest gang of lanes whose free memory holds the shards.
+
+        For each candidate rank count the lanes are ranked exactly
+        like :meth:`_choose_lane` (queueing-aware price of the
+        per-shard solve, deterministic tie-breaks), the R cheapest are
+        taken, and the combination is priced by
+        :meth:`~repro.serve.cost.PlacementCostModel.estimate_gang`
+        (slowest shard + modeled allreduce comm).  The best total
+        across rank counts wins -- more ranks shrink the shards but
+        grow the comm term, so the link model arbitrates.
+        Returns ``(lanes, gang_estimate, per_lane_charge)`` or None.
+        """
+        cons = job.constraints
+        fw = job.request.framework
+        best = None
+        for ranks in range(2, cons.max_shards + 1):
+            charge = job.shard_reserve_gb(ranks)
+            lanes = self.pool.placeable(charge, devices=cons.devices)
+            if len(lanes) < ranks:
+                continue
+            ranked = []
+            for lane in lanes:
+                est = self.cost_model.estimate(
+                    job.nominal_gb / ranks, lane.spec, framework=fw)
+                if est is None:
+                    continue
+                ranked.append((
+                    (est.seconds * (1 + len(lane.lane)), est.seconds,
+                     lane.lane_id),
+                    lane,
+                ))
+            if len(ranked) < ranks:
+                continue
+            ranked.sort(key=lambda t: t[0])
+            chosen = tuple(lane for _, lane in ranked[:ranks])
+            gang_est = self.cost_model.estimate_gang(
+                job.nominal_gb, tuple(lane.spec for lane in chosen),
+                framework=fw)
+            if gang_est is None:
+                continue
+            if best is None or gang_est.seconds < best[1].seconds:
+                best = (chosen, gang_est, charge)
+        return best
 
     def _choose_lane(self, job: ServeJob, exclude: tuple[str, ...] = ()):
         """Cheapest lane whose free memory holds the job, or None."""
-        lanes = self.pool.placeable(job.footprint_gb,
-                                    device=job.request.device,
+        lanes = self.pool.placeable(job.reserve_gb,
+                                    devices=job.constraints.devices,
                                     exclude=exclude)
         best = None
         for lane in lanes:
@@ -591,18 +710,28 @@ class Scheduler:
                                         in self._queue))
                     self._cond.wait()
                     choice = self._next_placeable()
-                idx, job, enqueued_at, (lane, est) = choice
+                idx, job, enqueued_at, placed = choice
                 del self._queue[idx]
                 self._in_flight += 1
-                self.pool.reserve(lane.lane_id, job.footprint_gb,
-                                  job.job_id)
                 members = [(job, enqueued_at)]
-                if self.max_fuse > 1 and job.fusible:
-                    members += self._collect_siblings(job, lane)
+                if placed[0] == "gang":
+                    _, lanes, gang_est, charge = placed
+                    self.pool.reserve_gang(
+                        [lane.lane_id for lane in lanes], charge,
+                        job.job_id)
+                else:
+                    _, lane, est = placed
+                    self.pool.reserve(lane.lane_id, job.reserve_gb,
+                                      job.job_id)
+                    if self.max_fuse > 1 and job.fusible:
+                        members += self._collect_siblings(job, lane)
                 self.tel.gauge("serve.queue_depth").set(
                     len(self._queue))
             try:
-                if job.work_fn is not None:
+                if placed[0] == "gang":
+                    self._execute_gang(job, lanes, gang_est, charge,
+                                       enqueued_at)
+                elif job.work_fn is not None:
                     self._execute_work(job, lane, est, enqueued_at)
                 elif len(members) == 1:
                     self._execute(job, lane, est, enqueued_at)
@@ -655,8 +784,8 @@ class Scheduler:
                 break
             _, cand, enq = self._queue[qi]
             if (cand.fusible and cand.fusion_key() == key
-                    and lane.fits_now(cand.footprint_gb)):
-                self.pool.reserve(lane.lane_id, cand.footprint_gb,
+                    and lane.fits_now(cand.reserve_gb)):
+                self.pool.reserve(lane.lane_id, cand.reserve_gb,
                                   cand.job_id)
                 self._in_flight += 1
                 picked.append((qi, cand, enq))
@@ -697,7 +826,7 @@ class Scheduler:
         finally:
             busy = time.perf_counter() - t0
             with self._cond:
-                self.pool.release(lane.lane_id, job.footprint_gb,
+                self.pool.release(lane.lane_id, job.reserve_gb,
                                   job.job_id, busy_s=busy)
         self.tel.counter("serve.background_jobs").inc()
         self.tel.histogram("serve.exec_s").observe(busy)
@@ -752,7 +881,7 @@ class Scheduler:
             busy = time.perf_counter() - t0
             with self._cond:
                 self.pool.release(current_lane.lane_id,
-                                  job.footprint_gb, job.job_id,
+                                  job.reserve_gb, job.job_id,
                                   busy_s=busy)
         report = replace(report, job_id=job.job_id,
                          placement=placements[-1])
@@ -763,6 +892,173 @@ class Scheduler:
                 report=report, placements=tuple(placements),
                 queue_wait_s=wait_s, exec_s=busy,
             ))
+
+    def _execute_gang(self, job: ServeJob, lanes, gang_est, charge,
+                      enqueued_at: float) -> None:
+        """Run one solve sharded across a gang of reserved lanes.
+
+        The request's ``ranks`` is rewritten to the gang's rank count
+        and solved through the normal backend -- the distributed
+        engine's row decomposition (:mod:`repro.dist.decomposition`)
+        *is* the sharding, each rank standing for one lane.  Because
+        the executed request differs from the submitted one, gang jobs
+        bypass the result cache and single-flight entirely: publishing
+        an R-rank result under the ranks=1 digest would poison future
+        twins.
+
+        Resilience fusion: with a :class:`~repro.api.ResilienceConfig`
+        the gang checkpoints into a private directory, and a solve
+        that ends DEGRADED/ABORTED having lost ranks is *migrated* --
+        each dead rank's shard moves to a spare lane
+        (:meth:`_migrate_shards`), and the solve resumes from the last
+        :class:`~repro.resilience.GlobalCheckpoint` with the fired
+        rank-death entries dropped from the fault plan (the dead
+        lane's faults must not replay on its replacement).
+        """
+        wait_s = time.perf_counter() - enqueued_at
+        self.tel.histogram("serve.queue_wait_s").observe(wait_s)
+        self.tel.counter("serve.gang.placed",
+                         ranks=str(gang_est.ranks)).inc()
+        current = [lane.lane_id for lane in lanes]
+        request = replace(job.request, ranks=gang_est.ranks)
+        ckpt_dir: str | None = None
+        if request.resilience is not None:
+            ckpt_dir = tempfile.mkdtemp(prefix=f"gang-{job.job_id}-")
+            request = replace(
+                request,
+                checkpoint_path=os.path.join(ckpt_dir, "gang-ckpt.npz"))
+        placements: list[Placement] = []
+        migrated: dict[int, str] = {}
+        attempt = 0
+        previous: tuple[str, ...] = ()
+        t0 = time.perf_counter()
+        try:
+            while True:
+                shards = tuple(
+                    ShardPlacement(
+                        rank=i,
+                        device=current[i],
+                        footprint_gb=charge,
+                        port_key=gang_est.per_rank[i].port_key,
+                        estimated_s=gang_est.per_rank[i].seconds,
+                        migrated_from=migrated.get(i),
+                    )
+                    for i in range(gang_est.ranks))
+                placement = Placement(
+                    job_id=job.job_id,
+                    device="+".join(current),
+                    nominal_gb=job.nominal_gb,
+                    footprint_gb=job.footprint_gb,
+                    queue_wait_s=wait_s,
+                    estimated_s=gang_est.seconds,
+                    port_key=gang_est.port_key,
+                    attempt=attempt,
+                    previous_devices=previous,
+                    tuned=gang_est.tuned,
+                    shards=shards,
+                )
+                with self._cond:
+                    self.placement_log.append(placement)
+                placements.append(placement)
+                with self.tel.span("serve.gang", job_id=job.job_id,
+                                   ranks=gang_est.ranks,
+                                   attempt=attempt):
+                    report = self._backend.solve(request)
+                lost = sorted(set(report.resilience.ranks_lost)) \
+                    if report.resilience is not None else []
+                if (report.stop in REPLACE_ON
+                        and attempt < self.max_replacements
+                        and lost
+                        and request.checkpoint_path is not None
+                        and os.path.exists(request.checkpoint_path)):
+                    moved = self._migrate_shards(job, current, lost,
+                                                 charge)
+                    if moved is not None:
+                        attempt += 1
+                        self.tel.counter(
+                            "serve.gang.migrations").inc(len(moved))
+                        migrated = {rank: old
+                                    for rank, (old, _) in moved.items()}
+                        previous = previous + (placement.device,)
+                        lost_set = set(lost)
+                        kept_deaths = tuple(
+                            d for d in request.resilience.rank_deaths
+                            if d[0] not in lost_set)
+                        request = replace(
+                            request,
+                            seed=derive_seed(job.request.seed,
+                                             _STREAM_REPLACEMENT
+                                             + attempt),
+                            resilience=replace(request.resilience,
+                                               rank_deaths=kept_deaths),
+                            resume_from=request.checkpoint_path,
+                        )
+                        continue
+                break
+        finally:
+            busy = time.perf_counter() - t0
+            with self._cond:
+                self.pool.release_gang(current, charge, job.job_id,
+                                       busy_s=busy)
+                self._cond.notify_all()
+            if ckpt_dir is not None:
+                shutil.rmtree(ckpt_dir, ignore_errors=True)
+        report = replace(report, job_id=job.job_id,
+                         placement=placements[-1])
+        self.tel.histogram("serve.exec_s").observe(busy)
+        with self._cond:
+            self.outcomes.append(JobOutcome(
+                job=job, decision=AdmissionDecision.ADMITTED,
+                report=report, placements=tuple(placements),
+                queue_wait_s=wait_s, exec_s=busy,
+            ))
+
+    def _migrate_shards(self, job: ServeJob, current: list[str],
+                        ranks_lost: list[int], charge: float
+                        ) -> dict[int, tuple[str, str]] | None:
+        """Move each dead rank's shard to a spare lane (all or none).
+
+        Every replacement is *chosen* first -- ranked like
+        :meth:`_choose_lane` on the per-shard price, excluding every
+        lane the gang already occupies or has just claimed -- and only
+        once all dead ranks have a spare does any reservation move.
+        If any rank finds no spare, nothing is mutated and None is
+        returned: the caller delivers the degraded result as-is
+        rather than stranding a half-migrated gang.  Mutates
+        ``current`` in place; returns ``{rank: (old, new)}``.
+        """
+        with self._cond:
+            taken = set(current)
+            ranks = sorted({min(r, len(current) - 1)
+                            for r in ranks_lost})
+            choices: dict[int, str] = {}
+            for rank in ranks:
+                best = None
+                for lane in self.pool.placeable(
+                        charge, devices=job.constraints.devices,
+                        exclude=taken):
+                    est = self.cost_model.estimate(
+                        job.nominal_gb / len(current), lane.spec,
+                        framework=job.request.framework)
+                    if est is None:
+                        continue
+                    rank_key = (est.seconds * (1 + len(lane.lane)),
+                                est.seconds, lane.lane_id)
+                    if best is None or rank_key < best[0]:
+                        best = (rank_key, lane)
+                if best is None:
+                    return None
+                taken.add(best[1].lane_id)
+                choices[rank] = best[1].lane_id
+            moves: dict[int, tuple[str, str]] = {}
+            for rank, new_id in choices.items():
+                old = current[rank]
+                self.pool.release(old, charge, job.job_id)
+                self.pool.reserve(new_id, charge, job.job_id)
+                current[rank] = new_id
+                moves[rank] = (old, new_id)
+            self._cond.notify_all()
+            return moves
 
     def _execute_batch(self, members: list[tuple[ServeJob, float]],
                        lane, est) -> None:
@@ -885,7 +1181,7 @@ class Scheduler:
                 # Busy time is charged once -- the lane was occupied
                 # `busy` seconds total, however many members rode it.
                 for i, (job, _) in enumerate(members):
-                    self.pool.release(lane.lane_id, job.footprint_gb,
+                    self.pool.release(lane.lane_id, job.reserve_gb,
                                       job.job_id,
                                       busy_s=busy if i == 0 else 0.0)
         self.tel.histogram("serve.exec_s").observe(busy)
@@ -982,9 +1278,9 @@ class Scheduler:
                 return None
             new_lane, new_est = choice
             # Move the reservation to the new lane.
-            self.pool.release(placement.device, job.footprint_gb,
+            self.pool.release(placement.device, job.reserve_gb,
                               job.job_id)
-            self.pool.reserve(new_lane.lane_id, job.footprint_gb,
+            self.pool.reserve(new_lane.lane_id, job.reserve_gb,
                               job.job_id)
             self._cond.notify_all()
             return new_lane, new_est

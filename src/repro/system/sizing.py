@@ -101,6 +101,30 @@ def device_footprint_gb(dims: SystemDims) -> float:
     return device_footprint_bytes(dims) / 2**30
 
 
+def shard_footprint_bytes(dims: SystemDims, n_ranks: int) -> int:
+    """Device-resident bytes of ONE rank of an ``n_ranks`` gang.
+
+    The row-partitioned data (coefficient rows and the ``u`` vector)
+    shrinks with the rank count, but the unknown-space vectors
+    (``x``, ``v``, ``w``, variance) are replicated on every rank by the
+    allreduce design — so R shards together hold *more* than one
+    device's footprint.  Worst rank: ``ceil(n_obs / n_ranks)`` rows.
+    """
+    if n_ranks < 1:
+        raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+    per_row = BYTES_PER_OBSERVATION - (8 if dims.n_glob_params == 0 else 0)
+    rows = -(-dims.n_obs // n_ranks)
+    matrix = rows * per_row
+    m_vectors = 1 * 8 * rows
+    n_vectors = 4 * 8 * dims.n_params
+    return matrix + m_vectors + n_vectors
+
+
+def shard_footprint_gb(dims: SystemDims, n_ranks: int) -> float:
+    """Per-rank device footprint of an ``n_ranks`` gang in GiB."""
+    return shard_footprint_bytes(dims, n_ranks) / 2**30
+
+
 def system_from_gb(size_gb: float, *, seed: int = 0, max_gb: float = 0.5,
                    **dim_kwargs):
     """Generate an actual in-memory synthetic system of ``size_gb`` GiB.

@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from functools import lru_cache
 
-from repro.api import SolveRequest
+from repro.api import PlacementConstraints, SolveRequest
 from repro.frameworks.base import GeometryPolicy
 from repro.gpu.platforms import device_by_name
 from repro.obs import Telemetry
@@ -184,7 +184,8 @@ class TuningService:
                 system=_probe_system(),
                 iter_lim=1,
                 seed=0,
-                device=spec.platform,
+                constraints=PlacementConstraints(
+                    devices=(spec.platform,), priority=self.priority),
                 job_id=f"tune-{i:03d}-{spec.port_key}"
                        f"-{spec.platform}-{spec.size_class}",
             )

@@ -365,9 +365,9 @@ def test_background_jobs_respect_budget_and_priority():
 
 def test_tuning_scenario_counters_and_provenance():
     scenario = parse_scenario({
-        "pool": {"devices": ["T4"], "per_gcd": False},
+        "placement": {"devices": ["T4"], "per_gcd": False,
+                      "tuning": {"enabled": True, "budget_jobs": 2}},
         "scheduler": {"workers": 1, "cache_capacity": 0},
-        "tuning": {"enabled": True, "budget_jobs": 2},
         "load": {"n_jobs": 2, "mix": {"10": 1.0},
                  "distinct_systems": 1, "scale": 1e-4,
                  "iter_lim": 10},
