@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-obs telemetry-smoke chaos-smoke bench-engine bench-aprod bench-aprod-smoke serve-smoke serve-mp-smoke serve-bench bench-batch-smoke tune-smoke tune-bench gang-smoke
+.PHONY: test test-obs telemetry-smoke chaos-smoke bench-engine bench-aprod bench-aprod-smoke serve-smoke serve-mp-smoke serve-bench bench-batch-smoke tune-smoke tune-bench gang-smoke sessions-smoke sessions-bench
 
 # The full tier-1 suite (ROADMAP.md's verify command).
 test:
@@ -89,6 +89,24 @@ tune-bench:
 gang-smoke:
 	$(PYTHON) benchmarks/bench_serve.py --gang-smoke --output BENCH_gang_smoke.json
 	$(PYTHON) -m repro.cli serve --scenario examples/gang_scenario.json
+
+# Solve-session smoke (< 60 s): the incremental re-solve CLI demo
+# (exits nonzero unless warm starts save iterations), the CI-sized
+# E40 bench (warm-vs-cold ladder + preempt/park/resume on both
+# backends, zero store/shm leaks), then the sessions example
+# scenario -- warm-started chains and preemptible low-priority
+# traffic -- end to end via the CLI (see docs/sessions.md).
+sessions-smoke:
+	$(PYTHON) -m repro.cli sessions --size-gb 0.005 --steps 3
+	$(PYTHON) benchmarks/bench_sessions.py --smoke --output BENCH_sessions_smoke.json
+	$(PYTHON) -m repro.cli serve --scenario examples/sessions_scenario.json
+
+# Full E40 acceptance run: warm-vs-cold iterations/wall-clock across
+# the 10/30/60 GB ladder (savings required at >= 2 sizes) and the
+# preemption arm on thread AND process backends with the bitwise
+# resume contract.
+sessions-bench:
+	$(PYTHON) benchmarks/bench_sessions.py --output BENCH_sessions.json
 
 # Full E35+E36 acceptance run: the 16-job mixed 10/30/60 GB workload
 # on a 4-device pool at >= 3x sequential throughput, then the K=8

@@ -225,9 +225,15 @@ class SolveRequest:
     the offending field named, not deep inside the scheduler.
 
     ``resume_from`` names a :class:`~repro.resilience.GlobalCheckpoint`
-    ``.npz`` to warm the resilient driver's recovery state from
-    (requires ``resilience``); the serving layer uses it to migrate a
-    gang's dead shard to a spare lane and resume mid-solve.
+    ``.npz`` to warm the resilient driver's recovery state from; the
+    serving layer uses it to migrate a gang's dead shard to a spare
+    lane and resume mid-solve, and the session subsystem
+    (``docs/sessions.md``) to resume preempted solves.  Only the
+    recovery driver restores a GlobalCheckpoint, so ``resume_from``
+    without a ``resilience`` config used to raise ("resume_from
+    requires a resilience config"); it now synthesizes the default
+    no-fault :class:`ResilienceConfig` instead -- same driver, zero
+    injected faults, bit-identical to the serial solve.
     """
 
     system: GaiaSystem
@@ -321,10 +327,10 @@ class SolveRequest:
                     self, "constraints",
                     replace(base, devices=(self.device,)))
         if self.resume_from is not None and self.resilience is None:
-            raise ValueError(
-                "resume_from requires a resilience config: only the "
-                "recovery driver restores a GlobalCheckpoint"
-            )
+            # Only the recovery driver restores a GlobalCheckpoint;
+            # route there with the default no-fault config (see the
+            # class docstring -- this used to raise).
+            object.__setattr__(self, "resilience", ResilienceConfig())
         distributed = self.ranks > 1 or self.resilience is not None
         if distributed and self.damp != 0.0:
             raise ValueError(
@@ -492,6 +498,29 @@ class Placement:
     shards: tuple[ShardPlacement, ...] = ()
 
 
+@dataclass(frozen=True)
+class WarmStartInfo:
+    """How a session warm start seeded one solve.
+
+    ``iterations_saved`` is measured against the *source* solve:
+    ``prior_itn - itn``, i.e. how many fewer iterations this solve
+    spent than the stored run that produced the seed.  (The true
+    cold-start delta of the same system needs a cold control solve;
+    ``benchmarks/bench_sessions.py`` measures that one.)
+    """
+
+    source_digest: str
+    #: True when the seed came from this exact system's stored
+    #: solution; False when it came from a lineage ancestor.
+    exact: bool
+    #: Lineage distance to the source (0 = exact, 1 = parent, ...).
+    depth: int
+    #: Iterations the source solve spent.
+    prior_itn: int
+    #: ``prior_itn`` minus this solve's iteration count.
+    iterations_saved: int
+
+
 @dataclass
 class SolveReport:
     """Uniform outcome of :func:`solve`, whichever driver ran.
@@ -502,7 +531,9 @@ class SolveReport:
     need its extras; ``resilience`` is the chaos-run record when the
     recovery driver ran.  ``job_id`` echoes the request's id;
     ``placement`` is filled by the :mod:`repro.serve` scheduler when
-    the solve went through the serving layer.
+    the solve went through the serving layer; ``warm_start`` records
+    the session-store seed when :func:`solve` ran with ``sessions=``
+    (or the scheduler resolved one) and found a usable prior solution.
     """
 
     x: np.ndarray
@@ -519,6 +550,7 @@ class SolveReport:
     raw: LSQRResult | DistributedResult | None = None
     job_id: str | None = None
     placement: Placement | None = None
+    warm_start: WarmStartInfo | None = None
 
     _CONVERGED = (
         StopReason.X_ZERO,
@@ -561,12 +593,21 @@ class SolveReport:
         if self.mean_iteration_time > 0:
             lines.append(f"mean iteration time: "
                          f"{self.mean_iteration_time * 1e3:.3f} ms")
+        if self.warm_start is not None:
+            w = self.warm_start
+            source = ("own prior solution" if w.exact
+                      else f"lineage ancestor (depth {w.depth})")
+            lines.append(
+                f"warm start: seeded from {source}, "
+                f"{w.iterations_saved:+d} iterations vs the "
+                f"{w.prior_itn}-iteration source solve")
         if self.resilience is not None:
             lines.append(self.resilience.summary())
         return "\n".join(lines)
 
 
-def solve(request: SolveRequest) -> SolveReport:
+def solve(request: SolveRequest, *,
+          sessions: "object | None" = None) -> SolveReport:
     """Run the solve the request describes; the one public entry point.
 
     Dispatch:
@@ -576,13 +617,51 @@ def solve(request: SolveRequest) -> SolveReport:
       rank count);
     - ``ranks > 1``      -> :class:`~repro.dist.runner.DistributedLSQR`;
     - otherwise          -> serial :func:`~repro.core.lsqr.lsqr_solve`.
+
+    ``sessions`` (a :class:`repro.sessions.SessionStore`) makes the
+    call session-aware: a plain serial request (no ``x0``, no
+    resilience, no resume) is seeded with the store's exact-digest or
+    nearest-ancestor solution, the outcome is recorded back under the
+    system's digest with its parent link, and the seed's provenance
+    lands on :attr:`SolveReport.warm_start` (``docs/sessions.md``).
     """
+    if sessions is not None:
+        return _solve_with_sessions(request, sessions)
     gather, scatter = request.strategies
     if request.resilience is not None:
         return _solve_resilient(request, gather, scatter)
     if request.ranks > 1:
         return _solve_distributed(request, gather, scatter)
     return _solve_serial(request, gather, scatter)
+
+
+def _solve_with_sessions(request: SolveRequest,
+                         sessions: "object") -> SolveReport:
+    """Session-aware wrapper: warm-start seed, solve, record back."""
+    from repro.sessions import record_solution, resolve_warm_start
+    from repro.system.digest import system_digest
+
+    digest = system_digest(request.system)
+    warm = None
+    eligible = (request.ranks == 1 and request.resilience is None
+                and request.x0 is None and request.resume_from is None)
+    if eligible:
+        warm = resolve_warm_start(sessions, request.system,
+                                  digest=digest)
+        if warm is not None:
+            request = replace(request, x0=warm.x0)
+    report = solve(request)
+    if (report.x is not None
+            and report.stop not in (StopReason.DEGRADED,
+                                    StopReason.ABORTED_FAULTS)):
+        record_solution(sessions, request.system, report,
+                        digest=digest)
+    if warm is not None:
+        report.warm_start = WarmStartInfo(
+            source_digest=warm.source_digest, exact=warm.exact,
+            depth=warm.depth, prior_itn=warm.prior_itn,
+            iterations_saved=warm.prior_itn - report.itn)
+    return report
 
 
 def batch_incompatibility(requests: "list[SolveRequest] | tuple[SolveRequest, ...]"

@@ -407,6 +407,56 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sessions(args: argparse.Namespace) -> int:
+    from repro.api import SolveRequest, solve
+    from repro.sessions import SessionStore
+    from repro.system.generator import make_observation_block, make_system
+    from repro.system.merge import append_observations
+    from repro.system.sizing import dims_from_gb
+
+    system = make_system(dims_from_gb(args.size_gb), seed=args.seed,
+                         noise_sigma=1e-9)
+    store = SessionStore(args.store)
+    total_saved = 0
+    try:
+        print(f"incremental re-solve chain: {args.steps} steps, "
+              f"growth {args.growth:g} per step "
+              f"(store: {store.root})")
+        for step in range(args.steps):
+            if step > 0:
+                n_new = max(1, round(system.dims.n_obs * args.growth))
+                block = make_observation_block(
+                    system, n_new, seed=args.seed + step)
+                system = append_observations(system, block)
+            request = SolveRequest(system=system, seed=args.seed,
+                                   iter_lim=args.iterations)
+            cold = solve(request)
+            warm = solve(request, sessions=store)
+            ws = warm.warm_start
+            if ws is None:
+                seeded = "cold (store miss; solution recorded)"
+            else:
+                kind = ("exact digest" if ws.exact
+                        else f"ancestor depth {ws.depth}")
+                seeded = (f"warm from {kind}: "
+                          f"{cold.itn - warm.itn} iteration(s) saved")
+                total_saved += cold.itn - warm.itn
+            print(f"  step {step}: n_obs={system.dims.n_obs} "
+                  f"cold itn={cold.itn} warm itn={warm.itn} -- "
+                  f"{seeded}")
+        stats = store.stats()
+        print(f"store: {stats['records']} record(s), "
+              f"{stats['bytes']} bytes, {stats['hits']} exact + "
+              f"{stats['ancestor_hits']} ancestor hit(s)")
+        print(f"total iterations saved by warm starts: {total_saved}")
+    finally:
+        store.close()
+    if total_saved <= 0:
+        print("FAIL: warm starts saved no iterations")
+        return 1
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import dataclasses
     import json as json_mod
@@ -438,6 +488,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.max_shards is not None:
         scenario = dataclasses.replace(scenario,
                                        max_shards=args.max_shards)
+    if args.sessions:
+        scenario = dataclasses.replace(scenario, sessions_enabled=True)
+    if args.sessions_dir is not None:
+        scenario = dataclasses.replace(
+            scenario, sessions_enabled=True,
+            sessions_dir=args.sessions_dir)
+    if args.preempt_slice is not None:
+        scenario = dataclasses.replace(
+            scenario, sessions_enabled=True,
+            preempt_slice=args.preempt_slice)
     tel = Telemetry()
     report = run_scenario(scenario, telemetry=tel)
     print(f"pool: {', '.join(scenario.devices)} "
@@ -474,6 +534,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "stuck_workers": list(report.stuck_workers),
             "completed": len(report.completed),
             "rejected": len(report.rejected),
+            "preemptions": report.preemptions,
             "placements": [dataclasses.asdict(p)
                            for p in report.placement_log],
         }
@@ -659,6 +720,21 @@ def build_parser() -> argparse.ArgumentParser:
                     help="override the scenario's gang shard budget "
                          "(upper bound on the rank count a sharded "
                          "solve may decompose into)")
+    sv.add_argument("--sessions", action="store_true",
+                    help="attach a session store regardless of the "
+                         "scenario: plain serial jobs warm start "
+                         "from stored exact-digest/ancestor "
+                         "solutions and record back (see "
+                         "docs/sessions.md)")
+    sv.add_argument("--sessions-dir", default=None,
+                    help="persist the session store at this "
+                         "directory instead of a run-scoped "
+                         "temporary one (implies --sessions)")
+    sv.add_argument("--preempt-slice", type=int, default=None,
+                    help="run preemptible priority>0 jobs as "
+                         "checkpointed slices of this many "
+                         "iterations so urgent arrivals can park "
+                         "them mid-solve (implies --sessions)")
     sv.add_argument("--verbose", action="store_true",
                     help="print the per-job placement log")
     sv.add_argument("--json", default=None,
@@ -667,6 +743,27 @@ def build_parser() -> argparse.ArgumentParser:
                     help="exit 0 even when admission control shed "
                          "jobs")
     sv.set_defaults(fn=_cmd_serve)
+
+    ss = sub.add_parser(
+        "sessions",
+        help="incremental re-solve demo: grow a system by "
+             "observation blocks and warm start each re-solve from "
+             "the session store (exits nonzero unless warm starts "
+             "save iterations)",
+    )
+    ss.add_argument("--size-gb", type=float, default=0.005)
+    ss.add_argument("--steps", type=int, default=3,
+                    help="chain length (step 0 plus grown re-solves)")
+    ss.add_argument("--growth", type=float, default=0.5,
+                    help="new observations per step as a fraction of "
+                         "the parent's n_obs")
+    ss.add_argument("--seed", type=int, default=0)
+    ss.add_argument("--iterations", type=int, default=None,
+                    help="LSQR iteration cap per solve")
+    ss.add_argument("--store", default=None,
+                    help="persist the session store here (default: "
+                         "run-scoped temporary directory)")
+    ss.set_defaults(fn=_cmd_sessions)
     return parser
 
 

@@ -90,11 +90,26 @@ class ResumableLSQR:
 
     def run(self, *, iter_lim: int | None = None,
             checkpoint_every: int | None = None,
-            checkpoint_path: str | Path | None = None) -> LSQRState:
-        """Drive to convergence, optionally checkpointing on the way."""
+            checkpoint_path: str | Path | None = None,
+            resume_from: str | Path | LSQRState | None = None,
+            ) -> LSQRState:
+        """Drive to convergence, optionally checkpointing on the way.
+
+        ``resume_from`` continues a prior run instead of starting the
+        bidiagonalization fresh: pass a live :data:`LSQRState` or a
+        path a previous ``state.save(...)`` wrote.  The continued run
+        is bit-for-bit the uninterrupted one -- the preempt/park/
+        resume machinery of :mod:`repro.sessions` rests on exactly
+        this property (see ``docs/sessions.md``).
+        """
         if iter_lim is None:
             iter_lim = 2 * self._op.shape[1]
-        state = self.start()
+        if resume_from is None:
+            state = self.start()
+        elif isinstance(resume_from, LSQRState):
+            state = resume_from
+        else:
+            state = LSQRState.load(resume_from)
         while not state.done and state.itn < iter_lim:
             budget = (checkpoint_every
                       if checkpoint_every is not None

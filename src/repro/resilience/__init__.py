@@ -7,6 +7,14 @@ the solver's reduction epochs; a :class:`RetryPolicy` bounds how each
 epoch fights back; :class:`ResilientDistributedLSQR` recovers what
 retry cannot -- rolling back to validated global checkpoints and
 re-decomposing onto surviving ranks.  See ``docs/resilience.md``.
+
+The same no-fault recovery driver (a default
+:class:`~repro.api.ResilienceConfig`) doubles as the serving layer's
+preempt/park/resume engine: the scheduler runs preemptible solves as
+checkpointed slices whose :class:`GlobalCheckpoint` parks in a
+:class:`~repro.sessions.SessionStore` when a more urgent job needs
+the device, then resumes bit-for-bit -- possibly elsewhere.  See
+``docs/sessions.md``.
 """
 
 from repro.resilience.faults import (

@@ -31,7 +31,11 @@ into the placement policy.
 - :class:`ResultCache` -- deterministic LRU keyed by (system digest,
   config digest); fused-batch members are cached individually; with
   ``store_solutions > 0`` it also keeps recent solution vectors per
-  system digest (warm-start groundwork);
+  system digest (the in-memory precursor of
+  :class:`repro.sessions.SessionStore`, which the scheduler consults
+  -- pass ``sessions=`` -- to warm-start re-solves from exact-digest
+  or ancestor solutions and to park/resume preempted solves; see
+  ``docs/sessions.md``);
 - :class:`LoadGenerator` -- seeded open-loop streams of mixed
   10/30/60 GB-shaped (scaled-down) jobs; :func:`run_closed_loop`
   drives a stream at fixed concurrency instead (the capacity-probe

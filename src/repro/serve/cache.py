@@ -39,57 +39,19 @@ from typing import Iterable
 
 from repro.api import SolveReport, SolveRequest
 from repro.obs.telemetry import Telemetry
-from repro.system.sparse import GaiaSystem
+
+# The content digests live with the system layer now (so
+# ``repro.sessions`` can address lineage without importing the serving
+# stack); re-exported here because every historical caller imported
+# them from this module.
+from repro.system.digest import (  # noqa: F401  (re-export)
+    _hash_matrix,
+    matrix_digest,
+    system_digest,
+)
 
 CacheKey = tuple[str, str]
 FusionKey = tuple[str, str]
-
-
-def _hash_matrix(h: "hashlib._Hash", system: GaiaSystem,
-                 include_rhs: bool) -> None:
-    """Feed the system's content into ``h``.
-
-    With ``include_rhs`` the hash also covers ``known_terms`` and the
-    constraint right-hand sides (the full content digest); without, it
-    covers the matrix alone (the fusion digest).
-    """
-    d = system.dims
-    h.update(repr((d.n_stars, d.n_obs, d.n_deg_freedom_att,
-                   d.n_instr_params, d.n_glob_params)).encode())
-    for arr in (
-        system.astro_values, system.matrix_index_astro,
-        system.att_values, system.matrix_index_att,
-        system.instr_values, system.instr_col,
-        system.glob_values,
-    ):
-        h.update(arr.tobytes())
-    if include_rhs:
-        h.update(system.known_terms.tobytes())
-    if system.constraints is not None:
-        for row in system.constraints:
-            h.update(row.cols.tobytes())
-            h.update(row.vals.tobytes())
-            if include_rhs:
-                h.update(repr(row.rhs).encode())
-
-
-def system_digest(system: GaiaSystem) -> str:
-    """Content hash of one system's dimension and coefficient data."""
-    h = hashlib.sha256()
-    _hash_matrix(h, system, include_rhs=True)
-    return h.hexdigest()
-
-
-def matrix_digest(system: GaiaSystem) -> str:
-    """Content hash of the matrix alone (rhs excluded).
-
-    Two systems with equal matrix digest differ at most in their
-    right-hand side (``known_terms`` / constraint rhs values) -- the
-    exact degree of freedom a fused many-RHS batch spans.
-    """
-    h = hashlib.sha256()
-    _hash_matrix(h, system, include_rhs=False)
-    return h.hexdigest()
 
 
 def config_digest(request: SolveRequest) -> str:
@@ -138,12 +100,17 @@ class ResultCache:
 
     ``store_solutions`` (bytes, 0 = off) additionally keeps the most
     recent solution vector ``x`` *per system digest* in its own
-    byte-budgeted LRU -- the warm-start groundwork: a future re-solve
-    of the same (or an incrementally grown) system can seed ``x0``
-    from :meth:`solution` instead of starting cold.  Solutions are
-    indexed by system digest alone (not the full request key) because
-    a warm start does not need the old config to match, only the
-    unknown vector to line up.
+    byte-budgeted LRU, consumable via :meth:`solution`.  This was the
+    warm-start groundwork; the consuming subsystem is now
+    ``repro.sessions``, whose disk-persisted
+    :class:`~repro.sessions.SessionStore` additionally records
+    convergence metadata and parent-digest lineage so re-solves of
+    incrementally grown systems seed ``x0`` from the nearest ancestor
+    (see ``docs/sessions.md``).  This in-memory variant remains for
+    embedders that want process-local warm starts without a store on
+    disk.  Solutions are indexed by system digest alone (not the full
+    request key) because a warm start does not need the old config to
+    match, only the unknown vector to line up.
     """
 
     def __init__(self, capacity: int = 128,

@@ -160,6 +160,34 @@ class ServeJob:
                 and r.checkpoint_path is None
                 and r.telemetry is None)
 
+    @property
+    def preemptible(self) -> bool:
+        """Can the scheduler run this job as checkpointed slices?
+
+        The sliced path (``docs/sessions.md``) re-executes the request
+        through the no-fault recovery driver in ``preempt_slice``
+        -iteration segments so a more urgent arrival can park it mid-
+        solve.  That driver is bitwise the serial solver only for a
+        *plain* serial request: ``damp``/``x0`` are serial-only
+        features the distributed engine rejects, a caller-provided
+        resilience config would change the numerics (each slice
+        restart would reset its fault streams), callbacks / telemetry
+        / explicit checkpointing need the solo driver's side channels,
+        and background work functions never slice.
+        """
+        if self.work_fn is not None:
+            return False
+        r = self.request
+        return (r.ranks == 1
+                and r.damp == 0.0
+                and r.x0 is None
+                and r.resilience is None
+                and r.callback is None
+                and r.telemetry is None
+                and r.checkpoint_every is None
+                and r.checkpoint_path is None
+                and r.resume_from is None)
+
     def fusion_key(self) -> tuple:
         """The coalescing compatibility key (requires :attr:`fusible`).
 

@@ -10,6 +10,12 @@ generator).  Jobs draw from a small pool of ``distinct_systems``
 real serving traffic repeats itself -- and every draw comes from one
 seeded PCG64 stream, so the same spec always produces the same
 workload, arrival offsets and all.
+
+``chains > 0`` appends the *sessions* scenario family after the main
+stream: growing-system request chains (each step the previous system
+plus an appended observation block) whose digest lineage lets an
+attached :class:`~repro.sessions.SessionStore` warm start every
+re-solve from its parent's solution.  See ``docs/sessions.md``.
 """
 
 from __future__ import annotations
@@ -51,6 +57,23 @@ class LoadSpec:
     priorities: tuple[int, ...] = (0,)
     #: Mean arrivals per second (None = all jobs queued at t=0).
     arrival_rate_hz: float | None = None
+    #: Incremental re-solve chains appended after the main stream:
+    #: each chain is one growing system -- step 0 a fresh slot-style
+    #: system, each later step the parent plus an appended observation
+    #: block (``repro.system.merge.append_observations``), so the
+    #: steps form a digest lineage a session store warm-starts along.
+    chains: int = 0
+    #: Solve steps per chain (step 0 plus ``chain_length - 1`` grown
+    #: re-solves).
+    chain_length: int = 3
+    #: New observations per step, as a fraction of the parent's
+    #: ``n_obs`` (0.5 = each step grows the system by half).
+    chain_growth: float = 0.5
+    #: Nominal size of every chain job (placement footprint).
+    chain_gb: float = 10.0
+    #: Priority of chain jobs (> 0 makes them preemptible under
+    #: ``preempt_slice``).
+    chain_priority: int = 0
 
     def at_rate(self, arrival_rate_hz: float | None) -> "LoadSpec":
         """This spec with a different offered load (arrivals/second).
@@ -78,6 +101,20 @@ class LoadSpec:
                 f"scale must be in (0, 1], got {self.scale}")
         if not self.mix or any(w < 0 for _, w in self.mix):
             raise ValueError(f"invalid mix {self.mix!r}")
+        if self.chains < 0:
+            raise ValueError(f"chains must be >= 0, got {self.chains}")
+        if self.chains > 0:
+            if self.chain_length < 2:
+                raise ValueError(
+                    f"chain_length must be >= 2 (a chain is a re-solve"
+                    f" lineage), got {self.chain_length}")
+            if self.chain_growth <= 0:
+                raise ValueError(
+                    f"chain_growth must be > 0, "
+                    f"got {self.chain_growth}")
+            if self.chain_gb <= 0:
+                raise ValueError(
+                    f"chain_gb must be > 0, got {self.chain_gb}")
 
 
 @lru_cache(maxsize=32)
@@ -105,6 +142,33 @@ def _slot_variant(nominal_gb: float, scale: float, seed: int,
     perturbed = base.known_terms + rng.normal(
         scale=1e-9, size=base.known_terms.shape)
     return dataclasses.replace(base, known_terms=perturbed)
+
+
+@lru_cache(maxsize=64)
+def _chain_system(nominal_gb: float, scale: float, seed: int,
+                  step: int, growth: float):
+    """Step ``step`` of one incremental re-solve chain.
+
+    Step 0 is a fresh slot-style system; step ``k > 0`` is step
+    ``k - 1`` plus an appended observation block of
+    ``max(1, round(n_obs * growth))`` new rows (stream seeded by
+    ``(seed, step)``), so every step's digest chains to its parent's
+    and a session store can warm start each re-solve from the
+    previous solution.  Memoized: chain steps within and across
+    :meth:`LoadGenerator.jobs` calls are identical objects.
+    """
+    from repro.system.generator import make_observation_block
+    from repro.system.merge import append_observations
+
+    if step == 0:
+        return make_system(dims_from_gb(nominal_gb * scale),
+                           seed=seed, noise_sigma=1e-9)
+    parent = _chain_system(nominal_gb, scale, seed, step - 1, growth)
+    n_new = max(1, round(parent.dims.n_obs * growth))
+    block = make_observation_block(
+        parent, n_new, seed=int(np.random.default_rng(
+            (seed, step)).integers(0, 2**31)))
+    return append_observations(parent, block)
 
 
 @dataclass
@@ -163,6 +227,39 @@ class LoadGenerator:
                 arrival_s=arrival if spec.arrival_rate_hz else 0.0,
                 job_id=f"job-{i:03d}",
             ))
+        # Chains ride after the main stream (and draw their seeds
+        # after its loop), so a chains=0 spec emits a byte-identical
+        # stream to the pre-chains generator.  Step-major order: every
+        # chain's step k precedes any step k+1, so a multi-worker
+        # scheduler has each parent solution recorded before the child
+        # re-solve asks the session store for it.
+        chain_seeds = [int(rng.integers(0, 2**31))
+                       for _ in range(spec.chains)]
+        for step in range(spec.chain_length):
+            for c in range(spec.chains):
+                chain_seed = chain_seeds[c]
+                system = _chain_system(spec.chain_gb, spec.scale,
+                                       chain_seed, step,
+                                       spec.chain_growth)
+                if spec.arrival_rate_hz:
+                    arrival += float(
+                        rng.exponential(1.0 / spec.arrival_rate_hz))
+                request = SolveRequest(
+                    system=system,
+                    ranks=1,
+                    iter_lim=spec.iter_lim,
+                    seed=chain_seed,
+                    job_id=f"chain{c}-s{step}",
+                    constraints=self.constraints,
+                )
+                out.append(ServeJob(
+                    request=request,
+                    nominal_gb=spec.chain_gb,
+                    priority=spec.chain_priority,
+                    arrival_s=(arrival if spec.arrival_rate_hz
+                               else 0.0),
+                    job_id=f"chain{c}-s{step}",
+                ))
         return out
 
 

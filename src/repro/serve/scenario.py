@@ -15,11 +15,15 @@ scenario like::
                     "cache_capacity": 64, "max_replacements": 1,
                     "drain_timeout_s": 60.0,
                     "store_solutions_mb": 0.0},
+      "sessions": {"enabled": false, "dir": null, "budget_mb": 64,
+                   "preempt_slice": null, "max_preemptions": 8},
       "load": {"n_jobs": 16, "mix": {"10": 0.5, "30": 0.3, "60": 0.2},
                "distinct_systems": 4, "rhs_variants": 1,
                "scale": 2e-4, "seed": 0,
                "iter_lim": 60, "ranks": 1, "priorities": [0],
-               "arrival_rate_hz": null}
+               "arrival_rate_hz": null,
+               "chains": 0, "chain_length": 3, "chain_growth": 0.5,
+               "chain_gb": 10.0, "chain_priority": 0}
     }
 
 Every knob is optional; the defaults above are the smoke scenario.
@@ -51,6 +55,18 @@ for warm starts; ``allow_gang`` lets a job whose footprint exceeds
 every single device shard across ``max_shards`` lanes as a
 gang-scheduled multi-rank solve (see ``docs/serving.md``).
 
+``sessions.enabled`` attaches a
+:class:`~repro.sessions.SessionStore` (persisted under ``dir`` when
+set, else a run-scoped temporary directory) so plain serial jobs warm
+start from stored exact-digest/ancestor solutions and record back;
+``sessions.preempt_slice`` additionally runs preemptible jobs of
+priority > 0 as checkpointed iteration slices that park mid-solve
+when a more urgent arrival is starved (``docs/sessions.md``).  The
+``load.chains`` family emits incremental re-solve chains: each chain
+is a growing system (step 0 fresh, later steps appended observation
+blocks with digests chaining parent -> child) whose steps warm start
+off each other when a session store is attached.
+
 ``placement.tuning.enabled`` switches placement to tuning-aware
 pricing (see ``docs/tuning.md``): the cost model prices
 out-of-the-box and discounts with entries from a
@@ -76,6 +92,7 @@ from repro.serve.cost import PlacementCostModel
 from repro.serve.loadgen import LoadGenerator, LoadSpec
 from repro.serve.pool import DevicePool
 from repro.serve.scheduler import Scheduler, ServeReport
+from repro.sessions import SessionStore
 from repro.tuning.cache import TunedConfigCache
 from repro.tuning.service import TUNING_PRIORITY, TuningService
 
@@ -112,6 +129,15 @@ class Scenario:
     allow_gang: bool = False
     max_shards: int = 1
     memory_headroom: float = 0.0
+    #: Session-lifecycle store (``docs/sessions.md``): warm starts +
+    #: solution recording; ``sessions_dir`` persists across runs.
+    sessions_enabled: bool = False
+    sessions_dir: str | None = None
+    sessions_budget_mb: float = 64.0
+    #: Iteration slice length for preemptible low-priority jobs
+    #: (None = preemption off; requires ``sessions_enabled``).
+    preempt_slice: int | None = None
+    max_preemptions: int = 8
     load: LoadSpec = field(default_factory=LoadSpec)
 
     def constraints(self) -> PlacementConstraints | None:
@@ -169,6 +195,12 @@ def parse_scenario(doc: dict) -> Scenario:
         if "tuning" in doc:
             placement["tuning"] = doc["tuning"]
     tuning = placement.get("tuning", {})
+    sessions = doc.get("sessions", {})
+    if (sessions.get("preempt_slice") is not None
+            and not sessions.get("enabled", False)):
+        raise ValueError(
+            "sessions.preempt_slice requires sessions.enabled: "
+            "preempted solves park their checkpoint in the store")
     load_doc = dict(doc.get("load", {}))
     if "mix" in load_doc:
         load_doc["mix"] = tuple(
@@ -214,6 +246,17 @@ def parse_scenario(doc: dict) -> Scenario:
                                      Scenario.max_shards)),
         memory_headroom=float(placement.get(
             "memory_headroom", Scenario.memory_headroom)),
+        sessions_enabled=bool(sessions.get(
+            "enabled", Scenario.sessions_enabled)),
+        sessions_dir=(str(sessions["dir"])
+                      if sessions.get("dir") is not None else None),
+        sessions_budget_mb=float(sessions.get(
+            "budget_mb", Scenario.sessions_budget_mb)),
+        preempt_slice=(int(sessions["preempt_slice"])
+                       if sessions.get("preempt_slice") is not None
+                       else None),
+        max_preemptions=int(sessions.get(
+            "max_preemptions", Scenario.max_preemptions)),
         load=LoadSpec(**load_doc),
     )
 
@@ -252,6 +295,12 @@ def build_scheduler(scenario: Scenario,
     else:
         cost_model = PlacementCostModel(
             include_projected=scenario.include_projected)
+    sessions_store: SessionStore | None = None
+    if scenario.sessions_enabled:
+        sessions_store = SessionStore(
+            scenario.sessions_dir,
+            budget_bytes=int(scenario.sessions_budget_mb * 2**20),
+            telemetry=telemetry)
     scheduler = Scheduler(
         pool,
         workers=scenario.workers,
@@ -263,9 +312,15 @@ def build_scheduler(scenario: Scenario,
         backend=scenario.backend,
         drain_timeout=scenario.drain_timeout_s,
         mp_workers=scenario.mp_workers,
+        sessions=sessions_store,
+        preempt_slice=scenario.preempt_slice,
+        max_preemptions=scenario.max_preemptions,
         telemetry=telemetry,
     )
     scheduler.tuning = tuning
+    # The scheduler owns (and closes at drain) a store it was built
+    # around; callers passing their own store to Scheduler() keep it.
+    scheduler._own_sessions = sessions_store is not None
     return scheduler
 
 

@@ -35,7 +35,17 @@ instances by way of four mechanisms:
   :func:`repro.api.solve_batch` many-RHS batch, demultiplexing one
   report, placement and cache entry per member.  A member that aborts
   mid-batch (injected fault tripping the engine's non-finite guard)
-  is retried alone; its siblings' results are untouched.
+  is retried alone; its siblings' results are untouched;
+- **sessions** (``sessions=`` a :class:`repro.sessions.SessionStore`)
+  -- plain serial jobs warm start from the store's exact-digest or
+  nearest-ancestor solution (the seed's provenance lands on
+  :attr:`SolveReport.warm_start`) and deposit their solutions back;
+  with ``preempt_slice`` set, preemptible jobs of priority > 0 run as
+  checkpointed iteration slices so a starved more-urgent arrival can
+  *preempt* them mid-solve: the job parks its
+  :class:`~repro.resilience.GlobalCheckpoint` in the store, yields
+  the lane, and resumes later -- possibly on a different device --
+  bit-for-bit (``docs/sessions.md``).
 
 The submission front end is asynchronous: :meth:`Scheduler.submit`
 returns the admission decision immediately, :meth:`Scheduler.start`
@@ -80,19 +90,22 @@ import numpy as np
 
 from repro.api import (
     Placement,
+    ResilienceConfig,
     ShardPlacement,
     SolveReport,
     SolveRequest,
+    WarmStartInfo,
     derive_seed,
 )
 from repro.api import solve as api_solve
 from repro.api import solve_batch as api_solve_batch
 from repro.core.engine import StopReason
 from repro.obs.telemetry import Telemetry
+from repro.sessions import SessionStore, resolve_warm_start
 from repro.serve.cache import ResultCache
 from repro.serve.cost import PlacementCostModel
 from repro.serve.job import AdmissionDecision, ServeJob
-from repro.serve.pool import DevicePool
+from repro.serve.pool import MEMORY_EPSILON_GB, DevicePool
 from repro.serve.shm import SystemStore
 from repro.serve.worker import (
     BackendAborted,
@@ -158,6 +171,9 @@ class ServeReport:
     #: Dispatcher threads that outlived the drain timeout (each still
     #: holds its lane reservation; see ``serve.workers_stuck``).
     stuck_workers: tuple[str, ...] = ()
+    #: How many times a sliced low-priority solve was parked mid-run
+    #: to unblock a more urgent job (``docs/sessions.md``).
+    preemptions: int = 0
 
     @property
     def completed(self) -> list[JobOutcome]:
@@ -243,6 +259,20 @@ class ServeReport:
             lines.append(
                 f"tuned placement prices: {tuned}/"
                 f"{len(self.placement_log)} placement(s)")
+        warm = [o for o in done
+                if o.report is not None
+                and o.report.warm_start is not None]
+        if warm:
+            saved = sum(o.report.warm_start.iterations_saved
+                        for o in warm)
+            lines.append(
+                f"session warm starts: {len(warm)} solve(s) seeded "
+                f"from the store ({saved:+d} iterations vs their "
+                f"source solves)")
+        if self.preemptions:
+            lines.append(
+                f"preempt/park/resume: {self.preemptions} "
+                f"preemption(s) of sliced low-priority solves")
         failed = self.failed
         if failed:
             lines.append(
@@ -274,6 +304,9 @@ class Scheduler:
         mp_context: str = "spawn",
         mp_workers: int | None = None,
         store: SystemStore | None = None,
+        sessions: SessionStore | None = None,
+        preempt_slice: int | None = None,
+        max_preemptions: int = 8,
         telemetry: Telemetry | None = None,
         solve_fn: Callable[[SolveRequest], SolveReport] = api_solve,
         batch_solve_fn: Callable[[list[SolveRequest]],
@@ -295,6 +328,16 @@ class Scheduler:
         if mp_workers is not None and mp_workers < 1:
             raise ValueError(
                 f"mp_workers must be >= 1, got {mp_workers}")
+        if preempt_slice is not None and preempt_slice < 1:
+            raise ValueError(
+                f"preempt_slice must be >= 1, got {preempt_slice}")
+        if preempt_slice is not None and sessions is None:
+            raise ValueError(
+                "preempt_slice requires a sessions store: preempted "
+                "solves park their checkpoint in it")
+        if max_preemptions < 0:
+            raise ValueError(
+                f"max_preemptions must be >= 0, got {max_preemptions}")
         self.pool = pool
         self.workers = workers
         self.cache = cache
@@ -311,6 +354,20 @@ class Scheduler:
         #: tuning-aware cost model, when the scenario enabled one
         #: (set by :func:`repro.serve.scenario.build_scheduler`).
         self.tuning = None
+        #: Session-lifecycle store (``docs/sessions.md``): warm-start
+        #: resolution for plain serial jobs, solution recording, and
+        #: the parking lot for preempted sliced solves.
+        self.sessions = sessions
+        #: With a slice length, preemptible jobs of priority > 0 run
+        #: as checkpointed ``preempt_slice``-iteration segments so a
+        #: more urgent starved arrival can park them mid-solve.
+        self.preempt_slice = preempt_slice
+        self.max_preemptions = max_preemptions
+        #: True when the scheduler created the sessions store itself
+        #: and must close it on drain/abort (set by
+        #: :func:`repro.serve.scenario.build_scheduler`).
+        self._own_sessions = False
+        self._preemptions = 0
         self._own_store = backend == "process" and store is None
         self._store = (store if store is not None
                        else SystemStore() if backend == "process"
@@ -515,6 +572,8 @@ class Scheduler:
             self._backend.stop(force=bool(stuck))
             if self._own_store and self._store is not None:
                 self._store.close()
+            if self._own_sessions and self.sessions is not None:
+                self.sessions.close()
         t0 = self._t_start if self._t_start is not None \
             else time.perf_counter()
         wall = time.perf_counter() - t0
@@ -527,6 +586,7 @@ class Scheduler:
             placement_log=list(self.placement_log),
             backend=self.backend,
             stuck_workers=tuple(stuck),
+            preemptions=self._preemptions,
         )
 
     def abort(self) -> None:
@@ -546,6 +606,8 @@ class Scheduler:
             self._backend.kill()
             if self._own_store and self._store is not None:
                 self._store.close()
+            if self._own_sessions and self.sessions is not None:
+                self.sessions.close()
 
     # -- internals ------------------------------------------------------
     def _next_placeable(self):
@@ -723,7 +785,8 @@ class Scheduler:
                     _, lane, est = placed
                     self.pool.reserve(lane.lane_id, job.reserve_gb,
                                       job.job_id)
-                    if self.max_fuse > 1 and job.fusible:
+                    if (self.max_fuse > 1 and job.fusible
+                            and not self._sliceable(job)):
                         members += self._collect_siblings(job, lane)
                 self.tel.gauge("serve.queue_depth").set(
                     len(self._queue))
@@ -733,6 +796,8 @@ class Scheduler:
                                        enqueued_at)
                 elif job.work_fn is not None:
                     self._execute_work(job, lane, est, enqueued_at)
+                elif self._sliceable(job):
+                    self._execute_sliced(job, lane, est, enqueued_at)
                 elif len(members) == 1:
                     self._execute(job, lane, est, enqueued_at)
                 else:
@@ -892,6 +957,175 @@ class Scheduler:
                 report=report, placements=tuple(placements),
                 queue_wait_s=wait_s, exec_s=busy,
             ))
+
+    def _sliceable(self, job: ServeJob) -> bool:
+        """Should this job run as preemptible checkpointed slices?
+
+        Priority 0 is the most-urgent class -- nothing outranks it,
+        so slicing it would pay checkpoint overhead for a preemption
+        that can never be demanded; every lower class rides the
+        sliced path whenever the scheduler has a slice length and a
+        session store to park in.
+        """
+        return (self.preempt_slice is not None
+                and self.sessions is not None
+                and job.priority > 0
+                and job.preemptible)
+
+    def _preempt_wanted(self, job: ServeJob, lane) -> bool:
+        """Is a strictly more urgent queued job starved for this lane?
+
+        True when some queued job with a lower priority value cannot
+        place on any lane's *current* free memory, but could place if
+        this job's reservation were returned -- i.e. parking would
+        actually unblock the urgent job, not just thrash a
+        checkpoint.  Called between slices with the scheduler lock
+        held.
+        """
+        for _, queued, _ in self._queue:
+            if queued.priority >= job.priority:
+                continue
+            if self._choose_lane(queued) is not None:
+                continue  # places without our help; no preemption
+            for cand in self.pool.feasible(
+                    queued.reserve_gb,
+                    devices=queued.constraints.devices):
+                if self.cost_model.estimate(
+                        queued.nominal_gb, cand.spec,
+                        framework=queued.request.framework) is None:
+                    continue
+                free = cand.free_gb + (
+                    job.reserve_gb if cand.lane_id == lane.lane_id
+                    else 0.0)
+                if queued.reserve_gb <= free + MEMORY_EPSILON_GB:
+                    return True
+        return False
+
+    def _execute_sliced(self, job: ServeJob, lane, est,
+                        enqueued_at: float) -> None:
+        """Run one solve as preemptible checkpointed slices.
+
+        The request re-executes through the no-fault recovery driver
+        in ``preempt_slice``-iteration segments: each segment resumes
+        from the previous one's :class:`GlobalCheckpoint` (the
+        driver's unconditional end-of-run checkpoint lands directly
+        in the session store's parking file).  Between segments --
+        under the scheduler lock -- the dispatcher asks
+        :meth:`_preempt_wanted`; if a more urgent queued job is
+        starved for this lane's memory, the job is *parked*: the lane
+        is released, the checkpoint and its progress metadata stay in
+        the store, and the job re-enters the queue to be resumed by a
+        later dispatch, possibly on a different lane (device
+        migration).  Checkpoint/resume is bit-for-bit, the engine's
+        stop tests are iteration-limit-independent, and the fault-free
+        1-rank recovery driver is bitwise the serial solver -- so the
+        final ``x``/``itn``/``r2norm``/``stop``/``var`` are exactly
+        the uninterrupted solve's (locked down by
+        ``tests/test_serve_sessions.py``; ``acond`` and the raw
+        driver result reflect the recovery driver and are the only
+        fields that differ from a plain serial report).
+
+        Sliced jobs bypass the result cache and single-flight: the
+        executed request differs from the submitted one (same
+        reasoning as the gang path), so publishing under the original
+        key would poison future twins.  The completed solution still
+        lands in the session store for warm starts.
+        """
+        sess = self.sessions
+        base = job.request
+        total = (base.iter_lim if base.iter_lim is not None
+                 else 2 * base.system.dims.n_params)
+        ckpt = str(sess.park_path(job.job_id))
+        parked = sess.claim(job.job_id)
+        done = parked.itn if parked is not None else 0
+        attempt = parked.attempt if parked is not None else 0
+        previous = parked.devices if parked is not None else ()
+        resumed = parked is not None
+        wait_s = time.perf_counter() - enqueued_at
+        self.tel.histogram("serve.queue_wait_s").observe(wait_s)
+        placement = Placement(
+            job_id=job.job_id, device=lane.lane_id,
+            nominal_gb=job.nominal_gb, footprint_gb=job.footprint_gb,
+            queue_wait_s=wait_s, estimated_s=est.seconds,
+            port_key=est.port_key, attempt=attempt,
+            previous_devices=previous, tuned=est.tuned)
+        with self._cond:
+            self.placement_log.append(placement)
+        preempted = False
+        report: SolveReport | None = None
+        t0 = time.perf_counter()
+        try:
+            while True:
+                request = replace(
+                    base,
+                    resilience=ResilienceConfig(
+                        checkpoint_every=self.preempt_slice),
+                    iter_lim=min(done + self.preempt_slice, total),
+                    checkpoint_path=ckpt,
+                    resume_from=(ckpt if resumed or done > 0
+                                 else None))
+                with self.tel.span("serve.slice", job_id=job.job_id,
+                                   device=lane.lane_id,
+                                   start_itn=done):
+                    report = self._backend.solve(request)
+                done = report.itn
+                if (report.stop is not StopReason.ITERATION_LIMIT
+                        or done >= total):
+                    break
+                with self._cond:
+                    if (attempt < self.max_preemptions
+                            and self._preempt_wanted(job, lane)):
+                        preempted = True
+                        break
+        finally:
+            busy = time.perf_counter() - t0
+            with self._cond:
+                self.pool.release(lane.lane_id, job.reserve_gb,
+                                  job.job_id, busy_s=busy)
+                if preempted:
+                    # Park and re-enqueue *before* releasing the lock
+                    # so no dispatcher can dequeue the job ahead of
+                    # its parked state being registered.
+                    sess.park(job.job_id, itn=done,
+                              attempt=attempt + 1,
+                              devices=previous + (lane.lane_id,))
+                    self._preemptions += 1
+                    self.tel.counter("serve.sessions.preemption").inc()
+                    self._queue.append(
+                        (job.sort_key(self._seq), job,
+                         time.perf_counter()))
+                    self._seq += 1
+                    self.tel.gauge("serve.queue_depth").set(
+                        len(self._queue))
+                self._cond.notify_all()
+            if not preempted and report is None:
+                # The solve raised mid-slice; the containment path in
+                # _worker records the failure, the parked file must
+                # not outlive it.
+                sess.discard(job.job_id)
+        if preempted:
+            return
+        sess.discard(job.job_id)
+        report = replace(report, job_id=job.job_id,
+                         placement=placement)
+        if report.x is not None and report.stop not in REPLACE_ON:
+            self._record_session(base.system, report)
+        self.tel.histogram("serve.exec_s").observe(busy)
+        with self._cond:
+            self.outcomes.append(JobOutcome(
+                job=job, decision=AdmissionDecision.ADMITTED,
+                report=report, placements=(placement,),
+                queue_wait_s=wait_s, exec_s=busy,
+            ))
+
+    def _record_session(self, system, report: SolveReport,
+                        digest: str | None = None) -> None:
+        """Deposit a finished solution into the session store."""
+        if self.sessions is None or report.x is None:
+            return
+        from repro.sessions import record_solution
+
+        record_solution(self.sessions, system, report, digest=digest)
 
     def _execute_gang(self, job: ServeJob, lanes, gang_est, charge,
                       enqueued_at: float) -> None:
@@ -1235,6 +1469,16 @@ class Scheduler:
                                      _STREAM_REPLACEMENT
                                      + placement.attempt),
                 )
+            warm = None
+            if (self.sessions is not None and request.ranks == 1
+                    and request.resilience is None
+                    and request.x0 is None
+                    and request.resume_from is None):
+                warm = resolve_warm_start(
+                    self.sessions, request.system,
+                    digest=key[0] if key is not None else None)
+                if warm is not None:
+                    request = replace(request, x0=warm.x0)
             try:
                 report = self._backend.solve(request)
             except BaseException:
@@ -1244,10 +1488,15 @@ class Scheduler:
                     flight.done.set()
                 raise
             # Only a clean first attempt is publishable: re-placed
-            # attempts ran under a redrawn fault seed, and degraded/
-            # aborted results must not be served to future twins.
+            # attempts ran under a redrawn fault seed, degraded/
+            # aborted results must not be served to future twins, and
+            # a warm-started solve answered a *seeded* request -- its
+            # bits differ from the cold solve the cache key promises
+            # (the solution itself is equally valid and still feeds
+            # the session store).
             publishable = (placement.attempt == 0
-                           and report.stop not in REPLACE_ON)
+                           and report.stop not in REPLACE_ON
+                           and warm is None)
             if leader and flight is not None:
                 with self._cond:
                     self._inflight.pop(key, None)
@@ -1257,6 +1506,17 @@ class Scheduler:
                 flight.done.set()
             if key is not None and publishable:
                 self.cache.put(key, report)
+            if (placement.attempt == 0
+                    and report.stop not in REPLACE_ON):
+                self._record_session(
+                    request.system, report,
+                    digest=key[0] if key is not None else None)
+            if warm is not None:
+                report = replace(report, warm_start=WarmStartInfo(
+                    source_digest=warm.source_digest,
+                    exact=warm.exact, depth=warm.depth,
+                    prior_itn=warm.prior_itn,
+                    iterations_saved=warm.prior_itn - report.itn))
             return report
 
     def _mark_hit(self, placement: Placement) -> Placement:

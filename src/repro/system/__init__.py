@@ -19,7 +19,13 @@ non-zero.  This subpackage provides:
   vector;
 - :mod:`repro.system.constraints` -- constraint equations appended to
   the overdetermined system;
-- :mod:`repro.system.dataset` -- on-disk (de)serialization.
+- :mod:`repro.system.dataset` -- on-disk (de)serialization;
+- :mod:`repro.system.digest` -- content-addressed SHA-256 digests
+  (system identity for caching, shared-memory publication, and the
+  ``repro.sessions`` warm-start lineage);
+- :mod:`repro.system.merge` -- segment concatenation and the
+  lineage-chaining :func:`append_observations` incremental-growth
+  path.
 """
 
 from repro.system.structure import (
@@ -33,7 +39,12 @@ from repro.system.structure import (
     SystemDims,
 )
 from repro.system.sparse import GaiaSystem
-from repro.system.generator import make_system, make_system_with_solution
+from repro.system.digest import matrix_digest, system_digest
+from repro.system.generator import (
+    make_observation_block,
+    make_system,
+    make_system_with_solution,
+)
 from repro.system.sizing import (
     BYTES_PER_OBSERVATION,
     dims_from_gb,
@@ -46,7 +57,11 @@ from repro.system.constraints import ConstraintSet, attitude_null_space_constrai
 from repro.system.dataset import load_system, save_system
 from repro.system.storage import StorageFootprint, mission_dims, storage_comparison
 from repro.system.weighting import apply_weights, effective_observations
-from repro.system.merge import concatenate_systems, split_rows
+from repro.system.merge import (
+    append_observations,
+    concatenate_systems,
+    split_rows,
+)
 
 __all__ = [
     "ASTRO_PARAMS_PER_STAR",
@@ -58,6 +73,9 @@ __all__ = [
     "NNZ_PER_ROW",
     "SystemDims",
     "GaiaSystem",
+    "matrix_digest",
+    "system_digest",
+    "make_observation_block",
     "make_system",
     "make_system_with_solution",
     "BYTES_PER_OBSERVATION",
@@ -76,6 +94,7 @@ __all__ = [
     "storage_comparison",
     "apply_weights",
     "effective_observations",
+    "append_observations",
     "concatenate_systems",
     "split_rows",
 ]

@@ -77,6 +77,15 @@ class ConstraintSet:
         """Append one constraint row."""
         self.rows.append(row)
 
+    def copy(self) -> "ConstraintSet":
+        """An independent set over the same (immutable) rows.
+
+        The row list is fresh, so adding to one set never grows the
+        other -- what :func:`repro.system.merge.append_observations`
+        needs when a child system inherits its parent's constraints.
+        """
+        return ConstraintSet(rows=list(self.rows))
+
     @property
     def rhs(self) -> np.ndarray:
         """Right-hand sides of all constraint rows, ``(len(self),)``."""

@@ -223,6 +223,101 @@ def make_system(
     return system
 
 
+def make_observation_block(
+    parent: GaiaSystem,
+    n_new: int,
+    *,
+    seed: int | np.random.Generator = 0,
+    noise_sigma: float | None = None,
+) -> GaiaSystem:
+    """Generate a fresh block of observations over ``parent``'s unknowns.
+
+    The incremental-re-solve building block: the Gaia pipeline keeps
+    observing between data reductions, so a later reduction solves the
+    *same* unknown space with more rows.  This draws ``n_new`` new
+    observation rows against the parent's generating solution
+    (``parent.meta["x_true"]``) using the same sparsity and
+    coefficient recipes as :func:`make_system`, with two deliberate
+    differences:
+
+    - stars are sampled uniformly *without* the every-star-observed
+      guarantee -- a small batch of new transits covers a subset of
+      the sky, not all of it;
+    - the observation epochs sample the whole attitude spline support
+      uniformly (new data lands anywhere in mission time, not on the
+      row-index ramp the base generator uses).
+
+    The block carries no constraint rows (the parent's set is
+    re-appended below the merged rows by
+    :func:`~repro.system.merge.append_observations`) and its known
+    terms are exactly consistent with the parent's truth, plus
+    optional noise (default: the parent's own ``noise_sigma``).
+    """
+    rng = np.random.default_rng(seed) if not isinstance(
+        seed, np.random.Generator
+    ) else seed
+    if n_new < 1:
+        raise ValueError(f"n_new must be >= 1, got {n_new}")
+    x_true = parent.meta.get("x_true")
+    if x_true is None:
+        raise ValueError(
+            "parent has no meta['x_true']: observation blocks are "
+            "drawn against the parent's generating solution"
+        )
+    if noise_sigma is None:
+        noise_sigma = float(parent.meta.get("noise_sigma", 0.0))
+    if noise_sigma < 0 or not np.isfinite(noise_sigma):
+        raise ValueError(f"noise_sigma must be >= 0, got {noise_sigma}")
+
+    from dataclasses import replace
+
+    d = parent.dims
+    dims = replace(d, n_obs=n_new)
+    star = np.sort(rng.integers(0, d.n_stars, size=n_new))
+    matrix_index_astro = star * ASTRO_PARAMS_PER_STAR
+    span = d.n_deg_freedom_att - ATT_BLOCK_SIZE
+    matrix_index_att = np.clip(
+        np.round(rng.uniform(0.0, 1.0, size=n_new) * span), 0, span
+    ).astype(np.int64)
+    instr_col = _sorted_distinct_columns(
+        rng, n_new, INSTR_PARAMS_PER_ROW, d.n_instr_params
+    )
+    astro_values = rng.normal(loc=0.0, scale=1.0,
+                              size=(n_new, ASTRO_PARAMS_PER_STAR))
+    astro_values[:, 0] += np.sign(astro_values[:, 0]) + 0.5
+    att_values = rng.normal(scale=0.5, size=(n_new, ATT_PARAMS_PER_ROW))
+    instr_values = rng.normal(scale=0.2,
+                              size=(n_new, INSTR_PARAMS_PER_ROW))
+    glob_values = rng.normal(scale=0.1, size=(n_new, d.n_glob_params))
+
+    block = GaiaSystem(
+        dims=dims,
+        astro_values=astro_values,
+        matrix_index_astro=matrix_index_astro,
+        att_values=att_values,
+        matrix_index_att=matrix_index_att,
+        instr_values=instr_values,
+        instr_col=instr_col,
+        glob_values=glob_values,
+        known_terms=np.zeros(n_new),
+        constraints=None,
+        meta={
+            "generator": "repro.system.generator.make_observation_block",
+            "noise_sigma": noise_sigma,
+            "x_true": x_true,
+        },
+    )
+
+    from repro.core.aprod import aprod1
+
+    known = aprod1(block, x_true)[:n_new]
+    if noise_sigma:
+        known = known + rng.normal(scale=noise_sigma, size=n_new)
+    block.known_terms = np.ascontiguousarray(known)
+    block.validate()
+    return block
+
+
 def draw_true_solution(
     dims: SystemDims,
     rng: np.random.Generator,

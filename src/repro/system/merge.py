@@ -5,6 +5,14 @@ segments; solving "all data so far" means concatenating segment
 systems that share one unknown space.  :func:`concatenate_systems`
 does that: stacks the observation blocks (preserving the star-sorted
 order by merging on star id) and keeps a single constraint set.
+
+:func:`append_observations` is the lineage-aware variant the
+``repro.sessions`` subsystem builds on: it grows a system by one
+observation block and stamps the child with its parent's content
+digest, chaining digests parent -> child so a re-solve of the grown
+system can locate its ancestor's solution in a
+:class:`~repro.sessions.SessionStore` and warm start from it
+(``docs/sessions.md``).
 """
 
 from __future__ import annotations
@@ -63,6 +71,54 @@ def concatenate_systems(
               "resorted": resort},
         **arrays,
     )
+
+
+def append_observations(
+    parent: GaiaSystem, block: GaiaSystem, *, resort: bool = True
+) -> GaiaSystem:
+    """Grow ``parent`` by one observation block, chaining lineage.
+
+    A thin, lineage-aware layer over :func:`concatenate_systems`: the
+    child holds the parent's rows plus the block's (star-resorted by
+    default), the parent's constraint set re-appended below the
+    observation rows (an independent copy, so neither system aliases
+    the other's mutable row list), and meta recording where it came
+    from:
+
+    - ``parent_digest`` -- the parent's content digest;
+    - ``lineage`` -- nearest-ancestor-first tuple of every digest up
+      the chain (the parent's digest prepended to the parent's own
+      lineage), which warm-start resolution walks to find the closest
+      stored solution;
+    - ``x_true`` -- the generating solution rides along unchanged
+      (the unknown space is shared, so the truth is too).
+
+    The block must carry no constraints of its own -- blocks are new
+    *observations*; the gauge constraints belong to the unknown space
+    and already ride with the parent.
+    """
+    if block.constraints is not None:
+        raise ValueError(
+            "observation blocks carry no constraints: the parent's "
+            "constraint set is re-appended below the merged rows"
+        )
+    from repro.system.digest import system_digest
+
+    parent_digest = system_digest(parent)
+    child = concatenate_systems(parent, block, resort=resort)
+    if parent.constraints is not None:
+        child.constraints = parent.constraints.copy()
+    child.meta.update({
+        "generator": "repro.system.merge.append_observations",
+        "parent_digest": parent_digest,
+        "lineage": (parent_digest,)
+        + tuple(parent.meta.get("lineage", ())),
+    })
+    if "x_true" in parent.meta:
+        child.meta["x_true"] = parent.meta["x_true"]
+    if "noise_sigma" in parent.meta:
+        child.meta["noise_sigma"] = parent.meta["noise_sigma"]
+    return child
 
 
 def split_rows(system: GaiaSystem, row: int) -> tuple[GaiaSystem,

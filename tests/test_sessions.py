@@ -1,0 +1,311 @@
+"""Tests for :mod:`repro.sessions` -- store, lineage, warm starts.
+
+Covers the session store's disk contract (atomic persistence, LRU
+byte budget, parked-checkpoint immunity), the incremental-observation
+system growth (:func:`append_observations` /
+:func:`make_observation_block`), warm-start resolution and its
+solution equivalence, and the relaxed ``resume_from`` admission on
+:class:`~repro.api.SolveRequest`.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import ResilienceConfig, SolveRequest, solve
+from repro.core.aprod import aprod1
+from repro.core.checkpoint import ResumableLSQR
+from repro.sessions import (
+    SessionStore,
+    record_solution,
+    resolve_warm_start,
+)
+from repro.system import (
+    SystemDims,
+    append_observations,
+    make_observation_block,
+    make_system,
+    system_digest,
+)
+from repro.system.sizing import dims_from_gb
+
+DIMS = SystemDims(n_stars=8, n_obs=160, n_deg_freedom_att=8,
+                  n_instr_params=10, n_glob_params=0)
+
+
+def tiny_system(seed=0, noise=1e-9):
+    return make_system(DIMS, seed=seed, noise_sigma=noise)
+
+
+# ----------------------------------------------------------------------
+# SessionStore disk contract
+# ----------------------------------------------------------------------
+class TestSessionStore:
+    def test_roundtrip(self, tmp_path):
+        x = np.linspace(0.0, 1.0, 64)
+        with SessionStore(tmp_path) as store:
+            store.put("d1", x, itn=12, r2norm=3.5, stop="ATOL_RTOL",
+                      parent="d0")
+            rec = store.get("d1")
+            assert rec is not None
+            np.testing.assert_array_equal(rec.x, x)
+            assert rec.itn == 12
+            assert rec.r2norm == 3.5
+            assert rec.stop == "ATOL_RTOL"
+            assert rec.parent == "d0"
+            assert store.get("nope") is None
+
+    def test_reopen_persistence(self, tmp_path):
+        x = np.arange(32, dtype=np.float64)
+        with SessionStore(tmp_path) as store:
+            store.put("d1", x, itn=5, r2norm=1.0, stop="ATOL")
+        with SessionStore(tmp_path) as store:
+            rec = store.get("d1")
+            assert rec is not None
+            np.testing.assert_array_equal(rec.x, x)
+            assert rec.parent is None
+
+    def test_lru_eviction(self, tmp_path):
+        x = np.zeros(1000)  # 8 kB payload per record
+        with SessionStore(tmp_path, budget_bytes=20_000) as store:
+            store.put("a", x, itn=1, r2norm=1.0, stop="ATOL")
+            store.put("b", x, itn=1, r2norm=1.0, stop="ATOL")
+            assert store.get("a") is not None  # refresh a
+            store.put("c", x, itn=1, r2norm=1.0, stop="ATOL")
+            # b was least recently used -> evicted; a survived.
+            assert store.get("b") is None
+            assert store.get("a") is not None
+            assert store.get("c") is not None
+            assert store.stats()["evictions"] >= 1
+
+    def test_oversized_record_dropped(self, tmp_path):
+        with SessionStore(tmp_path, budget_bytes=1000) as store:
+            store.put("big", np.zeros(10_000), itn=1, r2norm=1.0,
+                      stop="ATOL")
+            assert store.get("big") is None
+            assert store.stats()["records"] == 0
+
+    def test_parked_never_evicted(self, tmp_path):
+        x = np.zeros(1000)
+        with SessionStore(tmp_path, budget_bytes=20_000) as store:
+            np.savez(store.park_path("job-1"), itn=np.int64(7))
+            store.park("job-1", itn=7, attempt=1, devices=("V100",))
+            for i in range(6):
+                store.put(f"d{i}", x, itn=1, r2norm=1.0, stop="ATOL")
+            parked = store.parked("job-1")
+            assert parked is not None
+            assert parked.itn == 7
+            assert parked.attempt == 1
+            assert parked.devices == ("V100",)
+            assert store.park_path("job-1").exists()
+            claimed = store.claim("job-1")
+            assert claimed is not None and claimed.itn == 7
+            assert store.claim("job-1") is None
+            store.discard("job-1")
+            assert not store.park_path("job-1").exists()
+
+    def test_parked_survives_reopen(self, tmp_path):
+        with SessionStore(tmp_path) as store:
+            np.savez(store.park_path("job-9"), itn=np.int64(3))
+            store.park("job-9", itn=3, attempt=2,
+                       devices=("V100", "A100"))
+        with SessionStore(tmp_path) as store:
+            parked = store.parked("job-9")
+            assert parked is not None
+            assert parked.attempt == 2
+            assert parked.devices == ("V100", "A100")
+
+    def test_owned_tempdir_cleanup(self):
+        store = SessionStore(None)
+        root = store.root
+        store.put("d", np.zeros(4), itn=1, r2norm=1.0, stop="ATOL")
+        assert root.exists()
+        store.close()
+        assert not root.exists()
+
+
+# ----------------------------------------------------------------------
+# Incremental observation growth
+# ----------------------------------------------------------------------
+class TestAppendObservations:
+    def test_block_consistency_noise_free(self):
+        parent = tiny_system(noise=0.0)
+        block = make_observation_block(parent, 40, seed=3,
+                                       noise_sigma=0.0)
+        assert block.dims.n_obs == 40
+        assert block.dims.n_stars == parent.dims.n_stars
+        x_true = parent.meta["x_true"]
+        np.testing.assert_allclose(
+            block.known_terms, aprod1(block, x_true)[:40],
+            rtol=0, atol=0)
+
+    def test_child_shape_and_lineage(self):
+        parent = tiny_system()
+        block = make_observation_block(parent, 40, seed=3)
+        child = append_observations(parent, block)
+        assert child.dims.n_obs == parent.dims.n_obs + 40
+        assert child.dims.n_stars == parent.dims.n_stars
+        pd = system_digest(parent)
+        assert child.meta["parent_digest"] == pd
+        assert child.meta["lineage"] == (pd,)
+        assert system_digest(child) != pd
+        # Grandchild lineage is nearest-ancestor-first.
+        block2 = make_observation_block(child, 30, seed=4)
+        grand = append_observations(child, block2)
+        assert grand.meta["lineage"] == (system_digest(child), pd)
+
+    def test_constraints_reappended(self):
+        parent = tiny_system()
+        assert parent.constraints is not None
+        block = make_observation_block(parent, 20, seed=1)
+        child = append_observations(parent, block)
+        assert child.constraints is not None
+        assert len(child.constraints.rows) == len(
+            parent.constraints.rows)
+        assert child.constraints is not parent.constraints
+
+    def test_block_with_constraints_rejected(self):
+        parent = tiny_system()
+        block = make_observation_block(parent, 20, seed=1)
+        bad = dataclasses.replace(block,
+                                  constraints=parent.constraints)
+        with pytest.raises(ValueError, match="constraint"):
+            append_observations(parent, bad)
+
+    def test_block_requires_x_true(self):
+        parent = tiny_system()
+        orphan = dataclasses.replace(
+            parent, meta={k: v for k, v in parent.meta.items()
+                          if k != "x_true"})
+        with pytest.raises(ValueError, match="x_true"):
+            make_observation_block(orphan, 10)
+
+
+@settings(max_examples=15, deadline=None)
+@given(steps=st.integers(2, 4), seed=st.integers(0, 2**16),
+       growth=st.floats(0.1, 1.0))
+def test_lineage_digests_resolve_and_stay_distinct(tmp_path_factory,
+                                                   steps, seed,
+                                                   growth):
+    """Lineage property: along any growth chain, digests are distinct
+    (injective per chain) and every recorded parent link resolves in
+    the store."""
+    tmp = tmp_path_factory.mktemp("lineage")
+    system = make_system(DIMS, seed=seed, noise_sigma=1e-9)
+    digests = [system_digest(system)]
+    with SessionStore(tmp) as store:
+        store.put(digests[0], np.zeros(4), itn=1, r2norm=1.0,
+                  stop="ATOL")
+        for step in range(1, steps):
+            n_new = max(1, round(system.dims.n_obs * growth))
+            block = make_observation_block(system, n_new,
+                                           seed=seed + step)
+            system = append_observations(system, block)
+            d = system_digest(system)
+            digests.append(d)
+            store.put(d, np.zeros(4), itn=1, r2norm=1.0,
+                      stop="ATOL", parent=system.meta["parent_digest"])
+        assert len(set(digests)) == len(digests)
+        for d in digests[1:]:
+            rec = store.get(d)
+            assert rec is not None and rec.parent is not None
+            assert store.get(rec.parent) is not None
+
+
+# ----------------------------------------------------------------------
+# Warm starts
+# ----------------------------------------------------------------------
+class TestWarmStart:
+    def grow(self, parent, n_new, seed):
+        block = make_observation_block(parent, n_new, seed=seed)
+        return append_observations(parent, block)
+
+    def test_equivalence_and_fewer_iterations(self, tmp_path):
+        parent = make_system(dims_from_gb(0.004), seed=0,
+                             noise_sigma=1e-9)
+        child = self.grow(parent, parent.dims.n_obs // 2, seed=7)
+        with SessionStore(tmp_path) as store:
+            rep_parent = solve(SolveRequest(system=parent),
+                               sessions=store)
+            assert rep_parent.warm_start is None
+            cold = solve(SolveRequest(system=child))
+            warm = solve(SolveRequest(system=child), sessions=store)
+            assert warm.warm_start is not None
+            assert not warm.warm_start.exact
+            assert warm.warm_start.depth == 1
+            # Strictly fewer iterations than the cold re-solve...
+            assert warm.itn < cold.itn
+            assert warm.warm_start.iterations_saved > 0
+            # ...and the same solution, through a tightening rtol
+            # ladder (both stopped at the same atol-driven rule).
+            for rtol in (1e-4, 1e-6):
+                np.testing.assert_allclose(warm.x, cold.x, rtol=rtol,
+                                           atol=1e-8)
+
+    def test_exact_digest_rehit(self, tmp_path):
+        system = tiny_system()
+        with SessionStore(tmp_path) as store:
+            first = solve(SolveRequest(system=system), sessions=store)
+            again = solve(SolveRequest(system=system), sessions=store)
+            assert again.warm_start is not None
+            assert again.warm_start.exact
+            assert again.warm_start.depth == 0
+            # Re-solving from the converged solution stops almost
+            # immediately.
+            assert again.itn < first.itn
+            assert again.warm_start.iterations_saved > 0
+            assert "warm start" in again.summary()
+
+    def test_resolve_warm_start_miss(self, tmp_path):
+        with SessionStore(tmp_path) as store:
+            assert resolve_warm_start(store, tiny_system()) is None
+            assert store.stats()["misses"] == 1
+
+    def test_record_and_resolve_roundtrip(self, tmp_path):
+        system = tiny_system()
+        report = solve(SolveRequest(system=system))
+        with SessionStore(tmp_path) as store:
+            digest = record_solution(store, system, report)
+            assert digest == system_digest(system)
+            warm = resolve_warm_start(store, system)
+            assert warm is not None and warm.exact
+            np.testing.assert_array_equal(warm.x0, report.x)
+            assert warm.prior_itn == report.itn
+
+
+# ----------------------------------------------------------------------
+# resume_from relaxation and driver resume
+# ----------------------------------------------------------------------
+class TestResumeFrom:
+    def test_request_synthesizes_default_resilience(self, tmp_path):
+        req = SolveRequest(system=tiny_system(),
+                           resume_from=str(tmp_path / "ck.npz"))
+        assert req.resilience == ResilienceConfig()
+
+    def test_explicit_resilience_untouched(self, tmp_path):
+        cfg = ResilienceConfig(checkpoint_every=3)
+        req = SolveRequest(system=tiny_system(), resilience=cfg,
+                           resume_from=str(tmp_path / "ck.npz"))
+        assert req.resilience is cfg
+
+    def test_resumable_lsqr_resume_from(self, tmp_path):
+        system = tiny_system()
+        ref = ResumableLSQR(system).run(iter_lim=40)
+        ckpt = tmp_path / "state.npz"
+        ResumableLSQR(system).run(iter_lim=15, checkpoint_path=ckpt)
+        resumed = ResumableLSQR(system).run(iter_lim=40,
+                                            resume_from=ckpt)
+        assert resumed.itn == ref.itn
+        np.testing.assert_array_equal(resumed.x, ref.x)
+
+    def test_resume_from_live_state(self):
+        system = tiny_system()
+        solver = ResumableLSQR(system)
+        ref = ResumableLSQR(system).run(iter_lim=40)
+        partial = solver.run(iter_lim=15)
+        resumed = solver.run(iter_lim=40, resume_from=partial)
+        assert resumed.itn == ref.itn
+        np.testing.assert_array_equal(resumed.x, ref.x)
